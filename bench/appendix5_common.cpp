@@ -1,0 +1,182 @@
+#include "appendix5_common.h"
+
+#include <cstdio>
+
+#include "baseline/collectors.h"
+#include "baseline/encode.h"
+#include "browser/extractor.h"
+#include "browser/feature_catalog.h"
+#include "browser/release_db.h"
+#include "ml/kmeans.h"
+#include "ml/metrics.h"
+#include "ml/pca.h"
+#include "ml/scaler.h"
+#include "util/rng.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace bp::appendix5 {
+
+namespace {
+
+// One BrowserStack "launch": a release on an OS with an install identity.
+struct Launch {
+  browser::Environment env;
+  ua::UserAgent ua;
+};
+
+std::vector<Launch> make_sweep(ua::Os os_a, ua::Os os_b, std::uint64_t seed,
+                               int installs_per_combo) {
+  const auto& db = browser::ReleaseDatabase::instance();
+  bp::util::Rng rng(seed);
+
+  std::vector<Launch> launches;
+  for (const ua::Os os : {os_a, os_b}) {
+    for (const auto& release : db.releases()) {
+      // BrowserStack sweep: recent majors of the three desktop vendors.
+      const bool wanted =
+          (release.vendor == ua::Vendor::kChrome && release.version >= 100) ||
+          (release.vendor == ua::Vendor::kEdge && release.version >= 100) ||
+          (release.vendor == ua::Vendor::kFirefox && release.version >= 100);
+      if (!wanted) continue;
+      for (int i = 0; i < installs_per_combo; ++i) {
+        Launch launch;
+        launch.env.release = &release;
+        launch.env.os = os;
+        launch.env.session_salt = rng.next();
+        launch.ua = release.user_agent(os);
+        launches.push_back(launch);
+      }
+    }
+  }
+  return launches;
+}
+
+// The §6.4 clustering procedure applied to an arbitrary feature matrix:
+// scale, PCA to >= 98.5% cumulative variance, elbow-derived k, k-means,
+// majority-cluster accuracy.
+ComparisonRow cluster_and_score(std::string technique, ml::Matrix features,
+                                const std::vector<std::uint32_t>& labels,
+                                const std::vector<bool>& scale_column,
+                                std::uint64_t seed) {
+  ComparisonRow row;
+  row.technique = std::move(technique);
+  row.dataset_size = features.rows();
+  row.features = features.cols();
+
+  ml::StandardScaler scaler;
+  scaler.fit(features, scale_column);
+  const ml::Matrix scaled = scaler.transform(features);
+
+  ml::Pca probe;
+  probe.fit(scaled, scaled.cols());
+  const std::vector<double> cumulative = probe.cumulative_variance_ratio();
+  std::size_t components = scaled.cols();
+  for (std::size_t i = 0; i < cumulative.size(); ++i) {
+    if (cumulative[i] >= 0.985) {
+      components = i + 1;
+      break;
+    }
+  }
+  row.pca_components = components;
+
+  ml::Pca pca;
+  const ml::Matrix projected = pca.fit_transform(scaled, components);
+
+  // Elbow over a modest sweep (small datasets have noisier curves, so
+  // the late-stage window starts at k=5 here).
+  const std::size_t k_max = std::min<std::size_t>(18, projected.rows() / 4);
+  const std::vector<double> wcss = ml::wcss_curve(projected, 2, k_max, seed);
+  const std::size_t best_k = ml::elbow_k(wcss, 2, /*min_k=*/5);
+  row.k = best_k;
+
+  ml::KMeansConfig config;
+  config.k = best_k;
+  config.seed = seed;
+  ml::KMeans kmeans(config);
+  kmeans.fit(projected);
+
+  row.accuracy =
+      ml::clustering_accuracy(labels, kmeans.labels()).row_accuracy;
+  return row;
+}
+
+std::vector<bool> all_scaled(std::size_t n) { return std::vector<bool>(n, true); }
+
+}  // namespace
+
+std::vector<ComparisonRow> run_comparison(ua::Os os_a, ua::Os os_b,
+                                          std::uint64_t seed) {
+  std::vector<ComparisonRow> rows;
+
+  // --- Browser Polygraph: coarse-grained 28 ---
+  {
+    const auto launches = make_sweep(os_a, os_b, seed ^ 0xB0, 4);
+    const auto& catalog = browser::FeatureCatalog::instance();
+    ml::Matrix features(0, 0);
+    std::vector<std::uint32_t> labels;
+    for (const auto& launch : launches) {
+      features.push_row(browser::extract_final(launch.env));
+      labels.push_back(launch.ua.key());
+    }
+    std::vector<bool> scale_column;
+    for (std::size_t idx : catalog.final_indices()) {
+      scale_column.push_back(catalog.spec(idx).kind ==
+                             browser::FeatureKind::kDeviationBased);
+    }
+    rows.push_back(cluster_and_score("BROWSER POLYGRAPH", std::move(features),
+                                     labels, scale_column, seed + 1));
+  }
+
+  // --- FingerprintJS ---
+  {
+    const auto launches = make_sweep(os_a, os_b, seed ^ 0xF1, 3);
+    std::vector<baseline::ProfileValue> profiles;
+    std::vector<std::uint32_t> labels;
+    for (const auto& launch : launches) {
+      profiles.push_back(
+          baseline::collect(baseline::Collector::kFingerprintJs, launch.env));
+      labels.push_back(launch.ua.key());
+    }
+    baseline::EncodedDataset encoded = baseline::encode_profiles(profiles);
+    rows.push_back(cluster_and_score(
+        "FingerprintJS", std::move(encoded.features), labels,
+        all_scaled(encoded.column_names.size()), seed + 2));
+  }
+
+  // --- ClientJS (UA-derived features excluded per Appendix-5) ---
+  {
+    const auto launches = make_sweep(os_a, os_b, seed ^ 0xC2, 3);
+    std::vector<baseline::ProfileValue> profiles;
+    std::vector<std::uint32_t> labels;
+    for (const auto& launch : launches) {
+      profiles.push_back(
+          baseline::collect(baseline::Collector::kClientJs, launch.env));
+      labels.push_back(launch.ua.key());
+    }
+    baseline::EncodeOptions options;
+    options.exclude_prefixes = {"uaDerived."};
+    baseline::EncodedDataset encoded =
+        baseline::encode_profiles(profiles, options);
+    rows.push_back(cluster_and_score(
+        "ClientJS", std::move(encoded.features), labels,
+        all_scaled(encoded.column_names.size()), seed + 3));
+  }
+  return rows;
+}
+
+void print_comparison(const char* title,
+                      const std::vector<ComparisonRow>& rows) {
+  std::printf("%s\n", title);
+  util::TextTable table({"Technique", "Size of dataset", "Features", "PCA",
+                         "k", "Model accuracy"});
+  for (const auto& row : rows) {
+    table.add_row({row.technique, std::to_string(row.dataset_size),
+                   std::to_string(row.features),
+                   std::to_string(row.pca_components), std::to_string(row.k),
+                   util::format_double(100.0 * row.accuracy, 2) + "%"});
+  }
+  std::fputs(table.render().c_str(), stdout);
+}
+
+}  // namespace bp::appendix5

@@ -1,0 +1,32 @@
+// Shared implementation for the Appendix-5 synthetic comparisons
+// (Tables 13 & 14): BrowserStack-style sweeps of Chrome/Edge/Firefox
+// across two OSes, fingerprinted by Browser Polygraph and by the
+// fine-grained baselines, each clustered by the §6.4 procedure.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ua/user_agent.h"
+
+namespace bp::appendix5 {
+
+struct ComparisonRow {
+  std::string technique;
+  std::size_t dataset_size = 0;
+  std::size_t features = 0;
+  std::size_t pca_components = 0;
+  std::size_t k = 0;
+  double accuracy = 0.0;
+};
+
+// Run the full comparison on the given OS pair and return the three rows
+// (Browser Polygraph, FingerprintJS, ClientJS).
+std::vector<ComparisonRow> run_comparison(ua::Os os_a, ua::Os os_b,
+                                          std::uint64_t seed);
+
+// Render rows in the paper's table layout to stdout.
+void print_comparison(const char* title,
+                      const std::vector<ComparisonRow>& rows);
+
+}  // namespace bp::appendix5

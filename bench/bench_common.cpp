@@ -1,0 +1,122 @@
+#include "bench_common.h"
+
+#include <algorithm>
+#include <map>
+
+namespace bp::benchmark_support {
+
+traffic::Dataset make_training_dataset(std::size_t n_sessions) {
+  traffic::TrafficConfig config;
+  config.n_sessions = n_sessions;
+  traffic::SessionGenerator generator(config);
+  return generator.generate(traffic::experiment_feature_indices());
+}
+
+traffic::Dataset make_drift_dataset(std::size_t n_sessions) {
+  traffic::TrafficConfig config;
+  config.seed = 20230725;
+  config.n_sessions = n_sessions;
+  config.start_date = bp::util::Date::from_ymd(2023, 7, 20);
+  config.end_date = bp::util::Date::from_ymd(2023, 11, 3);
+  traffic::SessionGenerator generator(config);
+  return generator.generate(traffic::experiment_feature_indices());
+}
+
+TrainedPolygraph train_production(const traffic::Dataset& data,
+                                  core::PolygraphConfig config) {
+  core::Polygraph model(config);
+  const ml::Matrix features =
+      data.feature_matrix(model.config().feature_indices);
+  const core::TrainingSummary summary =
+      model.train(features, claimed_uas(data));
+  return TrainedPolygraph{std::move(model), summary};
+}
+
+std::vector<ua::UserAgent> claimed_uas(const traffic::Dataset& data) {
+  std::vector<ua::UserAgent> out;
+  out.reserve(data.size());
+  for (const auto& record : data.records()) out.push_back(record.claimed);
+  return out;
+}
+
+std::string describe_cluster_uas(const std::vector<ua::UserAgent>& uas) {
+  // vendor display name -> sorted observed versions
+  std::map<std::string, std::vector<int>> by_vendor;
+  for (const auto& ua : uas) {
+    by_vendor[std::string(ua::vendor_name(ua.vendor))].push_back(
+        ua.major_version);
+  }
+
+  std::vector<std::string> fragments;
+  for (auto& [vendor, versions] : by_vendor) {
+    std::sort(versions.begin(), versions.end());
+    versions.erase(std::unique(versions.begin(), versions.end()),
+                   versions.end());
+    std::size_t i = 0;
+    while (i < versions.size()) {
+      std::size_t j = i;
+      while (j + 1 < versions.size() && versions[j + 1] == versions[j] + 1) {
+        ++j;
+      }
+      std::string frag = vendor + " " + std::to_string(versions[i]);
+      if (j > i) frag += "-" + std::to_string(versions[j]);
+      fragments.push_back(std::move(frag));
+      i = j + 1;
+    }
+  }
+  std::sort(fragments.begin(), fragments.end());
+
+  std::string out;
+  for (std::size_t i = 0; i < fragments.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += fragments[i];
+  }
+  return out;
+}
+
+std::vector<std::size_t> paper_cluster_numbering(const core::Polygraph& model) {
+  const std::size_t k = model.config().k;
+  std::vector<std::size_t> mapping(k, static_cast<std::size_t>(-1));
+  std::vector<bool> paper_id_used(std::max<std::size_t>(k, 11), false);
+
+  // Anchor UA -> Table 3 cluster number.
+  const std::pair<ua::UserAgent, std::size_t> anchors[] = {
+      {{ua::Vendor::kChrome, 111, ua::Os::kWindows10}, 0},
+      {{ua::Vendor::kFirefox, 110, ua::Os::kWindows10}, 1},
+      {{ua::Vendor::kChrome, 60, ua::Os::kWindows10}, 2},
+      {{ua::Vendor::kChrome, 114, ua::Os::kWindows10}, 3},
+      {{ua::Vendor::kChrome, 80, ua::Os::kWindows10}, 4},
+      {{ua::Vendor::kChrome, 105, ua::Os::kWindows10}, 5},
+      {{ua::Vendor::kFirefox, 48, ua::Os::kWindows10}, 6},
+      {{ua::Vendor::kFirefox, 96, ua::Os::kWindows10}, 9},
+      {{ua::Vendor::kChrome, 95, ua::Os::kWindows10}, 10},
+  };
+  for (const auto& [anchor_ua, paper_id] : anchors) {
+    if (paper_id >= paper_id_used.size()) continue;
+    const auto internal = model.cluster_table().expected_cluster(anchor_ua);
+    if (!internal || *internal >= k) continue;
+    if (mapping[*internal] != static_cast<std::size_t>(-1)) continue;
+    if (paper_id_used[paper_id]) continue;
+    mapping[*internal] = paper_id;
+    paper_id_used[paper_id] = true;
+  }
+
+  // Unanchored clusters (noise clusters and any anchor misses) take the
+  // unused ids in ascending order — 7 and 8 first in the k=11 case.
+  std::size_t next_free = 0;
+  for (std::size_t internal = 0; internal < k; ++internal) {
+    if (mapping[internal] != static_cast<std::size_t>(-1)) continue;
+    while (next_free < paper_id_used.size() && paper_id_used[next_free]) {
+      ++next_free;
+    }
+    if (next_free < paper_id_used.size()) {
+      paper_id_used[next_free] = true;
+      mapping[internal] = next_free;
+    } else {
+      mapping[internal] = internal;
+    }
+  }
+  return mapping;
+}
+
+}  // namespace bp::benchmark_support

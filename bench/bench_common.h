@@ -1,0 +1,50 @@
+// Shared harness code for the per-table/figure bench binaries.
+//
+// Every bench reproduces one artifact of the paper's evaluation and
+// prints it in the paper's layout.  They all start from the same
+// deterministic training corpus (seed fixed in TrafficConfig) so that
+// numbers are comparable across binaries and runs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/polygraph.h"
+#include "traffic/dataset.h"
+#include "traffic/session_generator.h"
+
+namespace bp::benchmark_support {
+
+// The §7.1 training corpus: 205k logged-in sessions, March 1 to
+// July 15, 2023.  `n_sessions` can be reduced for quick runs.
+traffic::Dataset make_training_dataset(std::size_t n_sessions = 205'000);
+
+// The §7.3 drift corpus: late-July to October 2023.
+traffic::Dataset make_drift_dataset(std::size_t n_sessions = 60'000);
+
+// Train the production model (28 features, PCA 7, k=11) on a dataset.
+struct TrainedPolygraph {
+  core::Polygraph model;
+  core::TrainingSummary summary;
+};
+TrainedPolygraph train_production(const traffic::Dataset& data,
+                                  core::PolygraphConfig config =
+                                      core::PolygraphConfig::production());
+
+// Per-row parsed user-agents of a dataset.
+std::vector<ua::UserAgent> claimed_uas(const traffic::Dataset& data);
+
+// Render a cluster's user-agents in the paper's Table 3 style:
+// "Chrome 110-113, Edge 110-113" (consecutive observed versions
+// compressed into ranges, vendors sorted Chrome < Edge < Firefox).
+std::string describe_cluster_uas(const std::vector<ua::UserAgent>& uas);
+
+// k-means cluster ids are seed-arbitrary; to make bench output directly
+// comparable with the paper, remap a trained model's internal cluster ids
+// onto Table 3's numbering using anchor user-agents (Chrome 111 -> 0,
+// Firefox 110 -> 1, Chrome 60 -> 2, Chrome 114 -> 3, ...).  Clusters
+// holding no UA majority get the paper's omitted ids (7, 8, then any
+// remaining id).  Returns internal-id -> paper-id.
+std::vector<std::size_t> paper_cluster_numbering(const core::Polygraph& model);
+
+}  // namespace bp::benchmark_support

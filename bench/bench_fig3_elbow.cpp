@@ -1,0 +1,57 @@
+// Reproduces Figure 3: the elbow method — WCSS (k-means inertia) vs the
+// number of clusters on the PCA(7)-projected training data.
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_common.h"
+#include "browser/feature_catalog.h"
+#include "ml/isolation_forest.h"
+#include "ml/kmeans.h"
+#include "ml/pca.h"
+#include "ml/scaler.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace bp;
+  // The curve is computed on a subsample: the elbow's location is stable
+  // under subsampling and the sweep refits k-means 20 times.
+  const std::size_t n =
+      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 60'000;
+
+  std::printf("=== Figure 3: elbow method (WCSS vs number of clusters) ===\n");
+  const auto data = benchmark_support::make_training_dataset(n);
+  const auto& catalog = browser::FeatureCatalog::instance();
+  const ml::Matrix raw = data.feature_matrix(catalog.final_indices());
+
+  std::vector<bool> scale_column;
+  for (std::size_t idx : catalog.final_indices()) {
+    scale_column.push_back(catalog.spec(idx).kind ==
+                           browser::FeatureKind::kDeviationBased);
+  }
+  ml::StandardScaler scaler;
+  scaler.fit(raw, scale_column);
+  const ml::Matrix scaled = scaler.transform(raw);
+
+  ml::IsolationForest forest;
+  forest.fit(scaled);
+  const ml::Matrix filtered =
+      scaled.filter_rows(forest.inlier_mask(scaled, 0.00084));
+
+  ml::Pca pca;
+  const ml::Matrix projected = pca.fit_transform(filtered, 7);
+
+  const std::vector<double> wcss = ml::wcss_curve(projected, 1, 20);
+
+  std::vector<std::pair<std::string, double>> series;
+  for (std::size_t k = 1; k <= wcss.size(); ++k) {
+    char label[16];
+    std::snprintf(label, sizeof(label), "k=%2zu", k);
+    series.emplace_back(label, wcss[k - 1]);
+  }
+  std::fputs(util::ascii_chart(series).c_str(), stdout);
+  std::printf(
+      "\nElbow candidates appear where the marginal drop collapses; the\n"
+      "paper reads k = 3, 6, and 11 off this curve before settling on 11\n"
+      "via the relative-WCSS view (Figure 4 bench).\n");
+  return 0;
+}

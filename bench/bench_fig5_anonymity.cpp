@@ -1,0 +1,54 @@
+// Reproduces Figure 5: percentage of fingerprints in anonymity sets of
+// varying sizes (§7.4).  A fingerprint here is the concatenation of the
+// 28 production feature values; the paper reports only 0.3% unique
+// fingerprints and 95.6% in sets larger than 50 — coarse-grained
+// fingerprints cannot track individuals.
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_common.h"
+#include "browser/feature_catalog.h"
+#include "stats/entropy.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace bp;
+  const std::size_t n =
+      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 205'000;
+
+  std::printf("=== Figure 5: fingerprints per anonymity-set size ===\n");
+  const auto data = benchmark_support::make_training_dataset(n);
+
+  // Fingerprint string = the production 28 values only.
+  const auto& catalog = browser::FeatureCatalog::instance();
+  const ml::Matrix features = data.feature_matrix(catalog.final_indices());
+  std::vector<std::string> fingerprints;
+  fingerprints.reserve(features.rows());
+  for (std::size_t r = 0; r < features.rows(); ++r) {
+    std::string s;
+    for (const double v : features.row(r)) {
+      s += std::to_string(static_cast<long long>(v));
+      s += ',';
+    }
+    fingerprints.push_back(std::move(s));
+  }
+
+  const stats::AnonymitySetStats sets = stats::anonymity_sets(fingerprints);
+
+  std::vector<std::pair<std::string, double>> series = {
+      {"unique (size 1)", sets.pct_unique},
+      {"size 2-10", sets.pct_2_to_10},
+      {"size 11-50", sets.pct_11_to_50},
+      {"size > 50", sets.pct_over_50},
+  };
+  std::fputs(util::ascii_chart(series).c_str(), stdout);
+
+  std::printf(
+      "\n%zu fingerprints, %zu distinct values\n"
+      "unique rate: %.2f%% (paper: 0.3%%; AmIUnique-scale studies: ~33.6%%)\n"
+      "in sets > 50: %.1f%% (paper: 95.6%%; prior fine-grained study: 8%%)\n",
+      sets.observations, sets.distinct_values, sets.pct_unique,
+      sets.pct_over_50);
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Reproduces Table 12 (Appendix-4): sensitivity of the model to feature-
+// set growth.  Starting from the production 28, four (then four, then
+// six) extra deviation-based features are added in the paper's order; for
+// each set the optimal k is re-derived from the relative-WCSS view and
+// accuracy reported.
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_common.h"
+#include "browser/feature_catalog.h"
+#include "ml/isolation_forest.h"
+#include "ml/kmeans.h"
+#include "ml/pca.h"
+#include "ml/scaler.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace bp;
+
+// Re-derive the elbow for a feature set (the §6.4.3 reading of Figure 4:
+// first pronounced late-stage relative-WCSS peak).
+std::size_t derive_optimal_k(const ml::Matrix& projected) {
+  const std::vector<double> wcss = ml::wcss_curve(projected, 6, 16, 97);
+  return ml::elbow_k(wcss, 6);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t n =
+      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 60'000;
+
+  std::printf("=== Table 12: sensitivity to the number of features ===\n");
+  const auto data = benchmark_support::make_training_dataset(n);
+  const auto& catalog = browser::FeatureCatalog::instance();
+
+  util::TextTable table(
+      {"Features", "PCA", "k", "Model accuracy", "Added (last step)"});
+
+  std::string last_added = "(Table 8 production set)";
+  for (const std::size_t target : {28u, 32u, 36u, 42u}) {
+    std::vector<std::size_t> indices = catalog.final_indices();
+    const auto extras = catalog.appendix4_extension(target);
+    for (std::size_t idx : extras) indices.push_back(idx);
+
+    // Derive the optimal k for this feature set from the elbow, then
+    // train the full pipeline at that k.
+    core::PolygraphConfig config = core::PolygraphConfig::production();
+    config.feature_indices = indices;
+
+    // Quick projection for the k derivation.
+    {
+      const ml::Matrix raw = data.feature_matrix(indices);
+      std::vector<bool> scale_column;
+      for (std::size_t idx : indices) {
+        scale_column.push_back(catalog.spec(idx).kind ==
+                               browser::FeatureKind::kDeviationBased);
+      }
+      ml::StandardScaler scaler;
+      scaler.fit(raw, scale_column);
+      ml::Pca pca;
+      const ml::Matrix projected =
+          pca.fit_transform(scaler.transform(raw), config.pca_components);
+      config.k = derive_optimal_k(projected);
+    }
+
+    const auto trained = benchmark_support::train_production(data, config);
+    if (target > 28) {
+      last_added.clear();
+      const std::size_t step_begin = target == 32 ? 0 : (target == 36 ? 4 : 8);
+      for (std::size_t i = step_begin; i < extras.size(); ++i) {
+        if (!last_added.empty()) last_added += "; ";
+        last_added += browser::FeatureCatalog::interface_of(
+            catalog.spec(extras[i]).name);
+      }
+    }
+    table.add_row(
+        {std::to_string(indices.size()), std::to_string(config.pca_components),
+         std::to_string(config.k),
+         util::format_double(100.0 * trained.summary.clustering_accuracy, 2) +
+             "%",
+         last_added});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf(
+      "\npaper reference: 28 -> 42 features drifts k from 11 to 14 and "
+      "accuracy from 99.60%% to 99.41%% — more features add noise "
+      "dimensions, not fraud signal.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Reproduces Table 7: Shannon entropy and normalized entropy of the
+// collected attributes, sorted by normalized entropy (§7.4).  The
+// user-agent should dominate every coarse-grained feature — i.e. the
+// fingerprint adds no identifiability beyond the UA string itself.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_common.h"
+#include "browser/feature_catalog.h"
+#include "stats/entropy.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace bp;
+  const std::size_t n =
+      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 205'000;
+
+  std::printf("=== Table 7: entropy of Browser Polygraph's features ===\n");
+  const auto data = benchmark_support::make_training_dataset(n);
+  const auto& catalog = browser::FeatureCatalog::instance();
+
+  struct Row {
+    std::string name;
+    double entropy;
+    double normalized;
+  };
+  std::vector<Row> rows;
+
+  // user-agent string.
+  {
+    std::vector<std::string> values;
+    values.reserve(data.size());
+    for (const auto& record : data.records()) values.push_back(record.user_agent);
+    rows.push_back({"user-agent", stats::shannon_entropy(values),
+                    stats::normalized_entropy(values)});
+  }
+
+  // Every production feature.
+  const auto& finals = catalog.final_indices();
+  const ml::Matrix features = data.feature_matrix(finals);
+  for (std::size_t c = 0; c < finals.size(); ++c) {
+    std::vector<std::string> values;
+    values.reserve(features.rows());
+    for (std::size_t r = 0; r < features.rows(); ++r) {
+      values.push_back(std::to_string(static_cast<long long>(features(r, c))));
+    }
+    rows.push_back({catalog.spec(finals[c]).name,
+                    stats::shannon_entropy(values),
+                    stats::normalized_entropy(values)});
+  }
+
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return a.normalized > b.normalized;
+  });
+
+  util::TextTable table({"Feature", "Entropy", "Normalized Entropy"});
+  for (std::size_t i = 0; i < std::min<std::size_t>(rows.size(), 8); ++i) {
+    table.add_row({rows[i].name, util::format_double(rows[i].entropy, 2),
+                   util::format_double(rows[i].normalized, 2)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  std::printf(
+      "\nhighest-entropy attribute: %s (paper: the user-agent itself, at "
+      "5.97 bits / 0.58 normalized)\n",
+      rows.front().name.c_str());
+  return 0;
+}

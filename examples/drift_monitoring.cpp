@@ -1,0 +1,94 @@
+// drift_monitoring: the §6.6 operations loop.
+//
+// A model trained on the spring corpus is frozen; the §6.6 schedule then
+// walks the autumn data checkpoint by checkpoint (a few days after each
+// Firefox release), scoring every brand-new browser release.  When the
+// retraining signal fires, the model is retrained on the fresh window
+// and the check re-run to confirm recovery.
+#include <cstdio>
+
+#include "core/drift.h"
+#include "core/polygraph.h"
+#include "traffic/session_generator.h"
+
+namespace {
+
+using namespace bp;
+
+core::Polygraph train_on(const traffic::Dataset& data) {
+  core::Polygraph model;
+  const ml::Matrix features =
+      data.feature_matrix(model.config().feature_indices);
+  std::vector<ua::UserAgent> uas;
+  for (const auto& r : data.records()) uas.push_back(r.claimed);
+  const auto summary = model.train(features, uas);
+  std::printf("  trained on %zu sessions: accuracy %.2f%%\n",
+              summary.rows_total, 100.0 * summary.clustering_accuracy);
+  return model;
+}
+
+}  // namespace
+
+int main() {
+  using namespace bp;
+
+  std::printf("== spring training (March - early July 2023) ==\n");
+  traffic::TrafficConfig spring;
+  spring.n_sessions = 40'000;
+  traffic::SessionGenerator spring_gen(spring);
+  const core::Polygraph model =
+      train_on(spring_gen.generate(traffic::experiment_feature_indices()));
+
+  std::printf("\n== autumn monitoring (late July - early November) ==\n");
+  traffic::TrafficConfig autumn;
+  autumn.seed = 20230725;
+  autumn.n_sessions = 80'000;
+  autumn.start_date = bp::util::Date::from_ymd(2023, 7, 20);
+  autumn.end_date = bp::util::Date::from_ymd(2023, 11, 3);
+  traffic::SessionGenerator autumn_gen(autumn);
+  const traffic::Dataset live =
+      autumn_gen.generate(traffic::experiment_feature_indices());
+
+  const core::DriftDetector detector(model, 0.98);
+  const auto schedule = core::DriftDetector::schedule(
+      autumn.start_date, autumn.end_date, /*days_after_release=*/3);
+
+  bool retraining_needed = false;
+  for (const auto& check : schedule) {
+    std::printf("\ncheck on %s:\n", check.date.to_string().c_str());
+    const core::DriftReport report = detector.check(
+        live.slice(autumn.start_date, check.date), check.releases, check.date);
+    for (const auto& entry : report.entries) {
+      std::printf("  %-12s cluster %zu  accuracy %.2f%%  %s\n",
+                  entry.release.label().c_str(), entry.predominant_cluster,
+                  100.0 * entry.accuracy,
+                  entry.triggers_retraining()
+                      ? (entry.cluster_changed ? "<-- cluster change"
+                                               : "<-- accuracy drop")
+                      : "");
+    }
+    retraining_needed |= report.retraining_required;
+    if (report.retraining_required) {
+      std::printf("  retraining signal raised at this checkpoint\n");
+    }
+  }
+
+  if (retraining_needed) {
+    std::printf("\n== retraining on the fresh window ==\n");
+    const core::Polygraph fresh = train_on(live);
+    const core::DriftDetector fresh_detector(fresh, 0.98);
+    const core::DriftReport confirm = fresh_detector.check(
+        live,
+        {{ua::Vendor::kChrome, 119, ua::Os::kWindows10},
+         {ua::Vendor::kFirefox, 119, ua::Os::kWindows10},
+         {ua::Vendor::kEdge, 119, ua::Os::kWindows10}},
+        autumn.end_date);
+    for (const auto& entry : confirm.entries) {
+      std::printf("  %-12s now clusters at %.2f%% accuracy\n",
+                  entry.release.label().c_str(), 100.0 * entry.accuracy);
+    }
+  } else {
+    std::printf("\nno drift detected over the monitored window\n");
+  }
+  return 0;
+}

@@ -1,0 +1,87 @@
+// fraud_detection_service: the deployment workload of §6.5 in miniature.
+//
+// Trains offline, persists the model to disk, reloads it (as a serving
+// tier would), then scores a live stream of sessions one at a time,
+// maintaining the risk-factor histogram and the flag rate a risk team
+// monitors.  Demonstrates the offline/online split and model_io.
+#include <cstdio>
+#include <map>
+
+#include "core/model_io.h"
+#include "core/polygraph.h"
+#include "traffic/session_generator.h"
+#include "util/table.h"
+
+int main() {
+  using namespace bp;
+
+  // ---- offline: train and persist ----
+  traffic::TrafficConfig train_config;
+  train_config.n_sessions = 40'000;
+  traffic::SessionGenerator trainer(train_config);
+  const traffic::Dataset history =
+      trainer.generate(traffic::experiment_feature_indices());
+
+  core::Polygraph trained;
+  {
+    const ml::Matrix features =
+        history.feature_matrix(trained.config().feature_indices);
+    std::vector<ua::UserAgent> uas;
+    for (const auto& r : history.records()) uas.push_back(r.claimed);
+    const auto summary = trained.train(features, uas);
+    std::printf("offline training: %.2f%% accuracy on %zu sessions\n",
+                100.0 * summary.clustering_accuracy, summary.rows_total);
+  }
+
+  const std::string model_path = "/tmp/browser_polygraph.model";
+  if (!core::save_model(trained, model_path)) {
+    std::fprintf(stderr, "failed to persist model\n");
+    return 1;
+  }
+  std::printf("model persisted to %s\n", model_path.c_str());
+
+  // ---- online: load and serve ----
+  const auto model = core::load_model(model_path);
+  if (!model.has_value()) {
+    std::fprintf(stderr, "failed to load model\n");
+    return 1;
+  }
+
+  traffic::TrafficConfig live_config;
+  live_config.seed = 0x117E2024;
+  traffic::SessionGenerator live(live_config);
+  const auto& indices = model->config().feature_indices;
+
+  std::map<int, std::size_t> risk_histogram;
+  std::size_t flagged = 0;
+  std::size_t flagged_ato = 0;
+  constexpr std::size_t kStream = 50'000;
+  for (std::size_t i = 0; i < kStream; ++i) {
+    const traffic::SessionRecord session = live.next_session(indices);
+    std::vector<double> features(session.features.begin(),
+                                 session.features.end());
+    const core::Detection detection =
+        model->score(features, session.claimed);
+    if (!detection.flagged) continue;
+    ++flagged;
+    flagged_ato += session.ato ? 1 : 0;
+    ++risk_histogram[detection.risk_factor];
+  }
+
+  std::printf("\nserved %zu sessions, flagged %zu (%.2f%%), of which %zu "
+              "became ATO within 72h\n",
+              kStream, flagged, 100.0 * flagged / kStream, flagged_ato);
+
+  util::TextTable table({"risk_factor", "sessions"});
+  for (const auto& [risk, count] : risk_histogram) {
+    table.add_row({std::to_string(risk), std::to_string(count)});
+  }
+  std::printf("\nrisk-factor histogram of flagged sessions:\n%s",
+              table.render().c_str());
+  std::printf(
+      "\nA risk-based-authentication system consumes these factors as one\n"
+      "signal among many: risk 0-1 near-misses are soft signals, vendor\n"
+      "mismatches (risk %d) warrant step-up authentication.\n",
+      model->config().vendor_distance);
+  return 0;
+}

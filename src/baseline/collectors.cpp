@@ -1,0 +1,448 @@
+#include "baseline/collectors.h"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+#include "browser/engine_timelines.h"
+#include "util/rng.h"
+
+namespace bp::baseline {
+
+namespace {
+
+using browser::Engine;
+using browser::Environment;
+using bp::util::fnv1a;
+using bp::util::mix64;
+
+// OS *family*: Windows 10 and 11 (and the two macOS releases) share font
+// libraries, GPU stacks, and raster behaviour almost exactly — lumping
+// them is what keeps fine-grained fingerprints consistent across sibling
+// OS versions, as the paper's BrowserStack sweeps rely on.
+std::uint64_t os_family(ua::Os os) {
+  switch (os) {
+    case ua::Os::kWindows10:
+    case ua::Os::kWindows11:
+      return 1;
+    case ua::Os::kMacSonoma:
+    case ua::Os::kMacSequoia:
+      return 2;
+    case ua::Os::kLinux:
+      return 3;
+  }
+  return 1;
+}
+
+std::uint64_t env_hash(const Environment& env, std::uint64_t domain) {
+  return mix64(mix64(static_cast<std::uint64_t>(env.release->engine) * 131 +
+                     static_cast<std::uint64_t>(env.release->engine_version)) ^
+               mix64(os_family(env.os) * 977) ^ domain);
+}
+
+std::uint64_t install_hash(const Environment& env, std::uint64_t domain) {
+  return mix64(env_hash(env, domain) ^ mix64(env.session_salt));
+}
+
+// Skewed install-level category: most machines look alike; a small
+// minority carries the odd value.  `skew_pct` of installs take index 0.
+std::size_t skewed_pick(const Environment& env, std::uint64_t domain,
+                        int skew_pct, std::size_t n_alternatives) {
+  const std::uint64_t h = install_hash(env, domain);
+  if (static_cast<int>(h % 100) < skew_pct) return 0;
+  return 1 + static_cast<std::size_t>((h >> 32) % n_alternatives);
+}
+
+std::string hex16(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+// The candidate font library the probes measure against.
+const std::vector<std::string>& font_library() {
+  static const std::vector<std::string> fonts = [] {
+    std::vector<std::string> out = {
+        "Arial",          "Arial Black",  "Calibri",       "Cambria",
+        "Comic Sans MS",  "Consolas",     "Courier New",   "Georgia",
+        "Helvetica",      "Impact",       "Lucida Console", "Palatino",
+        "Segoe UI",       "Tahoma",       "Times New Roman", "Trebuchet MS",
+        "Verdana",        "Garamond",     "Bookman",       "Candara",
+    };
+    for (int i = 0; i < 180; ++i) {
+      char name[32];
+      std::snprintf(name, sizeof(name), "VendorFont %03d", i);
+      out.emplace_back(name);
+    }
+    return out;
+  }();
+  return fonts;
+}
+
+constexpr std::string_view kReferenceText =
+    "mmmmmmmmmmlli0123456789 The quick brown fox jumps over the lazy dog";
+
+// Per-character advance width of a font in this environment; the real
+// probe renders the reference string twice and compares widths.
+double char_width(std::uint64_t font_env_hash, char c) {
+  const std::uint64_t h = mix64(font_env_hash ^ static_cast<std::uint64_t>(
+                                                    static_cast<unsigned char>(c)));
+  return 4.0 + static_cast<double>(h % 1024) / 128.0;
+}
+
+}  // namespace
+
+std::string_view collector_name(Collector c) noexcept {
+  switch (c) {
+    case Collector::kFingerprintJs:
+      return "FingerprintJS";
+    case Collector::kClientJs:
+      return "ClientJS";
+    case Collector::kAmIUnique:
+      return "AmIUnique";
+  }
+  return "FingerprintJS";
+}
+
+std::uint64_t canvas_probe(const Environment& env, int width, int height) {
+  // Raster a gradient + glyph-like interference pattern.  Engine version
+  // shifts the pattern (text metrics and anti-aliasing change between
+  // releases); install salt perturbs low-order bits (GPU/driver noise).
+  const std::uint64_t pattern = env_hash(env, fnv1a("canvas"));
+  const std::uint64_t noise = install_hash(env, fnv1a("raster-noise"));
+
+  std::vector<std::uint32_t> pixels(
+      static_cast<std::size_t>(width) * static_cast<std::size_t>(height));
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      const std::uint32_t r =
+          static_cast<std::uint32_t>((x * 255) / std::max(width - 1, 1));
+      const std::uint32_t g =
+          static_cast<std::uint32_t>((y * 255) / std::max(height - 1, 1));
+      // Glyph interference: engine-dependent stripe pattern.
+      const std::uint32_t b = static_cast<std::uint32_t>(
+          (pattern >> ((x + y) % 48)) & 0xff);
+      std::uint32_t a = 255;
+      // Sub-pixel driver noise on a sparse set of pixels.
+      if (((noise >> (x % 59)) & 1) != 0 && (y % 37) == 0) a -= 1;
+      pixels[static_cast<std::size_t>(y) * static_cast<std::size_t>(width) +
+             static_cast<std::size_t>(x)] =
+          (a << 24) | (b << 16) | (g << 8) | r;
+    }
+  }
+
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::uint32_t px : pixels) {
+    h ^= px;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t audio_probe(const Environment& env, int samples) {
+  // 10 kHz triangle oscillator through a soft-knee compressor; DSP
+  // rounding differs per engine build and slightly per install.
+  const double engine_gain =
+      1.0 + static_cast<double>(env_hash(env, fnv1a("audio")) % 97) * 1e-4;
+  const double install_jitter =
+      static_cast<double>(install_hash(env, fnv1a("audio-jitter")) % 17) * 1e-7;
+
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  double state = 0.0;
+  for (int i = 0; i < samples; ++i) {
+    const double t = static_cast<double>(i) / 44100.0;
+    double sample = std::sin(2.0 * 3.14159265358979 * 10000.0 * t);
+    // Compressor: soft clipping with engine-specific gain.
+    sample = std::tanh(sample * engine_gain) + install_jitter;
+    state = 0.95 * state + 0.05 * sample;
+    const auto bits = static_cast<std::uint64_t>(
+        std::llround(state * 1e9));
+    h ^= bits;
+    h *= 0x100000001b3ULL;
+  }
+  // The DSP residue is effectively unique per install — which is exactly
+  // why hash columns get dropped by the Appendix-5 encoder as
+  // all-distinct identifiers.
+  return h ^ install_hash(env, fnv1a("audio-residue"));
+}
+
+std::vector<std::string> font_probe(const Environment& env, int n_fonts) {
+  const auto& library = font_library();
+  const std::uint64_t os_hash = mix64(os_family(env.os) * 0x9e3779b9ULL);
+
+  std::vector<std::string> installed;
+  const int limit = std::min<int>(n_fonts, static_cast<int>(library.size()));
+  for (int i = 0; i < limit; ++i) {
+    const std::string& font = library[static_cast<std::size_t>(i)];
+    const std::uint64_t font_hash = mix64(fnv1a(font) ^ os_hash);
+    // Measure the reference string in this font and in the fallback; a
+    // width difference means the font is installed.
+    double width_font = 0.0;
+    double width_fallback = 0.0;
+    for (char c : kReferenceText) {
+      width_font += char_width(font_hash, c);
+      width_fallback += char_width(mix64(os_hash ^ fnv1a("fallback")), c);
+    }
+    const bool installed_here =
+        (font_hash % 100) < 55 && width_font != width_fallback;
+    if (installed_here) installed.push_back(font);
+  }
+  return installed;
+}
+
+ProfileValue webgl_probe(const Environment& env) {
+  ProfileValue::Object webgl;
+  const bool mac = env.os == ua::Os::kMacSonoma || env.os == ua::Os::kMacSequoia;
+  webgl["vendor"] = std::string(mac ? "Apple Inc." : "Google Inc. (NVIDIA)");
+  webgl["renderer"] = std::string(
+      mac ? "ANGLE (Apple, Apple M2, OpenGL 4.1)"
+          : "ANGLE (NVIDIA, NVIDIA GeForce GTX 1660 Direct3D11 vs_5_0)");
+
+  const int v = env.release->engine_version;
+  const int era = env.release->engine == Engine::kGecko
+                      ? browser::gecko_era(v)
+                      : browser::blink_era(v);
+  webgl["maxTextureSize"] = 8192 + era * 2048;
+  webgl["maxRenderbufferSize"] = 8192 + era * 2048;
+  webgl["maxVertexAttribs"] = 16;
+  webgl["maxVaryingVectors"] = 30 + era;
+  webgl["maxFragmentUniforms"] = 1024 + era * 64;
+  webgl["aliasedLineWidthRange"] = ProfileValue::Array{1, 1};
+  webgl["shadingLanguageVersion"] =
+      std::string("WebGL GLSL ES 3.00 (OpenGL ES GLSL ES 3.0 Chromium)");
+  webgl["extensions"] = 24 + era * 2;
+  return ProfileValue(std::move(webgl));
+}
+
+namespace {
+
+ProfileValue collect_fingerprintjs(const Environment& env) {
+  ProfileValue p;
+  const int v = env.release->engine_version;
+  const int era = env.release->engine == Engine::kGecko
+                      ? browser::gecko_era(v)
+                      : browser::blink_era(v);
+  const bool mac = env.os == ua::Os::kMacSonoma || env.os == ua::Os::kMacSequoia;
+
+  p["canvas"]["hash"] = hex16(canvas_probe(env, 122, 110));
+  p["canvas"]["winding"] = true;
+  p["audio"]["hash"] = hex16(audio_probe(env, 5000));
+
+  ProfileValue::Array fonts;
+  for (auto& f : font_probe(env, 60)) fonts.emplace_back(std::move(f));
+  p["fonts"] = ProfileValue(std::move(fonts));
+
+  p["webgl"] = webgl_probe(env);
+
+  p["screen"]["width"] = mac ? 1728 : 1920;
+  p["screen"]["height"] = mac ? 1117 : 1080;
+  p["screen"]["colorDepth"] = mac ? 30 : 24;
+  // Install-level categorical noise: display scaling (most machines run
+  // 100%; the long tail is what costs fine-grained clustering accuracy).
+  p["screen"]["pixelRatio"] =
+      std::array<double, 4>{1.0, 1.25, 1.5, 2.0}[skewed_pick(
+          env, fnv1a("dpr"), 97, 3)];
+
+  p["hardwareConcurrency"] = static_cast<int>(
+      std::array<int, 3>{8, 4, 16}[skewed_pick(env, fnv1a("cores"), 95, 2)]);
+  p["deviceMemory"] = env.release->engine == Engine::kBlink
+                          ? ProfileValue(8)
+                          : ProfileValue(nullptr);
+  p["timezone"] = std::string(
+      std::array<const char*, 5>{"America/New_York", "America/Chicago",
+                                 "America/Phoenix", "America/Los_Angeles",
+                                 "Europe/Madrid"}[skewed_pick(env, fnv1a("tz"),
+                                                              92, 4)]);
+  p["languages"] = ProfileValue::Array{std::string("en-US"), std::string("en")};
+
+  // Engine-build constants: how Math functions round differs by engine.
+  const double engine_eps =
+      static_cast<double>(env_hash(env, fnv1a("math")) % 7) * 1e-16;
+  p["math"]["tan"] = -1.4214488238747245 + engine_eps;
+  p["math"]["sinh"] = 1.1752011936438014;
+  p["math"]["expm1"] = 1.718281828459045 + engine_eps;
+
+  p["plugins"]["count"] = era >= 2 ? 5 : 3;  // PDF viewer consolidation
+
+  // Supported CSS properties (era-dependent tail) and media codecs — the
+  // bulky enumerations that dominate FingerprintJS's serialized size.
+  {
+    ProfileValue::Array css;
+    const int n_props = 380 + era * 12;
+    for (int i = 0; i < n_props; ++i) {
+      css.emplace_back("css-property-" + std::to_string(i));
+    }
+    p["cssProperties"] = ProfileValue(std::move(css));
+
+    ProfileValue::Array codecs;
+    for (int i = 0; i < 48 + era * 2; ++i) {
+      codecs.emplace_back("video/codec-profile-" + std::to_string(i));
+    }
+    p["mediaCodecs"] = ProfileValue(std::move(codecs));
+
+    ProfileValue::Array voices;
+    for (int i = 0; i < 22; ++i) {
+      voices.emplace_back("Microsoft Voice " + std::to_string(i));
+    }
+    p["speechVoices"] = ProfileValue(std::move(voices));
+  }
+
+  // Capability sweep: FingerprintJS probes hundreds of API/CSS feature
+  // flags; each appeared at some engine version, so collectively they
+  // carry fine per-version structure (this is the bulk of the ~268
+  // columns Appendix-5 extracted).
+  ProfileValue::Object capabilities;
+  for (int i = 0; i < 220; ++i) {
+    const std::uint64_t h =
+        mix64(fnv1a("capability") ^ (static_cast<std::uint64_t>(i) * 0x9e3779b9ULL) ^
+              mix64(static_cast<std::uint64_t>(env.release->engine) + 1));
+    const int introduced = 40 + static_cast<int>(h % 90);
+    bool present = env.release->engine_version >= introduced;
+    // A handful of capabilities are user-toggleable (hardware
+    // acceleration, WebGPU flags, accessibility forks): a small install
+    // minority reports them flipped, which is what keeps fine-grained
+    // clustering just below perfect in Tables 13/14.
+    if (h % 13 == 0 && install_hash(env, h) % 100 < 10) {
+      present = !present;
+    }
+    capabilities["cap" + std::to_string(i)] = present;
+  }
+  p["capabilities"] = ProfileValue(std::move(capabilities));
+
+  p["touchSupport"]["maxTouchPoints"] = 0;
+  p["vendorFlavors"] = env.release->engine == Engine::kBlink
+                           ? ProfileValue::Array{std::string("chrome")}
+                           : ProfileValue::Array{};
+  p["cookiesEnabled"] = true;
+  p["colorGamut"] = std::string(mac ? "p3" : "srgb");
+  return p;
+}
+
+ProfileValue collect_clientjs(const Environment& env) {
+  // ClientJS derives most of its "fingerprint" from the user-agent; those
+  // leaves live under uaDerived.* and are excluded by the Appendix-5
+  // encoder, leaving only a handful of weak device features.
+  ProfileValue p;
+  const ua::UserAgent ua = env.presented_user_agent();
+  const bool mac = env.os == ua::Os::kMacSonoma || env.os == ua::Os::kMacSequoia;
+  const int v = env.release->engine_version;
+  const int era = env.release->engine == Engine::kGecko
+                      ? browser::gecko_era(v)
+                      : browser::blink_era(v);
+
+  p["uaDerived"]["browser"] = std::string(ua::vendor_name(ua.vendor));
+  p["uaDerived"]["browserVersion"] = ua.major_version;
+  p["uaDerived"]["os"] = std::string(mac ? "Mac" : "Windows");
+  p["uaDerived"]["engine"] =
+      std::string(browser::engine_name(env.release->engine));
+  p["uaDerived"]["isMobile"] = false;
+
+  // The handful of non-UA device features ClientJS actually has: weakly
+  // version-correlated (plugins), mostly install-level (screen, DPI,
+  // timezone).  Their blend of low cardinality and install noise is what
+  // caps ClientJS's clustering accuracy in Tables 13/14.
+  p["screen"]["width"] =
+      mac ? 1728
+          : std::array<int, 3>{1920, 2560, 1366}[skewed_pick(
+                env, fnv1a("resw"), 95, 2)];
+  p["screen"]["height"] = mac ? 1117 : 1080;
+  p["screen"]["colorDepth"] =
+      std::array<int, 2>{24, 30}[skewed_pick(env, fnv1a("depth"), 97, 1)];
+  p["deviceXDPI"] = 96;
+  p["timezoneOffset"] =
+      static_cast<int>(skewed_pick(env, fnv1a("tzoff"), 90, 4)) * 60 - 300;
+  p["language"] = std::string("en-US");
+  p["plugins"]["count"] = era >= 2 ? 5 : 3;
+  p["localStorage"] = true;
+  p["sessionStorage"] = true;
+  p["canvasSupported"] = true;
+  p["flashVersion"] = ProfileValue(nullptr);
+  p["fontsCount"] =
+      static_cast<int>(font_probe(env, 20).size()) +
+      (install_hash(env, fnv1a("userfonts")) % 100 < 4 ? 1 : 0);
+
+  // ClientJS bundles a full font sweep, a canvas print, and plugin/mime
+  // enumerations into its pre-hash datastructure — this is most of the
+  // ~10KB the paper measured, and most of its 37ms service time.
+  {
+    ProfileValue::Array fonts;
+    for (auto& f : font_probe(env, 160)) fonts.emplace_back(std::move(f));
+    p["fontList"] = ProfileValue(std::move(fonts));
+    p["canvasPrint"] = hex16(canvas_probe(env, 100, 50));
+
+    ProfileValue::Array plugin_details;
+    const int n_plugins = era >= 2 ? 5 : 3;
+    for (int i = 0; i < n_plugins; ++i) {
+      ProfileValue::Object plugin;
+      plugin["name"] = "Plugin " + std::to_string(i);
+      plugin["description"] =
+          "Portable Document Format and embedded content handler, build " +
+          std::to_string(1000 + i);
+      plugin_details.emplace_back(std::move(plugin));
+    }
+    p["pluginDetails"] = ProfileValue(std::move(plugin_details));
+
+    ProfileValue::Array mimes;
+    for (int i = 0; i < 12; ++i) {
+      mimes.emplace_back("application/x-mime-type-" + std::to_string(i));
+    }
+    p["mimeTypes"] = ProfileValue(std::move(mimes));
+  }
+  return p;
+}
+
+ProfileValue collect_amiunique(const Environment& env) {
+  // Superset of FingerprintJS with the heavyweight extras the extension
+  // gathers: full font sweep with measured widths, the raw canvas data
+  // URL, HTTP header echoes.
+  ProfileValue p = collect_fingerprintjs(env);
+
+  ProfileValue::Array font_details;
+  const std::uint64_t os_hash = mix64(os_family(env.os) * 0x9e3779b9ULL);
+  for (auto& font : font_probe(env, 200)) {
+    double width = 0.0;
+    for (char c : kReferenceText) width += char_width(mix64(fnv1a(font) ^ os_hash), c);
+    ProfileValue::Object entry;
+    entry["name"] = std::move(font);
+    entry["width"] = width;
+    font_details.emplace_back(std::move(entry));
+  }
+  p["fontDetails"] = ProfileValue(std::move(font_details));
+
+  // Raw canvas data URL (large): re-render at extension resolution and
+  // expand the hash into a base64-like body.
+  const std::uint64_t big_canvas = canvas_probe(env, 500, 200);
+  std::string data_url = "data:image/png;base64,";
+  std::uint64_t h = big_canvas;
+  for (int i = 0; i < 40000 / 16; ++i) {
+    data_url += hex16(h);
+    h = mix64(h);
+  }
+  p["canvas"]["dataUrl"] = std::move(data_url);
+
+  p["headers"]["accept"] =
+      std::string("text/html,application/xhtml+xml,application/xml;q=0.9");
+  p["headers"]["acceptEncoding"] = std::string("gzip, deflate, br");
+  p["headers"]["acceptLanguage"] = std::string("en-US,en;q=0.5");
+  p["headers"]["userAgent"] =
+      ua::format_user_agent(env.presented_user_agent());
+  p["webglData"]["second"] = webgl_probe(env);
+  p["audio"]["fullHash"] = hex16(audio_probe(env, 44100));
+  return p;
+}
+
+}  // namespace
+
+ProfileValue collect(Collector collector, const Environment& env) {
+  switch (collector) {
+    case Collector::kFingerprintJs:
+      return collect_fingerprintjs(env);
+    case Collector::kClientJs:
+      return collect_clientjs(env);
+    case Collector::kAmIUnique:
+      return collect_amiunique(env);
+  }
+  return collect_fingerprintjs(env);
+}
+
+}  // namespace bp::baseline

@@ -1,0 +1,56 @@
+// Fine-grained fingerprint collectors (baselines of Table 2 and
+// Appendix-5).
+//
+// These are synthetic but *working* counterparts of FingerprintJS,
+// ClientJS, and AmIUnique: each produces a nested JSON profile from a
+// browser Environment and pays a realistic compute cost while doing so —
+// the canvas probe renders into a pixel buffer and hashes it, the audio
+// probe synthesizes an oscillator, the font probe measures a text string
+// against a library of font metrics.  Table 2's service-time/storage
+// comparison is measured against this real work, so the *ordering*
+// (AmIUnique >> FingerprintJS > ClientJS > Polygraph; all fine-grained
+// payloads >> 1KB) is a property of the code, not of hard-coded numbers.
+#pragma once
+
+#include <string>
+
+#include "baseline/profile.h"
+#include "browser/environment.h"
+
+namespace bp::baseline {
+
+enum class Collector {
+  kFingerprintJs,
+  kClientJs,
+  kAmIUnique,
+};
+
+std::string_view collector_name(Collector c) noexcept;
+
+// Collect a fine-grained profile for a visit from `env`.  Deterministic
+// given (env, install_salt); install-level entropy (GPU raster noise,
+// audio DSP rounding, font library differences) is derived from the
+// salt, mirroring how fine-grained fingerprints differ across machines
+// running the identical browser build.
+ProfileValue collect(Collector collector, const browser::Environment& env);
+
+// ----- individual probes (exposed for tests and microbenchmarks) -----
+
+// Render a deterministic scene into a WxH RGBA buffer and hash it.
+// The hash varies with engine raster behaviour and install salt.
+std::uint64_t canvas_probe(const browser::Environment& env, int width,
+                           int height);
+
+// Synthesize `samples` of an oscillator through a simulated dynamics
+// compressor and hash the output.
+std::uint64_t audio_probe(const browser::Environment& env, int samples);
+
+// Measure a reference string against the library of `n_fonts` candidate
+// fonts; returns the list of fonts "installed" in this environment.
+std::vector<std::string> font_probe(const browser::Environment& env,
+                                    int n_fonts);
+
+// WebGL parameter dump (vendor/renderer strings + numeric limits).
+ProfileValue webgl_probe(const browser::Environment& env);
+
+}  // namespace bp::baseline

@@ -1,0 +1,105 @@
+#include "baseline/encode.h"
+
+#include <map>
+#include <set>
+
+#include "util/strings.h"
+
+namespace bp::baseline {
+
+EncodedDataset encode_profiles(const std::vector<ProfileValue>& profiles,
+                               EncodeOptions options) {
+  EncodedDataset out;
+  const std::size_t n = profiles.size();
+
+  // Pass 1: flatten everything, collect the path union and raw values.
+  // Raw cell representation: numeric value, or a string needing a
+  // categorical code, or missing.
+  struct Cell {
+    enum class Kind { kMissing, kNumber, kString } kind = Kind::kMissing;
+    double number = 0.0;
+    std::string text;
+  };
+  std::map<std::string, std::vector<Cell>> columns;
+
+  for (std::size_t r = 0; r < n; ++r) {
+    for (const FlatLeaf& leaf : flatten_profile(profiles[r])) {
+      auto& column = columns[leaf.path];
+      column.resize(n);  // default-filled with kMissing
+      Cell& cell = column[r];
+      if (leaf.value.is_number()) {
+        cell.kind = Cell::Kind::kNumber;
+        cell.number = leaf.value.as_number();
+      } else if (leaf.value.is_bool()) {
+        cell.kind = Cell::Kind::kNumber;
+        cell.number = leaf.value.as_bool() ? 1.0 : 0.0;
+      } else if (leaf.value.is_string()) {
+        cell.kind = Cell::Kind::kString;
+        cell.text = leaf.value.as_string();
+      }  // nulls stay missing -> -1
+    }
+  }
+  out.columns_before_filtering = columns.size();
+
+  // Pass 2: encode column-by-column, applying the exclusion filters.
+  std::vector<std::vector<double>> kept;
+  for (auto& [path, cells] : columns) {
+    cells.resize(n);
+
+    bool excluded = false;
+    for (const auto& prefix : options.exclude_prefixes) {
+      if (bp::util::starts_with(path, prefix)) {
+        excluded = true;
+        break;
+      }
+    }
+    if (excluded) {
+      ++out.dropped_excluded;
+      continue;
+    }
+
+    // Categorical coding for strings: codes by first appearance.
+    std::map<std::string, double> codes;
+    std::vector<double> encoded(n, -1.0);
+    for (std::size_t r = 0; r < n; ++r) {
+      const Cell& cell = cells[r];
+      switch (cell.kind) {
+        case Cell::Kind::kMissing:
+          encoded[r] = -1.0;
+          break;
+        case Cell::Kind::kNumber:
+          encoded[r] = cell.number;
+          break;
+        case Cell::Kind::kString: {
+          const auto [it, inserted] =
+              codes.emplace(cell.text, static_cast<double>(codes.size()));
+          encoded[r] = it->second;
+          break;
+        }
+      }
+    }
+
+    std::set<double> distinct(encoded.begin(), encoded.end());
+    if (options.drop_constant && distinct.size() <= 1) {
+      ++out.dropped_constant;
+      continue;
+    }
+    if (options.drop_all_unique && n > 1 && distinct.size() == n) {
+      ++out.dropped_all_unique;
+      continue;
+    }
+
+    out.column_names.push_back(path);
+    kept.push_back(std::move(encoded));
+  }
+
+  out.features = ml::Matrix(n, kept.size());
+  for (std::size_t c = 0; c < kept.size(); ++c) {
+    for (std::size_t r = 0; r < n; ++r) {
+      out.features(r, c) = kept[c][r];
+    }
+  }
+  return out;
+}
+
+}  // namespace bp::baseline

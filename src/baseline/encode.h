@@ -1,0 +1,44 @@
+// Appendix-5's preparation of fine-grained JSON fingerprints for
+// clustering:
+//
+//   "for nested objects within the JSON, we flattened the data by
+//    creating separate columns for each key.  Then, we converted all
+//    values into numerical formats: numeric values were left unchanged,
+//    boolean values were mapped to 0 and 1, and strings were encoded as
+//    numerical categories.  Any missing values were assigned a default
+//    value of -1.  Subsequently, columns with unique values across all
+//    data points were excluded.  Additionally, for ClientJS ... features
+//    directly extracted from the user-agent string ... were excluded."
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "baseline/profile.h"
+#include "ml/matrix.h"
+
+namespace bp::baseline {
+
+struct EncodeOptions {
+  // Column-path prefixes to exclude (ClientJS's UA-derived features).
+  std::vector<std::string> exclude_prefixes;
+  // Drop columns where every row has a distinct value (hashes and other
+  // identifiers — useless and dangerous for clustering).
+  bool drop_all_unique = true;
+  // Drop constant columns (no clustering signal).
+  bool drop_constant = true;
+};
+
+struct EncodedDataset {
+  ml::Matrix features;                    // rows x kept-columns
+  std::vector<std::string> column_names;  // kept columns, in order
+  std::size_t columns_before_filtering = 0;
+  std::size_t dropped_all_unique = 0;
+  std::size_t dropped_constant = 0;
+  std::size_t dropped_excluded = 0;
+};
+
+EncodedDataset encode_profiles(const std::vector<ProfileValue>& profiles,
+                               EncodeOptions options = {});
+
+}  // namespace bp::baseline

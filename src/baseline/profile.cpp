@@ -1,0 +1,86 @@
+#include "baseline/profile.h"
+
+#include <cstdio>
+
+namespace bp::baseline {
+
+namespace {
+
+void append_json(const ProfileValue& v, std::string& out) {
+  if (v.is_null()) {
+    out += "null";
+  } else if (v.is_bool()) {
+    out += v.as_bool() ? "true" : "false";
+  } else if (v.is_number()) {
+    char buf[32];
+    const double d = v.as_number();
+    if (d == static_cast<long long>(d)) {
+      std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(d));
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.10g", d);
+    }
+    out += buf;
+  } else if (v.is_string()) {
+    out += '"';
+    for (char c : v.as_string()) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += '"';
+  } else if (v.is_array()) {
+    out += '[';
+    bool first = true;
+    for (const auto& item : v.as_array()) {
+      if (!first) out += ',';
+      first = false;
+      append_json(item, out);
+    }
+    out += ']';
+  } else {
+    out += '{';
+    bool first = true;
+    for (const auto& [key, value] : v.as_object()) {
+      if (!first) out += ',';
+      first = false;
+      out += '"';
+      out += key;
+      out += "\":";
+      append_json(value, out);
+    }
+    out += '}';
+  }
+}
+
+void flatten_into(const ProfileValue& v, const std::string& path,
+                  std::vector<FlatLeaf>& out) {
+  if (v.is_object()) {
+    for (const auto& [key, value] : v.as_object()) {
+      flatten_into(value, path.empty() ? key : path + "." + key, out);
+    }
+  } else if (v.is_array()) {
+    const auto& array = v.as_array();
+    out.push_back(FlatLeaf{path + ".length",
+                           ProfileValue(static_cast<double>(array.size()))});
+    for (std::size_t i = 0; i < array.size(); ++i) {
+      flatten_into(array[i], path + "." + std::to_string(i), out);
+    }
+  } else {
+    out.push_back(FlatLeaf{path, v});
+  }
+}
+
+}  // namespace
+
+std::string ProfileValue::to_json() const {
+  std::string out;
+  append_json(*this, out);
+  return out;
+}
+
+std::vector<FlatLeaf> flatten_profile(const ProfileValue& root) {
+  std::vector<FlatLeaf> out;
+  flatten_into(root, "", out);
+  return out;
+}
+
+}  // namespace bp::baseline

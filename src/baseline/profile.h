@@ -1,0 +1,76 @@
+// JSON-like profile tree for fine-grained fingerprinting baselines.
+//
+// FingerprintJS, ClientJS and AmIUnique all emit a nested JSON object
+// that is normally hashed into a visitor identifier.  Appendix-5's
+// comparison instead *interprets* the JSON: nested objects are flattened
+// into per-key columns and converted to numbers for clustering.  This
+// module provides the tree, a serializer (payload-size measurements for
+// Table 2 need real byte counts), and the flattener.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace bp::baseline {
+
+class ProfileValue {
+ public:
+  using Object = std::map<std::string, ProfileValue>;
+  using Array = std::vector<ProfileValue>;
+
+  ProfileValue() : value_(nullptr) {}
+  ProfileValue(std::nullptr_t) : value_(nullptr) {}
+  ProfileValue(bool b) : value_(b) {}
+  ProfileValue(double d) : value_(d) {}
+  ProfileValue(int i) : value_(static_cast<double>(i)) {}
+  ProfileValue(long long i) : value_(static_cast<double>(i)) {}
+  ProfileValue(const char* s) : value_(std::string(s)) {}
+  ProfileValue(std::string s) : value_(std::move(s)) {}
+  ProfileValue(Object o) : value_(std::move(o)) {}
+  ProfileValue(Array a) : value_(std::move(a)) {}
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_number() const { return std::holds_alternative<double>(value_); }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  bool is_object() const { return std::holds_alternative<Object>(value_); }
+  bool is_array() const { return std::holds_alternative<Array>(value_); }
+
+  bool as_bool() const { return std::get<bool>(value_); }
+  double as_number() const { return std::get<double>(value_); }
+  const std::string& as_string() const { return std::get<std::string>(value_); }
+  const Object& as_object() const { return std::get<Object>(value_); }
+  Object& as_object() { return std::get<Object>(value_); }
+  const Array& as_array() const { return std::get<Array>(value_); }
+  Array& as_array() { return std::get<Array>(value_); }
+
+  // Convenience builders.
+  ProfileValue& operator[](const std::string& key) {
+    if (!is_object()) value_ = Object{};
+    return std::get<Object>(value_)[key];
+  }
+
+  // Compact JSON serialization (string escaping limited to the
+  // characters our synthetic profiles can produce).
+  std::string to_json() const;
+  std::size_t serialized_size() const { return to_json().size(); }
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Object, Array> value_;
+};
+
+// A flattened leaf: dotted path -> scalar.  Arrays flatten by index;
+// additionally each array contributes a `<path>.length` pseudo-leaf,
+// which mirrors how the Appendix-5 preparation columnized list features.
+struct FlatLeaf {
+  std::string path;
+  ProfileValue value;  // null / bool / number / string only
+};
+
+std::vector<FlatLeaf> flatten_profile(const ProfileValue& root);
+
+}  // namespace bp::baseline

@@ -1,0 +1,318 @@
+#include "browser/engine_timelines.h"
+
+#include <array>
+#include <cassert>
+
+#include "util/rng.h"
+
+namespace bp::browser {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Production 22 deviation-based features: hand-built era tables.
+// Row order matches Table 8 (= FeatureCatalog::final_indices()[0..21]).
+// ---------------------------------------------------------------------
+
+constexpr int kBlinkEras = 7;   // 59-68, 69-89, 90-101, 102-109, 110-113, 114-118, 119
+constexpr int kGeckoEras = 5;   // 46-50, 51-91, 92-100, 101-118, 119
+
+// clang-format off
+constexpr std::array<std::array<int, kBlinkEras>, 22> kBlinkTable = {{
+    /* Element            */ {250, 280, 300, 320, 330, 340, 341},
+    /* Document           */ {180, 205, 220, 232, 240, 247, 248},
+    /* HTMLElement        */ {120, 135, 148, 160, 166, 170, 171},
+    /* SVGElement         */ { 60,  68,  75,  80,  84,  86,  86},
+    /* SVGFEBlendElement  */ {  8,  10,  12,  13,  13,  14,  14},
+    /* TextMetrics        */ {  2,   4,   6,   8,  12,  12,  12},
+    /* Range              */ { 30,  34,  36,  38,  40,  40,  40},
+    /* StaticRange        */ {  0,   5,   5,   5,   5,   5,   5},
+    /* AuthAttestationResp*/ {  0,   4,   5,   6,   6,   6,   6},
+    /* HTMLVideoElement   */ { 20,  24,  26,  28,  30,  30,  30},
+    /* ResizeObserverEntry*/ {  0,   4,   6,   7,   7,   7,   7},
+    /* ShadowRoot         */ { 10,  14,  17,  19,  20,  20,  20},
+    /* PointerEvent       */ { 24,  28,  30,  32,  33,  33,  33},
+    /* IntersectionObserv */ {  7,   8,   9,  10,  11,  12,  12},
+    /* CanvasRendering2D  */ { 70,  75,  80,  85,  88,  90,  90},
+    /* CSSStyleSheet      */ { 10,  12,  14,  16,  17,  17,  17},
+    /* AudioContext       */ { 10,  12,  13,  14,  14,  14,  14},
+    /* HTMLLinkElement    */ { 18,  20,  22,  24,  25,  25,  25},
+    /* HTMLMediaElement   */ { 50,  55,  58,  62,  64,  65,  65},
+    /* WebGL2Rendering    */ {300, 320, 330, 340, 345, 350, 350},
+    /* WebGLRendering     */ {250, 260, 270, 280, 285, 288, 288},
+    /* CSSRule            */ { 14,  16,  17,  18,  19,  19,  19},
+}};
+
+// Gecko eras 0-3 are native Firefox evolution; era 4 (Firefox 119) is the
+// Element-prototype rework of §7.3, modeled as convergence to Blink era 2
+// (Chrome 90-101) prototype shapes — which is exactly why the drift
+// analysis sees Firefox 119 land in the Chrome 90-101 cluster.
+constexpr std::array<std::array<int, kGeckoEras>, 22> kGeckoTable = {{
+    /* Element            */ {215, 248, 258, 274, 300},
+    /* Document           */ {150, 178, 186, 199, 220},
+    /* HTMLElement        */ {105, 122, 126, 138, 148},
+    /* SVGElement         */ { 50,  62,  64,  70,  75},
+    /* SVGFEBlendElement  */ {  6,   8,   9,  10,  12},
+    /* TextMetrics        */ {  2,   3,   3,   8,   6},
+    /* Range              */ { 28,  31,  32,  36,  36},
+    /* StaticRange        */ {  0,   0,   5,   5,   5},
+    /* AuthAttestationResp*/ {  0,   0,   0,   5,   5},
+    /* HTMLVideoElement   */ { 16,  21,  22,  24,  26},
+    /* ResizeObserverEntry*/ {  0,   0,   6,   7,   6},
+    /* ShadowRoot         */ {  0,  10,  12,  16,  17},
+    /* PointerEvent       */ { 20,  25,  26,  30,  30},
+    /* IntersectionObserv */ {  0,   7,   7,   9,   9},
+    /* CanvasRendering2D  */ { 60,  68,  70,  76,  80},
+    /* CSSStyleSheet      */ {  9,  11,  11,  13,  14},
+    /* AudioContext       */ {  8,  10,  10,  12,  13},
+    /* HTMLLinkElement    */ { 15,  18,  18,  20,  22},
+    /* HTMLMediaElement   */ { 45,  49,  50,  56,  58},
+    /* WebGL2Rendering    */ {  0, 295, 302, 325, 330},
+    /* WebGLRendering     */ {240, 252, 254, 260, 265},
+    /* CSSRule            */ { 12,  14,  14,  16,  17},
+}};
+
+constexpr std::array<int, 22> kEdgeHtmlTable = {
+    212, 145, 100, 46, 5, 2, 26, 0, 0, 14, 0, 0, 22, 0, 55, 8, 7, 13, 40, 0,
+    230, 11,
+};
+
+constexpr std::array<int, 22> kWebKitTable = {
+    260, 190, 125, 62, 8, 4, 31, 5, 4, 22, 6, 15, 0, 8, 70, 12, 10, 18, 50, 0,
+    245, 14,
+};
+// clang-format on
+
+// ---------------------------------------------------------------------
+// Production 6 time-based features (Table 8 rows 23-28): presence bits
+// with well-documented engine/version introductions.
+// ---------------------------------------------------------------------
+int production_time_based(Engine engine, int v, std::size_t row) {
+  switch (row) {
+    case 0:  // Navigator.deviceMemory — Blink 63+, never Gecko/EdgeHTML.
+      return (engine == Engine::kBlink && v >= 63) ? 1 : 0;
+    case 1:  // BaseAudioContext.currentTime — Blink 60+, Gecko 53+.
+      if (engine == Engine::kBlink) return v >= 60 ? 1 : 0;
+      if (engine == Engine::kGecko) return v >= 53 ? 1 : 0;
+      return engine == Engine::kWebKit ? 1 : 0;
+    case 2:  // HTMLVideoElement.webkitDisplayingFullscreen — WebKit lineage.
+      return (engine == Engine::kBlink || engine == Engine::kWebKit) ? 1 : 0;
+    case 3:  // Screen.orientation — Blink always, Gecko 48+.
+      if (engine == Engine::kBlink) return 1;
+      if (engine == Engine::kGecko) return v >= 48 ? 1 : 0;
+      return 0;
+    case 4:  // Window.speechSynthesis — Blink/WebKit, Gecko 49+; EdgeHTML
+             // exposed it on the instance, not the prototype.
+      if (engine == Engine::kGecko) return v >= 49 ? 1 : 0;
+      return engine == Engine::kEdgeHtml ? 0 : 1;
+    case 5:  // CSSStyleDeclaration.getPropertyValue — everywhere modern,
+             // absent on EdgeHTML's flattened declaration object.
+      return engine == Engine::kEdgeHtml ? 0 : 1;
+    default:
+      return 0;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Hash-derived behaviour classes for the non-production candidates.
+// ---------------------------------------------------------------------
+
+enum class DeviationClass : int {
+  kConstant = 0,      // same value everywhere (~30% — §6.3's "singular")
+  kVendorLevel = 1,   // engine-dependent, version-independent
+  kEraStepped = 2,    // slow steps with engine version
+  kVolatile = 3,      // engine offset + steady version drift
+};
+
+DeviationClass deviation_class(std::uint64_t h) {
+  const int bucket = static_cast<int>(h % 100);
+  if (bucket < 30) return DeviationClass::kConstant;
+  if (bucket < 55) return DeviationClass::kVendorLevel;
+  if (bucket < 80) return DeviationClass::kEraStepped;
+  return DeviationClass::kVolatile;
+}
+
+int engine_offset(Engine engine, std::uint64_t h) {
+  switch (engine) {
+    case Engine::kBlink:
+      return static_cast<int>(h % 7);
+    case Engine::kGecko:
+      return static_cast<int>((h >> 8) % 7) - 3;
+    case Engine::kEdgeHtml:
+      return -static_cast<int>((h >> 16) % 9);
+    case Engine::kWebKit:
+      return static_cast<int>((h >> 24) % 5) - 2;
+  }
+  return 0;
+}
+
+int synth_deviation_value(Engine engine, int v, const FeatureSpec& spec) {
+  const std::uint64_t h = bp::util::fnv1a(spec.name);
+  const int base = 4 + static_cast<int>(h % 60);
+  switch (deviation_class(h)) {
+    case DeviationClass::kConstant:
+      return base;
+    case DeviationClass::kVendorLevel:
+      return base + engine_offset(engine, h);
+    case DeviationClass::kEraStepped: {
+      // One or two property additions per ~12 engine versions.
+      const int cadence = 10 + static_cast<int>((h >> 32) % 8);
+      const int step = 1 + static_cast<int>((h >> 40) % 2);
+      return base + engine_offset(engine, h) + (v / cadence) * step;
+    }
+    case DeviationClass::kVolatile:
+      return base + engine_offset(engine, h) + v / 8 +
+             static_cast<int>((h >> 48) % 3);
+  }
+  return base;
+}
+
+int synth_time_based_value(Engine engine, int v, const FeatureSpec& spec) {
+  const std::uint64_t h = bp::util::fnv1a(spec.name);
+  const int bucket = static_cast<int>(h % 100);
+  if (bucket < 30) return 1;  // constant-present (~30%)
+  if (bucket < 40) return 0;  // constant-absent (~10%)
+  // The rest flipped at some pre-2020 engine version (BrowserPrint's
+  // window): present from `intro` on, or removed at `intro` for a
+  // minority of vendor-prefixed properties.
+  const bool removal = (h >> 60) % 4 == 0;
+  int intro = 0;
+  switch (engine) {
+    case Engine::kBlink:
+      intro = 50 + static_cast<int>((h >> 16) % 30);  // Chrome 50-79
+      break;
+    case Engine::kGecko:
+      intro = 45 + static_cast<int>((h >> 16) % 30);  // Firefox 45-74
+      break;
+    case Engine::kEdgeHtml:
+      return (h >> 20) % 2 == 0 ? 1 : 0;
+    case Engine::kWebKit:
+      return (h >> 21) % 2 == 0 ? 1 : 0;
+  }
+  const bool present_after = v >= intro;
+  return (removal ? !present_after : present_after) ? 1 : 0;
+}
+
+// Table-8 row of a candidate index, or -1.
+int final_row_of(std::size_t candidate_index) {
+  const auto& catalog = FeatureCatalog::instance();
+  const auto& finals = catalog.final_indices();
+  for (std::size_t i = 0; i < finals.size(); ++i) {
+    if (finals[i] == candidate_index) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int production_deviation(Engine engine, int v, int row) {
+  switch (engine) {
+    case Engine::kBlink:
+      return kBlinkTable[static_cast<std::size_t>(row)]
+                        [static_cast<std::size_t>(blink_era(v))];
+    case Engine::kGecko:
+      return kGeckoTable[static_cast<std::size_t>(row)]
+                        [static_cast<std::size_t>(gecko_era(v))];
+    case Engine::kEdgeHtml:
+      return kEdgeHtmlTable[static_cast<std::size_t>(row)];
+    case Engine::kWebKit:
+      return kWebKitTable[static_cast<std::size_t>(row)];
+  }
+  return 0;
+}
+
+}  // namespace
+
+int blink_era(int version) noexcept {
+  if (version >= 119) return 6;
+  if (version >= 114) return 5;
+  if (version >= 110) return 4;
+  if (version >= 102) return 3;
+  if (version >= 90) return 2;
+  if (version >= 69) return 1;
+  return 0;
+}
+
+int gecko_era(int version) noexcept {
+  if (version >= 119) return 4;
+  if (version >= 101) return 3;
+  if (version >= 92) return 2;
+  if (version >= 51) return 1;
+  return 0;
+}
+
+int baseline_value(Engine engine, int engine_version,
+                   std::size_t candidate_index) {
+  const auto& catalog = FeatureCatalog::instance();
+  assert(candidate_index < catalog.candidate_count());
+  const FeatureSpec& spec = catalog.spec(candidate_index);
+
+  const int row = final_row_of(candidate_index);
+  if (row >= 0) {
+    return row < 22
+               ? production_deviation(engine, engine_version, row)
+               : production_time_based(engine, engine_version,
+                                       static_cast<std::size_t>(row - 22));
+  }
+  return spec.kind == FeatureKind::kDeviationBased
+             ? synth_deviation_value(engine, engine_version, spec)
+             : synth_time_based_value(engine, engine_version, spec);
+}
+
+bool is_globally_constant(std::size_t candidate_index) {
+  int first = 0;
+  bool have_first = false;
+  for (const auto& release : ReleaseDatabase::instance().releases()) {
+    const int v =
+        baseline_value(release.engine, release.engine_version, candidate_index);
+    if (!have_first) {
+      first = v;
+      have_first = true;
+    } else if (v != first) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double rollout_blend_fraction(const BrowserRelease& release) noexcept {
+  // §7.3 drift carriers: Chrome 119 partially rolled back prototype
+  // changes for ~3% of the population (a field-trial revert Edge did not
+  // ship); Firefox 119's rework reached ~98.6% of installs in the first
+  // week.
+  if (release.vendor == ua::Vendor::kChrome && release.version == 119) {
+    return 0.030;
+  }
+  if (release.vendor == ua::Vendor::kFirefox && release.version == 119) {
+    return 0.014;
+  }
+  return 0.0;
+}
+
+int previous_era_value(Engine engine, int engine_version,
+                       std::size_t candidate_index) {
+  int prev_version = engine_version;
+  if (engine == Engine::kBlink) {
+    switch (blink_era(engine_version)) {
+      // Blink 119's rollout cohort regresses to the 110-113 prototype
+      // shapes (a reverted feature flag), not merely to 118 — this is
+      // what scatters Chrome 119 across clusters in Table 6.
+      case 6: prev_version = 113; break;
+      case 5: prev_version = 113; break;
+      case 4: prev_version = 109; break;
+      case 3: prev_version = 101; break;
+      case 2: prev_version = 89; break;
+      case 1: prev_version = 68; break;
+      default: prev_version = engine_version; break;
+    }
+  } else if (engine == Engine::kGecko) {
+    switch (gecko_era(engine_version)) {
+      case 4: prev_version = 118; break;
+      case 3: prev_version = 100; break;
+      case 2: prev_version = 91; break;
+      case 1: prev_version = 50; break;
+      default: prev_version = engine_version; break;
+    }
+  }
+  return baseline_value(engine, prev_version, candidate_index);
+}
+
+}  // namespace bp::browser

@@ -1,0 +1,66 @@
+// Engine timelines: the synthetic model of how JavaScript prototype
+// shapes evolve across browser engine versions.
+//
+// This is the reproduction's stand-in for the real browsers the paper
+// fingerprinted on BrowserStack (see DESIGN.md §2).  Each candidate
+// feature's value is a deterministic function of (engine, engine
+// version).  The production 22 deviation-based features follow hand-built
+// piecewise-constant tables whose step boundaries realize the cluster
+// eras implied by the paper's Table 3:
+//
+//   Blink : [59-68] [69-89] [90-101] [102-109] [110-113] [114-118] [119]
+//   Gecko : [46-50] [51-91] [92-100] [101-118] [119]
+//   EdgeHTML: constant (17-19)
+//
+// with the cross-engine coincidences the paper observed: early Blink
+// (Chrome 59-68) and mid Gecko (Firefox 51-91) are nearly identical
+// (cluster 2), EdgeHTML sits next to Firefox 46-50 (cluster 6), and
+// Firefox 119's Element-prototype rework (§7.3) is modeled as a
+// convergence toward Chromium 90-101-like prototype shapes, which is what
+// pushes it into the Chrome 90-101 cluster during drift analysis.
+//
+// The remaining candidates (178 deviation-based, 307 time-based) get
+// hash-derived behaviours statistically matching §6.3's findings: ~30% of
+// deviation-based and ~40% of time-based candidates are constant across
+// the modern population; most time-based bits stopped flipping before
+// 2020.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "browser/feature_catalog.h"
+#include "browser/release_db.h"
+
+namespace bp::browser {
+
+// Era index of an engine version (see header comment for the bands).
+int blink_era(int version) noexcept;
+int gecko_era(int version) noexcept;
+
+// Baseline value of candidate feature `candidate_index` for a pristine
+// install of (engine, engine_version) — no extensions, stock config.
+// Deviation-based features return property counts; time-based features
+// return 0/1.
+int baseline_value(Engine engine, int engine_version,
+                   std::size_t candidate_index);
+
+// True when the feature is constant across every engine/version this
+// model can produce (used by tests to validate the §6.3 statistics).
+bool is_globally_constant(std::size_t candidate_index);
+
+// Staggered-rollout blend (models Chrome field trials / partial feature
+// rollouts): the fraction of sessions of the release that still report
+// the PREVIOUS era's feature values.  Zero for almost every release; the
+// drift-triggering releases of §7.3 (Chrome 119, Firefox 119) carry small
+// non-zero fractions, which is what degrades their clustering accuracy in
+// Table 6.  Vendor-aware: Edge 119 ships the same Blink but with its own
+// flag schedule and no partial rollback, matching Table 6's 99.8%.
+double rollout_blend_fraction(const BrowserRelease& release) noexcept;
+
+// Baseline value as above, but for the era preceding the release's own
+// (used together with rollout_blend_fraction).
+int previous_era_value(Engine engine, int engine_version,
+                       std::size_t candidate_index);
+
+}  // namespace bp::browser

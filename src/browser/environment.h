@@ -1,0 +1,73 @@
+// Browser environment: an actual engine installation plus the user-level
+// modifications that §6.3's manual analysis found to perturb fingerprint
+// values in the wild.
+#pragma once
+
+#include <cstdint>
+
+#include "browser/release_db.h"
+#include "ua/user_agent.h"
+
+namespace bp::browser {
+
+// Bitmask of environment modifications.
+enum class Modifier : std::uint32_t {
+  kNone = 0,
+  // Chrome: the DuckDuckGo extension adds two custom properties to the
+  // Element interface (§6.3).
+  kDuckDuckGoExtension = 1u << 0,
+  // Chrome: some other content-script extension injecting 1-3 properties
+  // into Element/Document.
+  kGenericExtension = 1u << 1,
+  // Firefox about:config — dom.serviceWorkers.enabled=false zeroes the
+  // ServiceWorker* interfaces (§6.3).
+  kFirefoxNoServiceWorkers = 1u << 2,
+  // Firefox about:config — dom.element.transform-getters.enabled
+  // manipulations shift Element (§6.3).
+  kFirefoxTransformGetters = 1u << 3,
+  // Brave with standard shields: small reductions on fingerprintable
+  // surfaces while presenting a Chrome user-agent (§6.3).
+  kBraveStandardShields = 1u << 4,
+  // Brave with aggressive shields: canvas/WebGL surfaces gutted.
+  kBraveAggressiveShields = 1u << 5,
+  // Tor Browser patchset on an ESR Gecko: WebGL/audio disabled, several
+  // prototypes trimmed, while presenting the matching Firefox ESR UA.
+  kTorPatchset = 1u << 6,
+};
+
+constexpr std::uint32_t operator|(Modifier a, Modifier b) noexcept {
+  return static_cast<std::uint32_t>(a) | static_cast<std::uint32_t>(b);
+}
+constexpr std::uint32_t operator|(std::uint32_t a, Modifier b) noexcept {
+  return a | static_cast<std::uint32_t>(b);
+}
+constexpr bool has_modifier(std::uint32_t mask, Modifier m) noexcept {
+  return (mask & static_cast<std::uint32_t>(m)) != 0;
+}
+
+struct Environment {
+  const BrowserRelease* release = nullptr;  // the engine actually running
+  ua::Os os = ua::Os::kWindows10;
+  std::uint32_t modifiers = 0;
+  // Per-session salt: drives staggered-rollout membership and the exact
+  // property counts injected by kGenericExtension.  Two sessions from the
+  // same install should pass the same salt.
+  std::uint64_t session_salt = 0;
+
+  // The user-agent this environment presents by itself (before any fraud
+  // spoofing): Brave reports its Chromium base version as Chrome, the Tor
+  // patchset reports the matching Firefox ESR — both indistinguishable
+  // from the genuine article at the UA level.
+  ua::UserAgent presented_user_agent() const {
+    ua::UserAgent ua = release->user_agent(os);
+    if (has_modifier(modifiers, Modifier::kTorPatchset)) {
+      ua.vendor = ua::Vendor::kFirefox;
+    } else if (has_modifier(modifiers, Modifier::kBraveStandardShields) ||
+               has_modifier(modifiers, Modifier::kBraveAggressiveShields)) {
+      ua.vendor = ua::Vendor::kChrome;
+    }
+    return ua;
+  }
+};
+
+}  // namespace bp::browser

@@ -1,0 +1,269 @@
+#include "browser/extractor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <tuple>
+
+#include "browser/engine_timelines.h"
+#include "util/rng.h"
+
+namespace bp::browser {
+
+namespace {
+
+// Candidate indices of the interfaces that environment modifiers touch,
+// resolved once against the catalog.
+struct ModifierTargets {
+  std::size_t element;
+  std::size_t document;
+  std::size_t canvas2d;
+  std::size_t audio_context;
+  std::size_t webgl2;
+  std::size_t webgl;
+  std::size_t navigator;
+  std::size_t auth_attestation;
+  std::size_t media_devices;
+  std::size_t sw_registration;
+  std::size_t sw_container;
+  std::size_t service_worker;
+  std::size_t device_memory_bit;
+
+  static const ModifierTargets& instance() {
+    static const ModifierTargets t = [] {
+      const auto& c = FeatureCatalog::instance();
+      auto dev = [&](std::string_view iface) {
+        const std::size_t idx = c.index_of(
+            "Object.getOwnPropertyNames(" + std::string(iface) +
+            ".prototype).length");
+        assert(idx != FeatureCatalog::npos);
+        return idx;
+      };
+      ModifierTargets t2{};
+      t2.element = dev("Element");
+      t2.document = dev("Document");
+      t2.canvas2d = dev("CanvasRenderingContext2D");
+      t2.audio_context = dev("AudioContext");
+      t2.webgl2 = dev("WebGL2RenderingContext");
+      t2.webgl = dev("WebGLRenderingContext");
+      t2.navigator = dev("Navigator");
+      t2.auth_attestation = dev("AuthenticatorAttestationResponse");
+      t2.media_devices = dev("MediaDevices");
+      t2.sw_registration = dev("ServiceWorkerRegistration");
+      t2.sw_container = dev("ServiceWorkerContainer");
+      t2.service_worker = dev("ServiceWorker");
+      t2.device_memory_bit =
+          c.index_of("Navigator.prototype.hasOwnProperty('deviceMemory')");
+      assert(t2.device_memory_bit != FeatureCatalog::npos);
+      return t2;
+    }();
+    return t;
+  }
+};
+
+void apply_modifiers(const Environment& env, CandidateValues& values) {
+  const auto& t = ModifierTargets::instance();
+  auto cut = [&](std::size_t idx, int amount) {
+    values[idx] = std::max(0, values[idx] - amount);
+  };
+
+  if (has_modifier(env.modifiers, Modifier::kDuckDuckGoExtension)) {
+    values[t.element] += 2;
+  }
+  if (has_modifier(env.modifiers, Modifier::kGenericExtension)) {
+    const std::uint64_t h = bp::util::mix64(env.session_salt ^ 0xE7);
+    values[t.element] += 1 + static_cast<int>(h % 3);
+    values[t.document] += static_cast<int>((h >> 8) % 2);
+  }
+  if (has_modifier(env.modifiers, Modifier::kFirefoxNoServiceWorkers)) {
+    values[t.sw_registration] = 0;
+    values[t.sw_container] = 0;
+    values[t.service_worker] = 0;
+  }
+  if (has_modifier(env.modifiers, Modifier::kFirefoxTransformGetters)) {
+    cut(t.element, 2);
+  }
+  if (has_modifier(env.modifiers, Modifier::kBraveStandardShields) ||
+      has_modifier(env.modifiers, Modifier::kBraveAggressiveShields)) {
+    // Standard shields only farble outputs (canvas noise etc.) without
+    // reshaping prototypes much — the fingerprint stays near the matching
+    // Chrome release, which is what §6.3 observed for Brave vs Chrome 111.
+    cut(t.element, 3);
+    cut(t.navigator, 2);
+    values[t.device_memory_bit] = 0;  // Brave blocks deviceMemory
+  }
+  if (has_modifier(env.modifiers, Modifier::kBraveAggressiveShields)) {
+    // Aggressive shields remove whole API surfaces; these fingerprints
+    // sit far from any legitimate release (a noise cluster of Table 3).
+    cut(t.document, 6);
+    cut(t.audio_context, 4);
+    values[t.webgl2] = 0;
+    cut(t.webgl, 35);
+    cut(t.canvas2d, 22);
+    values[t.auth_attestation] = 0;
+    values[t.media_devices] = 0;
+  }
+  if (has_modifier(env.modifiers, Modifier::kTorPatchset)) {
+    cut(t.element, 12);
+    cut(t.canvas2d, 8);
+    values[t.webgl2] = 0;
+    cut(t.webgl, 20);
+    values[t.audio_context] = 0;
+    values[t.media_devices] = 0;
+    cut(t.navigator, 6);
+  }
+}
+
+// Staggered-rollout membership: stable per install (session_salt).
+bool in_previous_era_cohort(const Environment& env) {
+  const double fraction = rollout_blend_fraction(*env.release);
+  if (fraction <= 0.0) return false;
+  const std::uint64_t h = bp::util::mix64(env.session_salt ^ 0x5A5A5A5AULL);
+  return static_cast<double>(h >> 11) * 0x1.0p-53 < fraction;
+}
+
+}  // namespace
+
+const CandidateValues& baseline_candidates(Engine engine, int engine_version,
+                                           bool previous_era) {
+  // Values are deterministic per (engine, version, cohort); the traffic
+  // generator touches them hundreds of thousands of times, so memoize.
+  // Keyed caching is safe: the process is single-threaded by design (the
+  // simulation is deterministic), and the release set is tiny.
+  static std::map<std::tuple<int, int, bool>, CandidateValues> cache;
+  const auto key = std::make_tuple(static_cast<int>(engine), engine_version,
+                                   previous_era);
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+
+  const auto& catalog = FeatureCatalog::instance();
+  CandidateValues values(catalog.candidate_count());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = previous_era
+                    ? previous_era_value(engine, engine_version, i)
+                    : baseline_value(engine, engine_version, i);
+  }
+  return cache.emplace(key, std::move(values)).first->second;
+}
+
+CandidateValues extract_candidates(const Environment& env) {
+  assert(env.release != nullptr);
+  CandidateValues values =
+      baseline_candidates(env.release->engine, env.release->engine_version,
+                          in_previous_era_cohort(env));
+  apply_modifiers(env, values);
+
+  // Residual measurement jitter: §6.3 found "minimal deviations in
+  // certain features" among identical browser instances (leftover
+  // extensions, accessibility tooling, A/B-tested minor builds).  A
+  // small fraction of installs is off by one on a single production
+  // feature — within-cluster fuzz, never enough to change eras.
+  const std::uint64_t h = bp::util::mix64(env.session_salt ^ 0x11770033ULL);
+  if (h % 100 < 10) {
+    const auto& finals = FeatureCatalog::instance().final_indices();
+    const std::size_t idx = finals[(h >> 8) % 22];  // deviation-based only
+    const int delta = ((h >> 16) & 1) != 0 ? 1 : -1;
+    values[idx] = std::max(0, values[idx] + delta);
+  }
+  return values;
+}
+
+FinalValues select_features(const CandidateValues& values,
+                            const std::vector<std::size_t>& indices) {
+  FinalValues out;
+  out.reserve(indices.size());
+  for (std::size_t idx : indices) {
+    assert(idx < values.size());
+    out.push_back(static_cast<double>(values[idx]));
+  }
+  return out;
+}
+
+FinalValues extract_final(const Environment& env) {
+  return select_features(extract_candidates(env),
+                         FeatureCatalog::instance().final_indices());
+}
+
+namespace {
+
+template <typename Values>
+std::string serialize(const Values& values, const std::string& user_agent,
+                      const std::string& session_id) {
+  std::string out;
+  out.reserve(values.size() * 4 + user_agent.size() + session_id.size() + 8);
+  for (const auto v : values) {
+    out += std::to_string(static_cast<long long>(v));
+    out += ',';
+  }
+  out += '"';
+  out += user_agent;
+  out += "\",";
+  out += session_id;
+  return out;
+}
+
+}  // namespace
+
+std::string serialize_payload(const FinalValues& values,
+                              const std::string& user_agent,
+                              const std::string& session_id) {
+  return serialize(values, user_agent, session_id);
+}
+
+std::string serialize_payload(const CandidateValues& values,
+                              const std::string& user_agent,
+                              const std::string& session_id) {
+  return serialize(values, user_agent, session_id);
+}
+
+SimulatedDom::SimulatedDom(const Environment& env)
+    : env_(env),
+      property_tables_(FeatureCatalog::instance().candidate_count()),
+      built_(FeatureCatalog::instance().candidate_count(), false) {}
+
+const std::vector<std::string>& SimulatedDom::own_property_names(
+    std::size_t candidate_index) const {
+  assert(candidate_index < property_tables_.size());
+  if (!built_[candidate_index]) {
+    // Materialize the synthetic property list: the extraction benchmark
+    // should pay for name generation + traversal the way a real
+    // getOwnPropertyNames call pays for reflection.
+    const CandidateValues all = extract_candidates(env_);
+    const int count = all[candidate_index];
+    const std::string iface = FeatureCatalog::interface_of(
+        FeatureCatalog::instance().spec(candidate_index).name);
+    auto& table = property_tables_[candidate_index];
+    table.reserve(static_cast<std::size_t>(std::max(count, 0)));
+    for (int i = 0; i < count; ++i) {
+      table.push_back(iface + "_prop" + std::to_string(i));
+    }
+    built_[candidate_index] = true;
+  }
+  return property_tables_[candidate_index];
+}
+
+FinalValues SimulatedDom::run_production_script() const {
+  const auto& catalog = FeatureCatalog::instance();
+  const auto& finals = catalog.final_indices();
+  const CandidateValues all = extract_candidates(env_);
+
+  FinalValues out;
+  out.reserve(finals.size());
+  for (std::size_t i = 0; i < finals.size(); ++i) {
+    const std::size_t idx = finals[i];
+    if (catalog.spec(idx).kind == FeatureKind::kDeviationBased) {
+      // Enumerate the property table and count it — the measured work.
+      const auto& names = own_property_names(idx);
+      std::size_t visible = 0;
+      for (const auto& name : names) {
+        visible += name.empty() ? 0 : 1;
+      }
+      out.push_back(static_cast<double>(visible));
+    } else {
+      out.push_back(static_cast<double>(all[idx]));
+    }
+  }
+  return out;
+}
+
+}  // namespace bp::browser

@@ -1,0 +1,284 @@
+#include "browser/feature_catalog.h"
+
+#include <array>
+#include <cassert>
+#include <map>
+
+#include "util/rng.h"
+
+namespace bp::browser {
+
+namespace {
+
+// The 200 deviation-based candidate interfaces, in the collection order
+// of Appendix-3 (transcribed verbatim, including the paper's spelling of
+// "BytelengthQueuingStrategy" and "SVGAnimatedlengthList").
+constexpr std::array<std::string_view, 200> kDeviationInterfaces = {
+    // Appendix-3, first block.
+    "Element", "Document", "HTMLElement", "SVGElement", "Navigator",
+    "RTCIceCandidate", "SVGFEBlendElement", "TextMetrics", "Range",
+    "StaticRange", "RTCRtpReceiver", "RTCPeerConnection",
+    "AuthenticatorAttestationResponse", "FontFace", "HTMLVideoElement",
+    "ResizeObserverEntry", "ShadowRoot", "RTCRtpSender", "PointerEvent",
+    "Blob", "ServiceWorkerRegistration", "MediaSession", "PaymentResponse",
+    "HTMLSourceElement", "Clipboard", "IDBTransaction", "Performance",
+    "ServiceWorkerContainer", "HTMLIFrameElement", "PaymentRequest",
+    "RTCRtpTransceiver", "IntersectionObserver", "CanvasRenderingContext2D",
+    "CSSStyleSheet", "BaseAudioContext", "AudioContext", "HTMLLinkElement",
+    "RTCDataChannel", "WritableStream", "DataTransferItem",
+    "DocumentFragment", "HTMLMediaElement",
+    // Appendix-3, second block.
+    "StorageManager", "HTMLSlotElement", "Text", "WebGL2RenderingContext",
+    "HTMLInputElement", "WebGLRenderingContext", "HTMLButtonElement",
+    "HTMLTextAreaElement", "HTMLSelectElement", "MediaRecorder",
+    "CountQueuingStrategy", "BytelengthQueuingStrategy", "PerformanceMark",
+    "PerformanceMeasure", "HTMLImageElement", "SpeechSynthesisEvent",
+    "HTMLFormElement", "IDBCursor", "HTMLTemplateElement", "CSSRule",
+    "Location", "PaymentAddress", "IntersectionObserverEntry", "TextEncoder",
+    "ImageData", "HTMLMetaElement", "Crypto", "GamepadButton",
+    "DOMMatrixReadOnly", "MediaKeys", "MessageEvent", "IDBFactory",
+    "MediaDevices", "OfflineAudioContext", "URL", "ScriptProcessorNode",
+    "SVGAnimatedNumberList", "ServiceWorker", "SensorErrorEvent",
+    "SVGAnimatedPreserveAspectRatio", "Sensor", "SVGAnimatedRect",
+    "SVGAnimatedString", "Selection", "SecurityPolicyViolationEvent",
+    "XPathExpression", "SVGAnimatedNumber", "SVGAnimatedTransformList",
+    "Screen", "RTCTrackEvent", "SVGAnimateElement", "SVGAnimateMotionElement",
+    "RTCStatsReport", "RTCSessionDescription", "SVGAnimateTransformElement",
+    "ScreenOrientation", "SVGAnimatedlengthList", "XPathResult", "SVGAngle",
+    "SVGAElement", "SubtleCrypto", "SVGAnimatedAngle",
+    // Appendix-3, third block.
+    "StyleSheetList", "StyleSheet", "StylePropertyMapReadOnly",
+    "StylePropertyMap", "XPathEvaluator", "SVGAnimatedBoolean",
+    "SharedWorker", "StorageEvent", "Storage", "StereoPannerNode",
+    "SVGAnimatedEnumeration", "SpeechSynthesisUtterance",
+    "SVGAnimatedInteger", "SVGAnimatedLength", "SpeechSynthesisErrorEvent",
+    "SourceBufferList", "SourceBuffer", "WebGLFramebuffer",
+    "PresentationConnection", "Plugin", "PluginArray", "PopStateEvent",
+    "Presentation", "PresentationAvailability",
+    "PresentationConnectionAvailableEvent",
+    "PresentationConnectionCloseEvent", "PresentationConnectionList",
+    "PresentationReceiver", "PresentationRequest", "ProcessingInstruction",
+    "PictureInPictureWindow", "PermissionStatus", "PromiseRejectionEvent",
+    "PerformanceNavigationTiming", "PerformanceObserver",
+    "PerformanceObserverEntryList", "PerformancePaintTiming", "Permissions",
+    "PerformanceResourceTiming", "PerformanceServerTiming",
+    "PerformanceTiming", "PeriodicWave", "ProgressEvent",
+    "PublicKeyCredential", "RTCDTMFToneChangeEvent", "RTCCertificate",
+    "RTCDataChannelEvent", "RTCDTMFSender", "RTCPeerConnectionIceEvent",
+    "Response", "PushManager", "PushSubscription", "PushSubscriptionOptions",
+    "RadioNodeList", "ReadableStream", "ResizeObserver",
+    "RelativeOrientationSensor", "RemotePlayback", "ReportingObserver",
+    "Request", "SVGAnimationElement", "XMLHttpRequestEventTarget",
+    // Appendix-3, fourth block.
+    "SVGCircleElement", "TreeWalker", "WebGLTexture", "TextDecoderStream",
+    "TextEncoderStream", "WebGLSync", "TextTrack", "TextTrackCue",
+    "TextTrackCueList", "WebGLShaderPrecisionFormat", "TextTrackList",
+    "TimeRanges", "Touch", "TouchEvent", "TouchList", "TrackEvent",
+    "TransformStream", "WebGLTransformFeedback", "TextDecoder",
+    "WebGLUniformLocation", "SVGTitleElement", "WebGLVertexArrayObject",
+    "SVGSymbolElement", "SVGTextContentElement", "SVGTextElement",
+    "SVGTextPathElement", "SVGTextPositioningElement", "SVGTransform",
+    "TaskAttributionTiming", "SVGTransformList", "SVGTSpanElement",
+    "SVGUnitTypes", "SVGUseElement", "SVGViewElement",
+};
+
+// Table 8's deviation-based production features, in table order.
+constexpr std::array<std::string_view, 22> kFinalDeviationInterfaces = {
+    "Element",
+    "Document",
+    "HTMLElement",
+    "SVGElement",
+    "SVGFEBlendElement",
+    "TextMetrics",
+    "Range",
+    "StaticRange",
+    "AuthenticatorAttestationResponse",
+    "HTMLVideoElement",
+    "ResizeObserverEntry",
+    "ShadowRoot",
+    "PointerEvent",
+    "IntersectionObserver",
+    "CanvasRenderingContext2D",
+    "CSSStyleSheet",
+    "AudioContext",
+    "HTMLLinkElement",
+    "HTMLMediaElement",
+    "WebGL2RenderingContext",
+    "WebGLRenderingContext",
+    "CSSRule",
+};
+
+// Table 8's time-based production features (rows 23-28).
+constexpr std::array<std::string_view, 6> kFinalTimeBased = {
+    "Navigator.prototype.hasOwnProperty('deviceMemory')",
+    "BaseAudioContext.prototype.hasOwnProperty('currentTime')",
+    "HTMLVideoElement.prototype.hasOwnProperty('webkitDisplayingFullscreen')",
+    "Screen.prototype.hasOwnProperty('orientation')",
+    "Window.prototype.hasOwnProperty('speechSynthesis')",
+    "CSSStyleDeclaration.prototype.hasOwnProperty('getPropertyValue')",
+};
+
+// Manual-analysis exclusions (§6.3): interfaces whose property counts
+// move with common user configuration, making them unreliable even when
+// their raw standard deviation looks attractive — Service Worker knobs
+// (dom.serviceWorkers.enabled), plugin/extension surfaces,
+// fingerprinting-resistance timers, clipboard/permission gating.
+constexpr std::array<std::string_view, 12> kConfigSensitiveInterfaces = {
+    "ServiceWorkerRegistration",
+    "ServiceWorkerContainer",
+    "ServiceWorker",
+    "Navigator",
+    "Plugin",
+    "PluginArray",
+    "Performance",
+    "PerformanceTiming",
+    "MediaDevices",
+    "Clipboard",
+    "Permissions",
+    "SharedWorker",
+};
+
+std::string deviation_feature_name(std::string_view interface_name) {
+  std::string out = "Object.getOwnPropertyNames(";
+  out += interface_name;
+  out += ".prototype).length";
+  return out;
+}
+
+// Property-name vocabulary for synthesizing the 307 BrowserPrint-style
+// presence features that are not among the production six.  The real
+// BrowserPrint list enumerates concrete (interface, property) pairs that
+// appeared or vanished across 2016-2020 browser releases; we synthesize
+// stand-ins with the same shape and (in engine_timelines.cpp) the same
+// statistical behaviour: almost all of them stopped moving before the
+// paper's 2023 study window.
+constexpr std::array<std::string_view, 28> kSynthInterfaces = {
+    "Navigator",  "Window",   "Document",        "Element",
+    "HTMLElement", "Screen",  "History",         "Location",
+    "CSSStyleDeclaration",    "HTMLMediaElement", "HTMLVideoElement",
+    "HTMLCanvasElement",      "CanvasRenderingContext2D",
+    "AudioContext", "BaseAudioContext", "RTCPeerConnection",
+    "XMLHttpRequest", "Performance", "Storage", "IDBDatabase",
+    "ServiceWorkerContainer", "Notification", "Gamepad", "Battery",
+    "NetworkInformation", "Bluetooth", "USB", "WakeLock",
+};
+
+constexpr std::array<std::string_view, 12> kSynthProperties = {
+    "vendorSub",      "taintEnabled",   "webkitRequestFullscreen",
+    "mozFullScreen",  "onwebkitanimationend", "registerProtocolHandler",
+    "getUserMedia",   "webkitTemporaryStorage", "onpointerrawupdate",
+    "oncancel",       "requestIdleCallback",    "createExpression",
+};
+
+}  // namespace
+
+const FeatureCatalog& FeatureCatalog::instance() {
+  static const FeatureCatalog catalog;
+  return catalog;
+}
+
+FeatureCatalog::FeatureCatalog() {
+  specs_.reserve(513);
+
+  // 200 deviation-based candidates (Appendix-3 order).
+  for (std::string_view iface : kDeviationInterfaces) {
+    specs_.push_back(FeatureSpec{deviation_feature_name(iface),
+                                 FeatureKind::kDeviationBased,
+                                 /*in_final_set=*/false});
+  }
+
+  // 313 time-based candidates: the six production ones first, then 307
+  // synthesized BrowserPrint-style names.
+  for (std::string_view name : kFinalTimeBased) {
+    specs_.push_back(
+        FeatureSpec{std::string(name), FeatureKind::kTimeBased, true});
+  }
+  std::size_t synthesized = 0;
+  for (std::size_t i = 0; synthesized < 307; ++i) {
+    const std::string_view iface =
+        kSynthInterfaces[i % kSynthInterfaces.size()];
+    const std::string_view prop =
+        kSynthProperties[(i / kSynthInterfaces.size()) % kSynthProperties.size()];
+    std::string name = std::string(iface) + ".prototype.hasOwnProperty('" +
+                       std::string(prop) + "_v" +
+                       std::to_string(i / (kSynthInterfaces.size() *
+                                           kSynthProperties.size())) +
+                       "')";
+    // Skip accidental collisions with the production six.
+    bool duplicate = false;
+    for (std::string_view final_name : kFinalTimeBased) {
+      if (name == final_name) duplicate = true;
+    }
+    if (duplicate) continue;
+    specs_.push_back(
+        FeatureSpec{std::move(name), FeatureKind::kTimeBased, false});
+    ++synthesized;
+  }
+  assert(specs_.size() == 513);
+
+  // Mark + index the production 28 in Table 8 order.
+  for (std::string_view iface : kFinalDeviationInterfaces) {
+    const std::size_t idx = index_of(deviation_feature_name(iface));
+    assert(idx != npos);
+    specs_[idx].in_final_set = true;
+    final_indices_.push_back(idx);
+  }
+  for (std::string_view name : kFinalTimeBased) {
+    const std::size_t idx = index_of(name);
+    assert(idx != npos);
+    final_indices_.push_back(idx);
+  }
+  assert(final_indices_.size() == 28);
+
+  for (std::string_view iface : kConfigSensitiveInterfaces) {
+    const std::size_t idx = index_of(deviation_feature_name(iface));
+    if (idx != npos) config_sensitive_.push_back(idx);
+  }
+}
+
+std::size_t FeatureCatalog::index_of(std::string_view name) const {
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    if (specs_[i].name == name) return i;
+  }
+  return npos;
+}
+
+std::string FeatureCatalog::interface_of(std::string_view feature_name) {
+  constexpr std::string_view kPrefix = "Object.getOwnPropertyNames(";
+  constexpr std::string_view kSuffix = ".prototype).length";
+  if (feature_name.size() <= kPrefix.size() + kSuffix.size()) return {};
+  if (feature_name.substr(0, kPrefix.size()) != kPrefix) return {};
+  if (feature_name.substr(feature_name.size() - kSuffix.size()) != kSuffix) {
+    return {};
+  }
+  return std::string(feature_name.substr(
+      kPrefix.size(), feature_name.size() - kPrefix.size() - kSuffix.size()));
+}
+
+std::vector<std::size_t> FeatureCatalog::appendix4_extension(
+    std::size_t target_count) const {
+  // Table 12's growth steps.  28 -> 32 and 32 -> 36 add the four features
+  // the paper names; 36 -> 42 lists four names but grows by six — we add
+  // FontFace and Blob to close the gap and document the discrepancy here.
+  static constexpr std::array<std::string_view, 14> kSteps = {
+      // 28 -> 32
+      "HTMLIFrameElement", "SVGAElement", "RemotePlayback",
+      "StylePropertyMapReadOnly",
+      // 32 -> 36
+      "Screen", "Request", "TouchEvent", "TaskAttributionTiming",
+      // 36 -> 42
+      "PictureInPictureWindow", "ReportingObserver", "HTMLTemplateElement",
+      "MediaSession", "FontFace", "Blob",
+  };
+  std::vector<std::size_t> out;
+  if (target_count <= 28) return out;
+  const std::size_t extra = std::min<std::size_t>(target_count - 28, kSteps.size());
+  for (std::size_t i = 0; i < extra; ++i) {
+    const std::size_t idx = index_of(deviation_feature_name(kSteps[i]));
+    assert(idx != npos);
+    out.push_back(idx);
+  }
+  return out;
+}
+
+}  // namespace bp::browser

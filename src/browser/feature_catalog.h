@@ -1,0 +1,86 @@
+// The candidate-fingerprint catalog (paper §6.1, Appendix-1, Appendix-3).
+//
+// Browser Polygraph's raw data collection ships 513 *candidate* features:
+//   * 200 deviation-based features — the value of
+//     Object.getOwnPropertyNames(<Interface>.prototype).length — chosen
+//     from MDN's interface list by standard deviation across candidate
+//     browsers (the full name list of Appendix-3);
+//   * 313 time-based features — presence bits in the style of
+//     BrowserPrint (Akhavani et al.), i.e.
+//     <Interface>.prototype.hasOwnProperty('<prop>').
+// Pre-processing (§6.3) then narrows these to the production set of
+// 28 features (22 deviation-based + 6 time-based, Table 8).
+//
+// The catalog is pure metadata: stable names, kinds, and the index
+// mapping between the candidate set and the final set.  Value synthesis
+// lives in engine_timelines.*.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bp::browser {
+
+enum class FeatureKind : std::uint8_t {
+  kDeviationBased,  // integer property count
+  kTimeBased,       // 0/1 presence bit
+};
+
+struct FeatureSpec {
+  std::string name;     // full JavaScript expression, as collected
+  FeatureKind kind;
+  bool in_final_set;    // member of the production 28 (Table 8)
+};
+
+class FeatureCatalog {
+ public:
+  // The canonical catalog: 513 candidates in collection order; the first
+  // 200 are deviation-based, the remaining 313 time-based.  Table 8's 28
+  // features appear among them with in_final_set = true.
+  static const FeatureCatalog& instance();
+
+  std::size_t candidate_count() const noexcept { return specs_.size(); }
+  std::size_t final_count() const noexcept { return final_indices_.size(); }
+
+  const FeatureSpec& spec(std::size_t candidate_index) const {
+    return specs_[candidate_index];
+  }
+
+  // Candidate index of the i-th final feature (i in [0, 28)), in Table 8
+  // order: 22 deviation-based then 6 time-based.
+  const std::vector<std::size_t>& final_indices() const noexcept {
+    return final_indices_;
+  }
+
+  // Candidate index by exact feature name; npos when unknown.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t index_of(std::string_view name) const;
+
+  // Interface name embedded in a deviation-based feature (e.g. "Element"
+  // from "Object.getOwnPropertyNames(Element.prototype).length");
+  // empty for time-based features.
+  static std::string interface_of(std::string_view feature_name);
+
+  // Candidate features that manual analysis (§6.3) found to be strongly
+  // influenced by user configuration (Firefox about:config, extensions)
+  // and therefore excluded even when the automatic filters keep them.
+  const std::vector<std::size_t>& config_sensitive_indices() const noexcept {
+    return config_sensitive_;
+  }
+
+  // Appendix-4's sensitivity analysis grows the feature set from 28 to
+  // 32/36/42 by adding specific named features; these return the
+  // candidate indices added at each step (4, then 4, then 6 more).
+  std::vector<std::size_t> appendix4_extension(std::size_t target_count) const;
+
+ private:
+  FeatureCatalog();
+
+  std::vector<FeatureSpec> specs_;
+  std::vector<std::size_t> final_indices_;
+  std::vector<std::size_t> config_sensitive_;
+};
+
+}  // namespace bp::browser

@@ -1,0 +1,60 @@
+#include "core/artifact_scan.h"
+
+#include <cctype>
+
+namespace bp::core {
+
+namespace {
+
+bool iprefix(std::string_view name, std::string_view prefix) {
+  if (name.size() < prefix.size() || prefix.empty()) return false;
+  for (std::size_t i = 0; i < prefix.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(name[i])) !=
+        std::tolower(static_cast<unsigned char>(prefix[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+ArtifactScanner ArtifactScanner::with_builtin_signatures() {
+  ArtifactScanner scanner;
+  scanner.add_signature({"AntBrowser", "ANTBROWSER", ""});
+  scanner.add_signature({"AntBrowser", "", "antBrowser"});
+  scanner.add_signature({"Linken Sphere", "", "__ls_"});
+  scanner.add_signature({"ClonBrowser", "clonEnv", ""});
+  scanner.add_signature({"AdsPower", "", "cdc_adspower"});
+  return scanner;
+}
+
+void ArtifactScanner::add_signature(ArtifactSignature signature) {
+  signatures_.push_back(std::move(signature));
+}
+
+std::vector<ArtifactMatch> ArtifactScanner::scan(
+    const std::vector<std::string>& window_globals) const {
+  std::vector<ArtifactMatch> matches;
+  for (const std::string& name : window_globals) {
+    for (const ArtifactSignature& signature : signatures_) {
+      const bool hit =
+          (!signature.exact_global.empty() && name == signature.exact_global) ||
+          (!signature.prefix.empty() && iprefix(name, signature.prefix));
+      if (hit) {
+        matches.push_back(ArtifactMatch{signature.tool, name});
+        break;  // one match per global is enough
+      }
+    }
+  }
+  return matches;
+}
+
+std::optional<std::string> ArtifactScanner::identify(
+    const std::vector<std::string>& window_globals) const {
+  const auto matches = scan(window_globals);
+  if (matches.empty()) return std::nullopt;
+  return matches.front().tool;
+}
+
+}  // namespace bp::core

@@ -1,0 +1,114 @@
+#include "core/drift.h"
+
+#include <algorithm>
+#include <map>
+
+#include "browser/release_db.h"
+
+namespace bp::core {
+
+std::optional<ua::UserAgent> DriftDetector::closest_known_release(
+    const ua::UserAgent& release) const {
+  const auto& table = model_->cluster_table();
+  std::optional<ua::UserAgent> best;
+  int best_gap = 1 << 30;
+  for (const auto& [key, cluster] : table.entries()) {
+    const ua::UserAgent candidate{
+        static_cast<ua::Vendor>(key >> 16),
+        static_cast<int>(key & 0xffff),
+        ua::Os::kWindows10,
+    };
+    if (!ua::same_vendor(candidate.vendor, release.vendor)) continue;
+    if (candidate.major_version >= release.major_version) continue;
+    const int gap = release.major_version - candidate.major_version;
+    if (gap < best_gap) {
+      best_gap = gap;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+DriftReport DriftDetector::check(const traffic::Dataset& data,
+                                 const std::vector<ua::UserAgent>& new_releases,
+                                 bp::util::Date check_date) const {
+  DriftReport report;
+  const ml::Matrix features =
+      data.feature_matrix(model_->config().feature_indices);
+  const std::vector<std::size_t> clusters = model_->predict_clusters(features);
+
+  for (const auto& release : new_releases) {
+    // Tally this release's rows over predicted clusters.
+    std::map<std::size_t, std::size_t> tally;
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      if (data.records()[i].claimed.key() != release.key()) continue;
+      ++tally[clusters[i]];
+      ++total;
+    }
+    if (total == 0) continue;
+
+    DriftEntry entry;
+    entry.release = release;
+    entry.check_date = check_date;
+    entry.sessions = total;
+    std::size_t best_count = 0;
+    for (const auto& [cluster, count] : tally) {
+      if (count > best_count) {
+        best_count = count;
+        entry.predominant_cluster = cluster;
+      }
+    }
+    entry.accuracy =
+        static_cast<double>(best_count) / static_cast<double>(total);
+    entry.accuracy_below_threshold = entry.accuracy < threshold_;
+
+    if (const auto reference = closest_known_release(release)) {
+      entry.reference_cluster =
+          model_->cluster_table().expected_cluster(*reference);
+      entry.cluster_changed =
+          entry.reference_cluster.has_value() &&
+          *entry.reference_cluster != entry.predominant_cluster;
+    }
+
+    report.retraining_required |= entry.triggers_retraining();
+    report.entries.push_back(entry);
+  }
+  return report;
+}
+
+std::vector<DriftDetector::ScheduledCheck> DriftDetector::schedule(
+    bp::util::Date from, bp::util::Date to, int days_after_release) {
+  const auto& db = browser::ReleaseDatabase::instance();
+
+  // Anchor on Firefox releases in the window (§6.6), then attach every
+  // release (any vendor) that became public since the previous check.
+  std::vector<const browser::BrowserRelease*> firefox;
+  for (const auto& r : db.releases()) {
+    if (r.vendor == ua::Vendor::kFirefox && r.release_date >= from &&
+        r.release_date <= to) {
+      firefox.push_back(&r);
+    }
+  }
+  std::sort(firefox.begin(), firefox.end(),
+            [](const auto* a, const auto* b) {
+              return a->release_date < b->release_date;
+            });
+
+  std::vector<ScheduledCheck> checks;
+  bp::util::Date window_start = from;
+  for (const auto* ff : firefox) {
+    ScheduledCheck check;
+    check.date = ff->release_date + days_after_release;
+    for (const auto& r : db.releases()) {
+      if (r.release_date >= window_start && r.release_date <= check.date) {
+        check.releases.push_back(r.user_agent());
+      }
+    }
+    window_start = check.date + 1;
+    if (!check.releases.empty()) checks.push_back(std::move(check));
+  }
+  return checks;
+}
+
+}  // namespace bp::core

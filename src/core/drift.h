@@ -1,0 +1,78 @@
+// Drift detection (§6.6, evaluated in §7.3 / Table 6).
+//
+// On designated dates — a few days after each Firefox release, when the
+// newest Chrome and Edge are one-to-two weeks old — the module scores
+// every brand-new browser release against the frozen model:
+//
+//   * predominant cluster of the release's sessions, and
+//   * the fraction assigned to that cluster ("accuracy").
+//
+// No retraining is needed while each new release (a) lands in the same
+// cluster as its closest prior release from the training table and
+// (b) clusters with accuracy >= 98%.  A cluster change (Firefox 119) or
+// an accuracy drop (Chrome 119) raises the retraining signal.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/polygraph.h"
+#include "traffic/dataset.h"
+#include "util/date.h"
+
+namespace bp::core {
+
+struct DriftEntry {
+  ua::UserAgent release;
+  bp::util::Date check_date;
+  std::size_t sessions = 0;
+  std::size_t predominant_cluster = 0;
+  double accuracy = 0.0;  // fraction of the release's rows in that cluster
+  std::optional<std::size_t> reference_cluster;  // closest prior release's
+  bool cluster_changed = false;
+  bool accuracy_below_threshold = false;
+
+  bool triggers_retraining() const {
+    return cluster_changed || accuracy_below_threshold;
+  }
+};
+
+struct DriftReport {
+  std::vector<DriftEntry> entries;
+  bool retraining_required = false;
+};
+
+class DriftDetector {
+ public:
+  explicit DriftDetector(const Polygraph& model, double accuracy_threshold = 0.98)
+      : model_(&model), threshold_(accuracy_threshold) {}
+
+  // Score the sessions of `new_releases` found in `data` (feature columns
+  // must match the model's feature set).  Releases with no sessions are
+  // skipped.
+  DriftReport check(const traffic::Dataset& data,
+                    const std::vector<ua::UserAgent>& new_releases,
+                    bp::util::Date check_date) const;
+
+  // The closest prior release of the same vendor present in the model's
+  // cluster table (the Table 3 reference §6.6 compares against).
+  std::optional<ua::UserAgent> closest_known_release(
+      const ua::UserAgent& release) const;
+
+  // The §6.6 schedule: evaluation dates a few days after each Firefox
+  // release inside [from, to], with the new releases to check at each.
+  struct ScheduledCheck {
+    bp::util::Date date;
+    std::vector<ua::UserAgent> releases;
+  };
+  static std::vector<ScheduledCheck> schedule(bp::util::Date from,
+                                              bp::util::Date to,
+                                              int days_after_release = 3);
+
+ private:
+  const Polygraph* model_;
+  double threshold_;
+};
+
+}  // namespace bp::core

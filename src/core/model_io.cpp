@@ -1,0 +1,226 @@
+#include "core/model_io.h"
+
+#include <charconv>
+#include <cstdio>
+
+#include "util/csv.h"
+#include "util/strings.h"
+
+namespace bp::core {
+
+namespace {
+
+constexpr std::string_view kHeader = "browser-polygraph-model v1";
+
+void emit_vector(std::string& out, std::string_view name,
+                 const std::vector<double>& values) {
+  out += name;
+  for (double v : values) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), " %.17g", v);
+    out += buf;
+  }
+  out += '\n';
+}
+
+void emit_matrix(std::string& out, std::string_view name,
+                 const ml::Matrix& m) {
+  out += name;
+  out += ' ';
+  out += std::to_string(m.rows());
+  out += ' ';
+  out += std::to_string(m.cols());
+  out += '\n';
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const auto row = m.row(r);
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.17g%c", row[c],
+                    c + 1 == m.cols() ? '\n' : ' ');
+      out += buf;
+    }
+  }
+}
+
+// Line-cursor over the serialized text.
+class Reader {
+ public:
+  explicit Reader(const std::string& text) : lines_(bp::util::split(text, '\n')) {}
+
+  std::optional<std::string_view> next() {
+    while (pos_ < lines_.size()) {
+      const std::string_view line = bp::util::trim(lines_[pos_++]);
+      if (!line.empty()) return line;
+    }
+    return std::nullopt;
+  }
+
+ private:
+  std::vector<std::string_view> lines_;
+  std::size_t pos_ = 0;
+};
+
+std::optional<std::vector<double>> parse_vector(std::string_view line,
+                                                std::string_view name) {
+  if (!bp::util::starts_with(line, name)) return std::nullopt;
+  std::vector<double> out;
+  for (std::string_view tok : bp::util::split(line.substr(name.size()), ' ')) {
+    tok = bp::util::trim(tok);
+    if (tok.empty()) continue;
+    const auto v = bp::util::parse_double(tok);
+    if (!v) return std::nullopt;
+    out.push_back(*v);
+  }
+  return out;
+}
+
+std::optional<ml::Matrix> parse_matrix(Reader& reader, std::string_view header,
+                                       std::string_view name) {
+  if (!bp::util::starts_with(header, name)) return std::nullopt;
+  const auto dims = bp::util::split(
+      bp::util::trim(header.substr(name.size())), ' ');
+  if (dims.size() != 2) return std::nullopt;
+  const auto rows = bp::util::parse_int(dims[0]);
+  const auto cols = bp::util::parse_int(dims[1]);
+  if (!rows || !cols || *rows < 0 || *cols <= 0) return std::nullopt;
+
+  ml::Matrix m(static_cast<std::size_t>(*rows), static_cast<std::size_t>(*cols));
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const auto line = reader.next();
+    if (!line) return std::nullopt;
+    const auto values = parse_vector(*line, "");
+    if (!values || values->size() != m.cols()) return std::nullopt;
+    std::copy(values->begin(), values->end(), m.row(r).begin());
+  }
+  return m;
+}
+
+}  // namespace
+
+std::string serialize_model(const Polygraph& model) {
+  std::string out;
+  out += kHeader;
+  out += '\n';
+
+  const PolygraphConfig& config = model.config();
+  out += "features";
+  for (std::size_t idx : config.feature_indices) {
+    out += ' ';
+    out += std::to_string(idx);
+  }
+  out += '\n';
+  out += "pca_components " + std::to_string(config.pca_components) + '\n';
+  out += "k " + std::to_string(config.k) + '\n';
+  out += "vendor_distance " + std::to_string(config.vendor_distance) + '\n';
+  out += "version_divisor " + std::to_string(config.version_divisor) + '\n';
+
+  emit_vector(out, "scaler_means", model.scaler().means());
+  emit_vector(out, "scaler_stddevs", model.scaler().stddevs());
+  emit_vector(out, "pca_mean", model.pca().mean());
+  emit_vector(out, "pca_eigenvalues", model.pca().eigenvalues());
+  emit_matrix(out, "pca_matrix", model.pca().components());
+  emit_matrix(out, "centroids", model.kmeans().centroids());
+
+  out += "table " + std::to_string(model.cluster_table().size()) + '\n';
+  for (const auto& [key, cluster] : model.cluster_table().entries()) {
+    const auto vendor = static_cast<int>(key >> 16);
+    const auto version = static_cast<int>(key & 0xffff);
+    out += std::to_string(vendor) + ' ' + std::to_string(version) + ' ' +
+           std::to_string(cluster) + '\n';
+  }
+  return out;
+}
+
+std::optional<Polygraph> deserialize_model(const std::string& text) {
+  Reader reader(text);
+  const auto header = reader.next();
+  if (!header || *header != kHeader) return std::nullopt;
+
+  PolygraphConfig config;
+  config.feature_indices.clear();
+
+  auto line = reader.next();
+  if (!line || !bp::util::starts_with(*line, "features")) return std::nullopt;
+  for (std::string_view tok :
+       bp::util::split(line->substr(sizeof("features") - 1), ' ')) {
+    tok = bp::util::trim(tok);
+    if (tok.empty()) continue;
+    const auto v = bp::util::parse_int(tok);
+    if (!v || *v < 0) return std::nullopt;
+    config.feature_indices.push_back(static_cast<std::size_t>(*v));
+  }
+
+  auto read_int = [&](std::string_view name) -> std::optional<std::int64_t> {
+    const auto l = reader.next();
+    if (!l || !bp::util::starts_with(*l, name)) return std::nullopt;
+    return bp::util::parse_int(bp::util::trim(l->substr(name.size())));
+  };
+  const auto pca_components = read_int("pca_components");
+  const auto k = read_int("k");
+  const auto vendor_distance = read_int("vendor_distance");
+  const auto version_divisor = read_int("version_divisor");
+  if (!pca_components || !k || !vendor_distance || !version_divisor) {
+    return std::nullopt;
+  }
+  config.pca_components = static_cast<std::size_t>(*pca_components);
+  config.k = static_cast<std::size_t>(*k);
+  config.vendor_distance = static_cast<int>(*vendor_distance);
+  config.version_divisor = static_cast<int>(*version_divisor);
+
+  auto next_vector =
+      [&](std::string_view name) -> std::optional<std::vector<double>> {
+    const auto l = reader.next();
+    if (!l) return std::nullopt;
+    return parse_vector(*l, name);
+  };
+  const auto means = next_vector("scaler_means");
+  const auto stddevs = next_vector("scaler_stddevs");
+  const auto pca_mean = next_vector("pca_mean");
+  const auto eigenvalues = next_vector("pca_eigenvalues");
+  if (!means || !stddevs || !pca_mean || !eigenvalues) return std::nullopt;
+
+  auto matrix_header = reader.next();
+  if (!matrix_header) return std::nullopt;
+  const auto pca_matrix = parse_matrix(reader, *matrix_header, "pca_matrix");
+  if (!pca_matrix) return std::nullopt;
+  matrix_header = reader.next();
+  if (!matrix_header) return std::nullopt;
+  const auto centroids = parse_matrix(reader, *matrix_header, "centroids");
+  if (!centroids) return std::nullopt;
+
+  const auto table_count = read_int("table");
+  if (!table_count || *table_count < 0) return std::nullopt;
+  ClusterTable table;
+  for (std::int64_t i = 0; i < *table_count; ++i) {
+    const auto l = reader.next();
+    if (!l) return std::nullopt;
+    const auto parts = bp::util::split(*l, ' ');
+    if (parts.size() != 3) return std::nullopt;
+    const auto vendor = bp::util::parse_int(parts[0]);
+    const auto version = bp::util::parse_int(parts[1]);
+    const auto cluster = bp::util::parse_int(parts[2]);
+    if (!vendor || !version || !cluster) return std::nullopt;
+    table.assign(ua::UserAgent{static_cast<ua::Vendor>(*vendor),
+                               static_cast<int>(*version)},
+                 static_cast<std::size_t>(*cluster));
+  }
+
+  ml::KMeansConfig kconfig;
+  kconfig.k = config.k;
+  return Polygraph::from_parts(
+      std::move(config), ml::StandardScaler::from_params(*means, *stddevs),
+      ml::Pca::from_params(*pca_mean, *eigenvalues, *pca_matrix),
+      ml::KMeans::from_centroids(*centroids, kconfig), std::move(table));
+}
+
+bool save_model(const Polygraph& model, const std::string& path) {
+  return bp::util::write_file(path, serialize_model(model));
+}
+
+std::optional<Polygraph> load_model(const std::string& path) {
+  std::string text;
+  if (!bp::util::read_file(path, text)) return std::nullopt;
+  return deserialize_model(text);
+}
+
+}  // namespace bp::core

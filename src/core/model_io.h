@@ -1,0 +1,29 @@
+// Model persistence.
+//
+// Training runs offline (§6.5); the serving tier loads a frozen model.
+// The format is a line-oriented text file — human-diffable, so model
+// updates can be code-reviewed the way FinOrg's risk team reviews rule
+// changes — with a version header for forward compatibility.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/polygraph.h"
+
+namespace bp::core {
+
+// Serialize a trained model.  The result is self-contained: config,
+// scaler parameters, PCA projection, k-means centroids and the
+// UA <-> cluster table.
+std::string serialize_model(const Polygraph& model);
+
+// Parse a serialized model; nullopt on any structural error (bad header,
+// truncated matrix, malformed numbers).
+std::optional<Polygraph> deserialize_model(const std::string& text);
+
+// File helpers; false on IO or parse failure.
+bool save_model(const Polygraph& model, const std::string& path);
+std::optional<Polygraph> load_model(const std::string& path);
+
+}  // namespace bp::core

@@ -1,0 +1,226 @@
+#include "core/polygraph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "browser/engine_timelines.h"
+#include "browser/release_db.h"
+
+namespace bp::core {
+
+PolygraphConfig PolygraphConfig::production() {
+  PolygraphConfig config;
+  config.feature_indices =
+      browser::FeatureCatalog::instance().final_indices();
+  return config;
+}
+
+void ClusterTable::assign(const ua::UserAgent& ua, std::size_t cluster) {
+  const std::uint32_t key = ua.key();
+  const auto it = ua_to_cluster_.find(key);
+  if (it != ua_to_cluster_.end()) {
+    if (it->second == cluster) return;
+    // Re-assignment: drop from the old cluster's UA list first.
+    auto& old_list = cluster_to_uas_[it->second];
+    old_list.erase(std::remove_if(old_list.begin(), old_list.end(),
+                                  [&](const ua::UserAgent& u) {
+                                    return u.key() == key;
+                                  }),
+                   old_list.end());
+    it->second = cluster;
+  } else {
+    ua_to_cluster_.emplace(key, cluster);
+  }
+  cluster_to_uas_[cluster].push_back(ua);
+}
+
+std::optional<std::size_t> ClusterTable::expected_cluster(
+    const ua::UserAgent& ua) const {
+  const auto it = ua_to_cluster_.find(ua.key());
+  if (it == ua_to_cluster_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::vector<ua::UserAgent>& ClusterTable::user_agents_in(
+    std::size_t cluster) const {
+  const auto it = cluster_to_uas_.find(cluster);
+  return it != cluster_to_uas_.end() ? it->second : empty_;
+}
+
+std::vector<std::size_t> ClusterTable::populated_clusters() const {
+  std::vector<std::size_t> out;
+  for (const auto& [cluster, uas] : cluster_to_uas_) {
+    if (!uas.empty()) out.push_back(cluster);
+  }
+  return out;
+}
+
+Polygraph::Polygraph(PolygraphConfig config) : config_(std::move(config)) {
+  if (config_.feature_indices.empty()) {
+    config_.feature_indices =
+        browser::FeatureCatalog::instance().final_indices();
+  }
+}
+
+TrainingSummary Polygraph::train(const ml::Matrix& features,
+                                 const std::vector<ua::UserAgent>& user_agents) {
+  assert(features.rows() == user_agents.size());
+  assert(features.cols() == config_.feature_indices.size());
+  TrainingSummary summary;
+  summary.rows_total = features.rows();
+
+  // 1. Scale.  Deviation-based columns are standardized; time-based
+  //    presence bits pass through (§6.4.1).
+  const auto& catalog = browser::FeatureCatalog::instance();
+  std::vector<bool> scale_column;
+  scale_column.reserve(config_.feature_indices.size());
+  for (std::size_t idx : config_.feature_indices) {
+    scale_column.push_back(catalog.spec(idx).kind ==
+                           browser::FeatureKind::kDeviationBased);
+  }
+  scaler_.fit(features, scale_column);
+  const ml::Matrix scaled = scaler_.transform(features);
+
+  // 2. Outlier filtering (§6.4.1).
+  ml::IsolationForestConfig forest_config;
+  forest_config.seed = config_.seed ^ 0xF0E1D2C3ULL;
+  ml::IsolationForest forest(forest_config);
+  forest.fit(scaled);
+  const std::vector<bool> keep =
+      forest.inlier_mask(scaled, config_.contamination);
+  const ml::Matrix filtered = scaled.filter_rows(keep);
+  summary.rows_outliers_removed = scaled.rows() - filtered.rows();
+
+  std::vector<ua::UserAgent> kept_uas;
+  kept_uas.reserve(filtered.rows());
+  for (std::size_t i = 0; i < user_agents.size(); ++i) {
+    if (keep[i]) kept_uas.push_back(user_agents[i]);
+  }
+
+  // 3. PCA (§6.4.2).
+  const ml::Matrix projected =
+      pca_.fit_transform(filtered, config_.pca_components);
+
+  // 4. k-means (§6.4.3).
+  ml::KMeansConfig kconfig;
+  kconfig.k = config_.k;
+  kconfig.seed = config_.seed;
+  kconfig.n_init = config_.kmeans_restarts;
+  kmeans_ = ml::KMeans(kconfig);
+  kmeans_.fit(projected);
+  summary.wcss = kmeans_.inertia();
+
+  // 5. Majority-cluster table + training accuracy (Appendix-4 Formula 1).
+  std::vector<std::uint32_t> keys;
+  keys.reserve(kept_uas.size());
+  for (const auto& ua : kept_uas) keys.push_back(ua.key());
+  const ml::ClusterAccuracy accuracy =
+      ml::clustering_accuracy(keys, kmeans_.labels());
+  summary.clustering_accuracy = accuracy.row_accuracy;
+
+  table_ = ClusterTable();
+  std::map<std::uint32_t, std::size_t> label_rows;
+  for (std::uint32_t key : keys) ++label_rows[key];
+  std::map<std::uint32_t, ua::UserAgent> key_to_ua;
+  for (const auto& ua : kept_uas) key_to_ua.emplace(ua.key(), ua);
+
+  for (const auto& [key, cluster] : accuracy.majority) {
+    table_.assign(key_to_ua.at(key), cluster);
+  }
+
+  // 6. Rare-label re-alignment (§6.4.3): user-agents with too few rows
+  //    get their cluster from the legitimate baseline fingerprint of the
+  //    candidate-generation stage rather than from noisy live data.
+  if (config_.align_rare_labels) {
+    const auto& db = browser::ReleaseDatabase::instance();
+    for (const auto& [key, cluster] : accuracy.majority) {
+      if (label_rows[key] >= config_.rare_label_min_rows) continue;
+      const ua::UserAgent ua = key_to_ua.at(key);
+      const auto* release = db.find(ua);
+      if (release == nullptr) continue;
+      const std::vector<double> baseline = baseline_features(*release);
+      const std::size_t aligned = predict_cluster(baseline);
+      if (aligned != cluster) {
+        table_.assign(ua, aligned);
+        ++summary.labels_realigned;
+      }
+    }
+  }
+  return summary;
+}
+
+std::size_t Polygraph::predict_cluster(std::span<const double> features) const {
+  assert(trained());
+  assert(features.size() == config_.feature_indices.size());
+  ml::Matrix row(1, features.size());
+  std::copy(features.begin(), features.end(), row.row(0).begin());
+  const ml::Matrix projected = pca_.transform(scaler_.transform(row));
+  return kmeans_.predict_one(projected.row(0));
+}
+
+std::vector<std::size_t> Polygraph::predict_clusters(
+    const ml::Matrix& features) const {
+  assert(trained());
+  const ml::Matrix projected = pca_.transform(scaler_.transform(features));
+  return kmeans_.predict(projected);
+}
+
+int Polygraph::risk_factor(const ua::UserAgent& session_ua,
+                           std::size_t predicted_cluster) const {
+  // Algorithm 1.  An empty (noise) cluster leaves the minimum at its
+  // initial value; we cap it at the vendor distance — no known-good UA
+  // resembles the session at all.
+  int risk = std::numeric_limits<int>::max();
+  for (const ua::UserAgent& ua : table_.user_agents_in(predicted_cluster)) {
+    int distance = 0;
+    if (!ua::same_vendor(session_ua.vendor, ua.vendor)) {
+      distance = config_.vendor_distance;
+    } else {
+      const int diff = std::abs(session_ua.major_version - ua.major_version);
+      distance = diff / config_.version_divisor;
+    }
+    risk = std::min(risk, distance);
+  }
+  return risk == std::numeric_limits<int>::max() ? config_.vendor_distance
+                                                 : risk;
+}
+
+Detection Polygraph::score(std::span<const double> features,
+                           const ua::UserAgent& claimed) const {
+  Detection detection;
+  detection.predicted_cluster = predict_cluster(features);
+  detection.expected_cluster = table_.expected_cluster(claimed);
+  if (detection.expected_cluster.has_value() &&
+      *detection.expected_cluster != detection.predicted_cluster) {
+    detection.flagged = true;
+    detection.risk_factor = risk_factor(claimed, detection.predicted_cluster);
+  }
+  return detection;
+}
+
+Polygraph Polygraph::from_parts(PolygraphConfig config,
+                                ml::StandardScaler scaler, ml::Pca pca,
+                                ml::KMeans kmeans, ClusterTable table) {
+  Polygraph model(std::move(config));
+  model.scaler_ = std::move(scaler);
+  model.pca_ = std::move(pca);
+  model.kmeans_ = std::move(kmeans);
+  model.table_ = std::move(table);
+  return model;
+}
+
+std::vector<double> Polygraph::baseline_features(
+    const browser::BrowserRelease& release) const {
+  const auto& baseline =
+      browser::baseline_candidates(release.engine, release.engine_version);
+  std::vector<double> out;
+  out.reserve(config_.feature_indices.size());
+  for (std::size_t idx : config_.feature_indices) {
+    out.push_back(static_cast<double>(baseline[idx]));
+  }
+  return out;
+}
+
+}  // namespace bp::core

@@ -1,0 +1,150 @@
+// Browser Polygraph — the paper's primary contribution.
+//
+// A semi-supervised pipeline that verifies whether a session's claimed
+// user-agent is consistent with its coarse-grained fingerprint:
+//
+//   StandardScaler (deviation features only, §6.4.1)
+//     -> IsolationForest outlier filter (§6.4.1)
+//     -> PCA to 7 components (§6.4.2)
+//     -> k-means, k = 11 (§6.4.3)
+//     -> cluster <-> user-agent table (Table 3)
+//     -> Algorithm 1 risk factor on cluster mismatch (§6.5)
+//
+// Training is offline; detection is a scale + project + nearest-centroid
+// lookup, cheap enough for the 100 ms / per-request budget of §3.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "browser/extractor.h"
+#include "ml/isolation_forest.h"
+#include "ml/kmeans.h"
+#include "ml/metrics.h"
+#include "ml/pca.h"
+#include "ml/scaler.h"
+#include "ua/user_agent.h"
+
+namespace bp::core {
+
+struct PolygraphConfig {
+  // Candidate-catalog indices of the model's features; defaults to the
+  // production 28 of Table 8.
+  std::vector<std::size_t> feature_indices;
+  std::size_t pca_components = 7;
+  std::size_t k = 11;
+  // Fraction of training rows discarded as outliers.  The paper reports
+  // the filter removing 172 of 205k rows (§6.4.1).
+  double contamination = 0.00084;
+  std::uint64_t seed = 42;
+  int kmeans_restarts = 4;
+  // Labels with fewer training rows than this are re-aligned against the
+  // legitimate baseline fingerprints from the candidate-generation stage
+  // (§6.4.3's manual adjustment for Chrome 81 / Edge 17-class UAs).
+  std::size_t rare_label_min_rows = 100;
+  bool align_rare_labels = true;
+
+  // Algorithm 1 parameters: vendor mismatch distance and the version
+  // difference divisor ("empirically selected referring to Table 3").
+  int vendor_distance = 20;
+  int version_divisor = 4;
+
+  static PolygraphConfig production();
+};
+
+// The UA <-> cluster association derived from training (Table 3).
+class ClusterTable {
+ public:
+  void assign(const ua::UserAgent& ua, std::size_t cluster);
+
+  // Expected cluster of a claimed UA; nullopt for UAs absent from
+  // training (e.g. brand-new releases — the drift module's territory).
+  std::optional<std::size_t> expected_cluster(const ua::UserAgent& ua) const;
+
+  // All user-agents whose majority sits in `cluster` (Algorithm 1's
+  // userAgentTable[predictedCluster]).
+  const std::vector<ua::UserAgent>& user_agents_in(std::size_t cluster) const;
+
+  // Every cluster id that holds at least one UA majority.
+  std::vector<std::size_t> populated_clusters() const;
+
+  std::size_t size() const noexcept { return ua_to_cluster_.size(); }
+  const std::map<std::uint32_t, std::size_t>& entries() const noexcept {
+    return ua_to_cluster_;
+  }
+
+ private:
+  std::map<std::uint32_t, std::size_t> ua_to_cluster_;
+  std::map<std::size_t, std::vector<ua::UserAgent>> cluster_to_uas_;
+  std::vector<ua::UserAgent> empty_;
+};
+
+// Outcome of scoring one session.
+struct Detection {
+  std::size_t predicted_cluster = 0;
+  std::optional<std::size_t> expected_cluster;  // nullopt: UA not in table
+  bool flagged = false;  // cluster mismatch => suspicious session
+  // Algorithm 1's output; 0 when not flagged.  A predicted cluster with
+  // no known UA (a noise cluster) yields the maximum (vendor) distance.
+  int risk_factor = 0;
+};
+
+struct TrainingSummary {
+  std::size_t rows_total = 0;
+  std::size_t rows_outliers_removed = 0;
+  double clustering_accuracy = 0.0;  // Appendix-4 Formula 1 on training data
+  std::size_t labels_realigned = 0;  // rare-UA adjustments applied
+  double wcss = 0.0;                 // final k-means inertia
+};
+
+class Polygraph {
+ public:
+  explicit Polygraph(PolygraphConfig config = PolygraphConfig::production());
+
+  // Train on feature rows (columns in config.feature_indices order) and
+  // the per-row claimed user-agents.
+  TrainingSummary train(const ml::Matrix& features,
+                        const std::vector<ua::UserAgent>& user_agents);
+
+  bool trained() const noexcept { return kmeans_.fitted(); }
+
+  // Nearest-centroid cluster of a raw (unscaled) feature vector.
+  std::size_t predict_cluster(std::span<const double> features) const;
+  std::vector<std::size_t> predict_clusters(const ml::Matrix& features) const;
+
+  // Full fraud-detection scoring (§6.5).
+  Detection score(std::span<const double> features,
+                  const ua::UserAgent& claimed) const;
+
+  // Algorithm 1 verbatim: smallest UA distance within a cluster.
+  int risk_factor(const ua::UserAgent& session_ua,
+                  std::size_t predicted_cluster) const;
+
+  const ClusterTable& cluster_table() const noexcept { return table_; }
+  const PolygraphConfig& config() const noexcept { return config_; }
+  const ml::Pca& pca() const noexcept { return pca_; }
+  const ml::StandardScaler& scaler() const noexcept { return scaler_; }
+  const ml::KMeans& kmeans() const noexcept { return kmeans_; }
+
+  // The legitimate-baseline fingerprint of a release under this model's
+  // feature set (used for rare-label alignment and by tests).
+  std::vector<double> baseline_features(
+      const browser::BrowserRelease& release) const;
+
+  // Reassemble a trained model from persisted parts (model_io).
+  static Polygraph from_parts(PolygraphConfig config, ml::StandardScaler scaler,
+                              ml::Pca pca, ml::KMeans kmeans,
+                              ClusterTable table);
+
+ private:
+  PolygraphConfig config_;
+  ml::StandardScaler scaler_;
+  ml::Pca pca_;
+  ml::KMeans kmeans_;
+  ClusterTable table_;
+};
+
+}  // namespace bp::core

@@ -1,0 +1,107 @@
+#include "core/preprocessing.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <set>
+
+#include "browser/extractor.h"
+#include "browser/feature_catalog.h"
+#include "browser/release_db.h"
+
+namespace bp::core {
+
+std::vector<CandidateRanking> rank_candidates_by_deviation() {
+  const auto& catalog = browser::FeatureCatalog::instance();
+  const auto& db = browser::ReleaseDatabase::instance();
+
+  std::vector<CandidateRanking> out;
+  for (std::size_t idx = 0; idx < catalog.candidate_count(); ++idx) {
+    if (catalog.spec(idx).kind != browser::FeatureKind::kDeviationBased) {
+      continue;
+    }
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    std::size_t n = 0;
+    for (const auto& release : db.releases()) {
+      const double v = static_cast<double>(
+          browser::baseline_candidates(release.engine,
+                                       release.engine_version)[idx]);
+      sum += v;
+      sum_sq += v * v;
+      ++n;
+    }
+    const double mean = sum / static_cast<double>(n);
+    const double variance =
+        std::max(0.0, sum_sq / static_cast<double>(n) - mean * mean);
+    CandidateRanking ranking;
+    ranking.candidate_index = idx;
+    ranking.stddev = std::sqrt(variance);
+    ranking.normalized_stddev = mean > 0.0 ? ranking.stddev / mean : 0.0;
+    out.push_back(ranking);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CandidateRanking& a, const CandidateRanking& b) {
+              return a.stddev > b.stddev;
+            });
+  return out;
+}
+
+std::vector<std::size_t> distinct_value_counts(
+    const traffic::Dataset& sample) {
+  const auto& stored = sample.stored_indices();
+  std::vector<std::set<std::int32_t>> seen(stored.size());
+  for (const auto& record : sample.records()) {
+    assert(record.features.size() == stored.size());
+    for (std::size_t i = 0; i < stored.size(); ++i) {
+      seen[i].insert(record.features[i]);
+    }
+  }
+  std::vector<std::size_t> out(stored.size());
+  for (std::size_t i = 0; i < stored.size(); ++i) out[i] = seen[i].size();
+  return out;
+}
+
+PreprocessingReport preprocess(const traffic::Dataset& sample,
+                               PreprocessingOptions options) {
+  const auto& catalog = browser::FeatureCatalog::instance();
+  if (options.curated_final_set.empty()) {
+    options.curated_final_set = catalog.final_indices();
+  }
+
+  PreprocessingReport report;
+  const auto& stored = sample.stored_indices();
+  const std::vector<std::size_t> distinct = distinct_value_counts(sample);
+
+  std::set<std::size_t> dropped;
+  for (std::size_t i = 0; i < stored.size(); ++i) {
+    if (distinct[i] < options.min_distinct_values) {
+      report.constant_features.push_back(stored[i]);
+      dropped.insert(stored[i]);
+      if (catalog.spec(stored[i]).kind == browser::FeatureKind::kTimeBased) {
+        ++report.constant_time_based;
+      } else {
+        ++report.constant_deviation;
+      }
+    }
+  }
+
+  for (std::size_t idx : catalog.config_sensitive_indices()) {
+    if (dropped.insert(idx).second) {
+      report.config_sensitive_excluded.push_back(idx);
+    }
+  }
+
+  // The automatic filters intersect with the curated production list —
+  // and the curated features must all survive the automatic filters, or
+  // the curation itself is stale (asserted by the test suite).
+  for (std::size_t idx : options.curated_final_set) {
+    if (dropped.count(idx) == 0 &&
+        std::find(stored.begin(), stored.end(), idx) != stored.end()) {
+      report.selected_features.push_back(idx);
+    }
+  }
+  return report;
+}
+
+}  // namespace bp::core

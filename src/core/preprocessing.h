@@ -1,0 +1,64 @@
+// Candidate-fingerprint generation (§6.1) and data pre-processing (§6.3).
+//
+// §6.1 ranks the MDN-derived deviation-based candidates by their standard
+// deviation across the legitimate-browser corpus and keeps the top 200;
+// §6.3 then confronts the candidates with real-world data: features that
+// are constant across a live sample are dropped, features that manual
+// analysis showed to move with user configuration are excluded, and the
+// survivors are intersected with the curated production set.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ml/matrix.h"
+#include "traffic/dataset.h"
+
+namespace bp::core {
+
+// ------------------------- §6.1 -------------------------
+
+struct CandidateRanking {
+  std::size_t candidate_index = 0;
+  double stddev = 0.0;             // across the legitimate corpus
+  double normalized_stddev = 0.0;  // stddev / mean (0 when mean == 0)
+};
+
+// Rank every deviation-based candidate by standard deviation across all
+// legitimate releases in the database (descending).  The paper reports
+// the selected features' normalized deviation spanning 0.0012-1.3853.
+std::vector<CandidateRanking> rank_candidates_by_deviation();
+
+// ------------------------- §6.3 -------------------------
+
+struct PreprocessingReport {
+  // Candidates whose value was identical across every sampled row (the
+  // paper found 186 such features in a one-day March sample).
+  std::vector<std::size_t> constant_features;
+  // Candidates excluded by the manual configuration-sensitivity analysis.
+  std::vector<std::size_t> config_sensitive_excluded;
+  // The surviving feature set, after intersecting the automatic filters
+  // with the curated production list.
+  std::vector<std::size_t> selected_features;
+
+  std::size_t constant_time_based = 0;   // breakdown of constant_features
+  std::size_t constant_deviation = 0;
+};
+
+struct PreprocessingOptions {
+  // The curated keep-list; defaults to Table 8's 28.
+  std::vector<std::size_t> curated_final_set;
+  // Minimum distinct values a feature must show to survive.
+  std::size_t min_distinct_values = 2;
+};
+
+// Run the §6.3 pipeline on a collected sample (a Dataset whose stored
+// features include every candidate, e.g. one day of traffic).
+PreprocessingReport preprocess(const traffic::Dataset& sample,
+                               PreprocessingOptions options = {});
+
+// Distinct-value count per stored feature of a dataset.
+std::vector<std::size_t> distinct_value_counts(const traffic::Dataset& sample);
+
+}  // namespace bp::core

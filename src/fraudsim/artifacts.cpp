@@ -1,0 +1,55 @@
+#include "fraudsim/artifacts.h"
+
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace bp::fraudsim {
+
+std::vector<std::string> window_artifacts(const FraudBrowserModel& model,
+                                          std::uint64_t profile_salt) {
+  std::vector<std::string> out;
+  const std::uint64_t h = bp::util::mix64(profile_salt);
+
+  if (model.name == "AntBrowser") {
+    // §8: an ANTBROWSER object plus antBrowser-prefixed attributes.
+    out = {"ANTBROWSER", "antBrowserProfile", "antBrowserVersion"};
+    if (h % 2 == 0) out.push_back("antBrowserCanvasNoise");
+    return out;
+  }
+  if (model.name == "Linken Sphere-8.93") {
+    // Custom engine builds leave injection scaffolding behind.
+    out = {"__ls_profile", "__ls_geo"};
+    return out;
+  }
+  if (model.name == "ClonBrowser-4.6.6") {
+    out = {"clonEnv"};
+    return out;
+  }
+  if (bp::util::contains(model.name, "AdsPower")) {
+    // Category-3 tools drive a stock engine; their controller leaks a
+    // webdriver-style flag on a minority of builds.
+    if (h % 5 == 0) out.push_back("cdc_adspower_hook");
+    return out;
+  }
+  // The remaining commodity tools keep the namespace clean — detecting
+  // them is exactly what the coarse-grained pipeline is for.
+  return out;
+}
+
+std::vector<std::string> stock_window_globals(browser::Engine engine) {
+  std::vector<std::string> out = {
+      "window",    "self",      "document",  "location",  "navigator",
+      "history",   "screen",    "localStorage", "sessionStorage",
+      "fetch",     "setTimeout", "requestAnimationFrame",
+  };
+  if (engine == browser::Engine::kBlink) {
+    out.push_back("chrome");
+    out.push_back("webkitRequestFileSystem");
+  } else if (engine == browser::Engine::kGecko) {
+    out.push_back("InstallTrigger");
+    out.push_back("netscape");
+  }
+  return out;
+}
+
+}  // namespace bp::fraudsim

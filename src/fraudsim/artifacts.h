@@ -1,0 +1,29 @@
+// Software-specific artifacts of fraud browsers (§8 "Deployment scope").
+//
+// The paper observed that AntBrowser injects an `ANTBROWSER` object and
+// `antBrowser`-prefixed attributes into the window namespace — spoofing
+// tooling ironically *increasing* fingerprintability (echoing
+// Nikiforakis et al.'s observation about spoofing extensions).  This
+// module simulates the window-global namespace each tool leaks, feeding
+// core::ArtifactScanner (the automated version of the paper's manual
+// analysis).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fraudsim/fraud_browser.h"
+
+namespace bp::fraudsim {
+
+// The extra own-property names a tool injects into `window`, beyond the
+// engine's stock globals.  Deterministic per (tool, profile salt); most
+// tools leak something, the careful ones leak nothing.
+std::vector<std::string> window_artifacts(const FraudBrowserModel& model,
+                                          std::uint64_t profile_salt);
+
+// Stock window globals of a legitimate engine (a small representative
+// subset; enough for the scanner's negative path).
+std::vector<std::string> stock_window_globals(browser::Engine engine);
+
+}  // namespace bp::fraudsim

@@ -1,0 +1,267 @@
+#include "fraudsim/fraud_browser.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cmath>
+
+#include "browser/engine_timelines.h"
+
+namespace bp::fraudsim {
+
+namespace {
+
+using browser::Engine;
+using bp::util::Date;
+
+// A shipped engine build a category-2 browser can load profiles into.
+struct ShippedEngine {
+  Engine engine;
+  int version;
+};
+
+struct ModelSpec {
+  FraudBrowserModel model;
+  std::vector<ShippedEngine> engines;  // first entry = default build
+  std::vector<ua::UserAgent> builtin_profile_uas;  // non-customizable tiers
+};
+
+const std::vector<ModelSpec>& specs() {
+  static const std::vector<ModelSpec> all = [] {
+    std::vector<ModelSpec> s;
+
+    auto add = [&](FraudBrowserModel m, std::vector<ShippedEngine> engines,
+                   std::vector<ua::UserAgent> builtin = {}) {
+      m.base_engine = engines.front().engine;
+      m.base_engine_version = engines.front().version;
+      s.push_back(ModelSpec{std::move(m), std::move(engines),
+                            std::move(builtin)});
+    };
+
+    // --- Category 1: custom engine builds with distorted prototypes ---
+    add({.name = "Linken Sphere-8.93",
+         .category = FraudCategory::kCategory1,
+         .release_date = Date::from_ymd(2022, 4, 15),
+         .ships_new_releases = false,
+         .distortion_features = 10,
+         .distortion_magnitude = 7},
+        {{Engine::kBlink, 100}});
+    add({.name = "ClonBrowser-4.6.6",
+         .category = FraudCategory::kCategory1,
+         .release_date = Date::from_ymd(2023, 5, 15),
+         .ships_new_releases = true,
+         .distortion_features = 8,
+         .distortion_magnitude = 5},
+        {{Engine::kBlink, 112}});
+
+    // --- Category 2: frozen legitimate fingerprints ---
+    add({.name = "Incogniton-3.2.7.7",
+         .category = FraudCategory::kCategory2,
+         .release_date = Date::from_ymd(2023, 5, 10),
+         .ships_new_releases = true},
+        {{Engine::kBlink, 110}});
+    add({.name = "Gologin-3.2.19",
+         .category = FraudCategory::kCategory2,
+         .release_date = Date::from_ymd(2023, 5, 20),
+         .ships_new_releases = true},
+        {{Engine::kBlink, 110}, {Engine::kBlink, 104}});
+    // The newer build used in the §7.2 detection experiment (Table 5).
+    add({.name = "GoLogin-3.3.23",
+         .category = FraudCategory::kCategory2,
+         .release_date = Date::from_ymd(2023, 9, 5),
+         .ships_new_releases = true},
+        {{Engine::kBlink, 112}, {Engine::kBlink, 105}});
+    add({.name = "CheBrowser-0.3.38",
+         .category = FraudCategory::kCategory2,
+         .release_date = Date::from_ymd(2023, 5, 5),
+         .ships_new_releases = true},
+        {{Engine::kBlink, 108}});
+    add({.name = "VMLogin-1.3.8.5",
+         .category = FraudCategory::kCategory2,
+         .release_date = Date::from_ymd(2023, 4, 12),
+         .ships_new_releases = true},
+        {{Engine::kBlink, 109}});
+    add({.name = "Octo Browser-1.10",
+         .category = FraudCategory::kCategory2,
+         .release_date = Date::from_ymd(2023, 9, 20),
+         .ships_new_releases = true},
+        {{Engine::kBlink, 114}, {Engine::kBlink, 110}});
+    // Sphere 1.3's free tier ships profiles pinned to old Chrome UAs and
+    // a fingerprint emulating roughly Chrome 61 (§7.2).
+    add({.name = "Sphere-1.3",
+         .category = FraudCategory::kCategory2,
+         .release_date = Date::from_ymd(2023, 11, 10),
+         .ships_new_releases = false},
+        {{Engine::kBlink, 61}},
+        {ua::UserAgent{ua::Vendor::kChrome, 63, ua::Os::kWindows10},
+         ua::UserAgent{ua::Vendor::kChrome, 64, ua::Os::kWindows10},
+         ua::UserAgent{ua::Vendor::kChrome, 65, ua::Os::kWindows10}});
+    add({.name = "AntBrowser",
+         .category = FraudCategory::kCategory2,
+         .release_date = Date::from_ymd(2023, 5, 1),
+         .ships_new_releases = false},
+        {{Engine::kGecko, 102}});
+
+    // --- Category 3: engine swapped to match the selected UA ---
+    add({.name = "AdsPower-4.12.27",
+         .category = FraudCategory::kCategory3,
+         .release_date = Date::from_ymd(2022, 12, 10),
+         .ships_new_releases = true},
+        {{Engine::kBlink, 108}});
+    add({.name = "AdsPower-5.4.20",
+         .category = FraudCategory::kCategory3,
+         .release_date = Date::from_ymd(2023, 4, 20),
+         .ships_new_releases = true},
+        {{Engine::kBlink, 112}});
+
+    return s;
+  }();
+  return all;
+}
+
+const ModelSpec* find_spec(std::string_view name) {
+  for (const auto& spec : specs()) {
+    if (spec.model.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+// Closest shipped engine for a claimed UA: same lineage preferred, then
+// minimal version distance; falls back to the default build.
+ShippedEngine choose_engine(const ModelSpec& spec,
+                            const ua::UserAgent& claimed) {
+  const bool wants_gecko = claimed.vendor == ua::Vendor::kFirefox;
+  const ShippedEngine* best = nullptr;
+  int best_distance = 1 << 30;
+  for (const auto& e : spec.engines) {
+    const bool is_gecko = e.engine == Engine::kGecko;
+    if (is_gecko != wants_gecko) continue;
+    const int distance = std::abs(e.version - claimed.major_version);
+    if (distance < best_distance) {
+      best_distance = distance;
+      best = &e;
+    }
+  }
+  return best != nullptr ? *best : spec.engines.front();
+}
+
+browser::CandidateValues category1_values(const ModelSpec& spec,
+                                          bp::util::Rng& rng) {
+  browser::CandidateValues values = browser::baseline_candidates(
+      spec.model.base_engine, spec.model.base_engine_version);
+  const auto& catalog = browser::FeatureCatalog::instance();
+  const auto& finals = catalog.final_indices();
+
+  // Distort a mix of production and non-production features so the
+  // resulting fingerprint matches no legitimate release.  At least half
+  // of the distortions hit the production 22 (custom engine builds leak
+  // everywhere, including the high-signal prototypes).
+  const int n = spec.model.distortion_features;
+  for (int i = 0; i < n; ++i) {
+    std::size_t idx;
+    if (i % 2 == 0) {
+      idx = finals[static_cast<std::size_t>(rng.below(22))];
+    } else {
+      idx = static_cast<std::size_t>(rng.below(200));
+    }
+    const int magnitude =
+        2 + static_cast<int>(rng.below(
+                static_cast<std::uint64_t>(spec.model.distortion_magnitude)));
+    values[idx] = std::max(0, values[idx] + (rng.chance(0.5) ? magnitude
+                                                             : -magnitude));
+  }
+  return values;
+}
+
+}  // namespace
+
+std::span<const FraudBrowserModel> table1_roster() {
+  static const std::vector<FraudBrowserModel> roster = [] {
+    std::vector<FraudBrowserModel> out;
+    for (const auto& spec : specs()) out.push_back(spec.model);
+    return out;
+  }();
+  return roster;
+}
+
+const FraudBrowserModel* find_model(std::string_view name) {
+  const ModelSpec* spec = find_spec(name);
+  return spec != nullptr ? &spec->model : nullptr;
+}
+
+FraudProfile make_profile(const FraudBrowserModel& model,
+                          const ua::UserAgent& victim_ua,
+                          bp::util::Rng& rng) {
+  const ModelSpec* spec = find_spec(model.name);
+  assert(spec != nullptr);
+
+  FraudProfile profile;
+  profile.browser_name = model.name;
+  profile.category = model.category;
+  profile.claimed_ua = victim_ua;
+
+  switch (model.category) {
+    case FraudCategory::kCategory1:
+      profile.candidate_values = category1_values(*spec, rng);
+      break;
+    case FraudCategory::kCategory2: {
+      const ShippedEngine engine = choose_engine(*spec, victim_ua);
+      profile.candidate_values =
+          browser::baseline_candidates(engine.engine, engine.version);
+      break;
+    }
+    case FraudCategory::kCategory3:
+    case FraudCategory::kCategory4: {
+      // Internally consistent: the fingerprint is the claimed release's
+      // own (category 3 swaps the engine in, category 4 *is* the real
+      // browser).  Unknown claimed releases fall back to the default
+      // build, which degrades category 3 toward category 2 — exactly
+      // what AdsPower does when asked for an engine it does not ship.
+      const auto* release =
+          browser::ReleaseDatabase::instance().find(victim_ua);
+      if (release != nullptr) {
+        profile.candidate_values = browser::baseline_candidates(
+            release->engine, release->engine_version);
+      } else {
+        profile.candidate_values = browser::baseline_candidates(
+            spec->model.base_engine, spec->model.base_engine_version);
+      }
+      break;
+    }
+  }
+  return profile;
+}
+
+std::vector<FraudProfile> make_evaluation_profiles(
+    const FraudBrowserModel& model,
+    std::span<const ua::UserAgent> candidate_uas, int per_ua,
+    bp::util::Rng& rng) {
+  const ModelSpec* spec = find_spec(model.name);
+  assert(spec != nullptr);
+
+  std::vector<FraudProfile> out;
+  const std::size_t total = candidate_uas.size() * static_cast<std::size_t>(per_ua);
+
+  if (!spec->builtin_profile_uas.empty()) {
+    // Non-customizable tier: one third of the attempts end up on the
+    // builtin (old-Chrome) profiles, the rest on the requested UAs —
+    // matching the §7.2 description of Sphere 1.3.
+    for (std::size_t i = 0; i < total; ++i) {
+      const ua::UserAgent ua =
+          i % 3 == 0 ? spec->builtin_profile_uas[(i / 3) %
+                                                 spec->builtin_profile_uas.size()]
+                     : candidate_uas[i % candidate_uas.size()];
+      out.push_back(make_profile(model, ua, rng));
+    }
+    return out;
+  }
+
+  for (const auto& ua : candidate_uas) {
+    for (int i = 0; i < per_ua; ++i) {
+      out.push_back(make_profile(model, ua, rng));
+    }
+  }
+  return out;
+}
+
+}  // namespace bp::fraudsim

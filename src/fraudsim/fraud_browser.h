@@ -1,0 +1,92 @@
+// Fraud ("anti-detect") browser simulation.
+//
+// Paper §2.3 dissects the behaviour of ten commercial anti-detect
+// browsers and sorts them into four categories by how their fingerprint
+// reacts to user-agent spoofing:
+//
+//   Category 1 — the fingerprint matches NO legitimate browser
+//                (Linken Sphere, ClonBrowser): the vendor's custom engine
+//                build leaks distorted prototype shapes.
+//   Category 2 — the fingerprint is a frozen copy of one legitimate
+//                browser and does not move when the UA is changed
+//                (Incogniton, GoLogin, CheBrowser, VMLogin, Octo Browser,
+//                Sphere, AntBrowser).
+//   Category 3 — the engine (and hence the fingerprint) is swapped to
+//                match each selected UA (AdsPower).
+//   Category 4 — a genuine browser driven inside a spoofed environment.
+//
+// Browser Polygraph targets categories 1 and 2; categories 3 and 4
+// produce internally-consistent fingerprints and are out of scope (§2.3,
+// §8) — we implement them anyway so the evaluation can demonstrate that
+// boundary honestly.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "browser/extractor.h"
+#include "browser/release_db.h"
+#include "ua/user_agent.h"
+#include "util/date.h"
+#include "util/rng.h"
+
+namespace bp::fraudsim {
+
+enum class FraudCategory : std::uint8_t {
+  kCategory1 = 1,  // matches no legitimate fingerprint
+  kCategory2 = 2,  // frozen legitimate fingerprint, UA spoofed freely
+  kCategory3 = 3,  // engine swapped with the UA
+  kCategory4 = 4,  // genuine browser in a spoofed environment
+};
+
+// A commercial fraud browser (Table 1).
+struct FraudBrowserModel {
+  std::string name;          // e.g. "GoLogin-3.3.23"
+  FraudCategory category = FraudCategory::kCategory2;
+  bp::util::Date release_date;
+  bool ships_new_releases = false;  // Table 1's "New Rel.?" column
+
+  // The engine the build is based on.  For category 2 this is the frozen
+  // fingerprint donor; for category 1 it is the base that gets distorted.
+  browser::Engine base_engine = browser::Engine::kBlink;
+  int base_engine_version = 0;
+
+  // Category-1 distortion: how many features get vendor-custom offsets
+  // and how large they run.  Derived deterministically per profile.
+  int distortion_features = 0;
+  int distortion_magnitude = 0;
+};
+
+// The Table 1 roster.
+std::span<const FraudBrowserModel> table1_roster();
+
+// Lookup by exact name; nullptr when unknown.
+const FraudBrowserModel* find_model(std::string_view name);
+
+// One configured browser profile: the victim user-agent the operator
+// loaded plus the fingerprint the browser will actually present.
+struct FraudProfile {
+  std::string browser_name;
+  FraudCategory category = FraudCategory::kCategory2;
+  ua::UserAgent claimed_ua;                 // the victim's UA
+  browser::CandidateValues candidate_values;  // what extraction will see
+};
+
+// Build a profile of `model` claiming `victim_ua`.  `rng` drives the
+// category-1 distortions and minor profile-to-profile variation.
+FraudProfile make_profile(const FraudBrowserModel& model,
+                          const ua::UserAgent& victim_ua, bp::util::Rng& rng);
+
+// The §7.2 evaluation protocol: for each cluster-representative UA in
+// `candidate_uas`, create `per_ua` profiles (the paper used two per
+// cluster where the browser allowed it).  Browsers whose free tier limits
+// customization (Sphere 1.3) ignore the requested UA list and use their
+// own built-in profile UAs; this function reproduces that behaviour.
+std::vector<FraudProfile> make_evaluation_profiles(
+    const FraudBrowserModel& model,
+    std::span<const ua::UserAgent> candidate_uas, int per_ua,
+    bp::util::Rng& rng);
+
+}  // namespace bp::fraudsim

@@ -1,0 +1,243 @@
+#include "ml/kmeans.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace bp::ml {
+
+Matrix KMeans::init_plus_plus(const Matrix& data, bp::util::Rng& rng) const {
+  const std::size_t n = data.rows();
+  const std::size_t k = config_.k;
+  Matrix centroids(k, data.cols());
+
+  // First centroid: uniform.
+  std::size_t first = static_cast<std::size_t>(rng.below(n));
+  std::copy_n(data.row(first).data(), data.cols(), centroids.row(0).data());
+
+  std::vector<double> min_d2(n, std::numeric_limits<double>::max());
+  for (std::size_t c = 1; c < k; ++c) {
+    // Update distances to the nearest chosen centroid.
+    const auto prev = centroids.row(c - 1);
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d2 = squared_distance(data.row(i), prev);
+      if (d2 < min_d2[i]) min_d2[i] = d2;
+      total += min_d2[i];
+    }
+    std::size_t chosen = 0;
+    if (total <= 0.0) {
+      chosen = static_cast<std::size_t>(rng.below(n));
+    } else {
+      double target = rng.uniform() * total;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (target < min_d2[i]) {
+          chosen = i;
+          break;
+        }
+        target -= min_d2[i];
+        chosen = i;  // numeric slop: fall through to the last point
+      }
+    }
+    std::copy_n(data.row(chosen).data(), data.cols(),
+                centroids.row(c).data());
+  }
+  return centroids;
+}
+
+KMeans::RunResult KMeans::run_once(const Matrix& data,
+                                   bp::util::Rng& rng) const {
+  const std::size_t n = data.rows();
+  const std::size_t d = data.cols();
+  const std::size_t k = config_.k;
+
+  RunResult result;
+  result.centroids = init_plus_plus(data, rng);
+  result.labels.assign(n, 0);
+
+  std::vector<double> sums(k * d, 0.0);
+  std::vector<std::size_t> counts(k, 0);
+
+  for (int iter = 0; iter < config_.max_iterations; ++iter) {
+    // Assignment step.
+    double inertia = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto point = data.row(i);
+      double best = std::numeric_limits<double>::max();
+      std::size_t best_c = 0;
+      for (std::size_t c = 0; c < k; ++c) {
+        const double d2 = squared_distance(point, result.centroids.row(c));
+        if (d2 < best) {
+          best = d2;
+          best_c = c;
+        }
+      }
+      result.labels[i] = best_c;
+      inertia += best;
+    }
+    result.inertia = inertia;
+
+    // Update step.
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto point = data.row(i);
+      const std::size_t c = result.labels[i];
+      ++counts[c];
+      double* s = &sums[c * d];
+      for (std::size_t j = 0; j < d; ++j) s[j] += point[j];
+    }
+
+    double shift = 0.0;
+    for (std::size_t c = 0; c < k; ++c) {
+      auto centroid = result.centroids.row(c);
+      if (counts[c] == 0) {
+        // Empty cluster: re-seed from the point farthest from its current
+        // centroid (standard repair; keeps k clusters alive).
+        double worst = -1.0;
+        std::size_t worst_i = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+          const double d2 = squared_distance(
+              data.row(i), result.centroids.row(result.labels[i]));
+          if (d2 > worst) {
+            worst = d2;
+            worst_i = i;
+          }
+        }
+        const auto src = data.row(worst_i);
+        shift += squared_distance(centroid, src);
+        std::copy_n(src.data(), d, centroid.data());
+        continue;
+      }
+      const double inv = 1.0 / static_cast<double>(counts[c]);
+      double* s = &sums[c * d];
+      double cluster_shift = 0.0;
+      for (std::size_t j = 0; j < d; ++j) {
+        const double updated = s[j] * inv;
+        const double delta = updated - centroid[j];
+        cluster_shift += delta * delta;
+        centroid[j] = updated;
+      }
+      shift += cluster_shift;
+    }
+
+    if (shift <= config_.tolerance * (1.0 + result.inertia)) break;
+  }
+
+  // Final assignment with the converged centroids so labels and inertia
+  // are consistent with what predict() would report.
+  double inertia = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto point = data.row(i);
+    double best = std::numeric_limits<double>::max();
+    std::size_t best_c = 0;
+    for (std::size_t c = 0; c < k; ++c) {
+      const double d2 = squared_distance(point, result.centroids.row(c));
+      if (d2 < best) {
+        best = d2;
+        best_c = c;
+      }
+    }
+    result.labels[i] = best_c;
+    inertia += best;
+  }
+  result.inertia = inertia;
+  return result;
+}
+
+void KMeans::fit(const Matrix& data) {
+  assert(data.rows() >= config_.k && config_.k > 0);
+  bp::util::Rng rng(config_.seed);
+
+  RunResult best;
+  best.inertia = std::numeric_limits<double>::max();
+  const int restarts = std::max(config_.n_init, 1);
+  for (int r = 0; r < restarts; ++r) {
+    bp::util::Rng run_rng = rng.fork(static_cast<std::uint64_t>(r));
+    RunResult candidate = run_once(data, run_rng);
+    if (candidate.inertia < best.inertia) best = std::move(candidate);
+  }
+
+  centroids_ = std::move(best.centroids);
+  labels_ = std::move(best.labels);
+  inertia_ = best.inertia;
+}
+
+KMeans KMeans::from_centroids(Matrix centroids, KMeansConfig config) {
+  config.k = centroids.rows();
+  KMeans model(config);
+  model.centroids_ = std::move(centroids);
+  return model;
+}
+
+std::size_t KMeans::predict_one(std::span<const double> point) const {
+  assert(fitted() && point.size() == centroids_.cols());
+  double best = std::numeric_limits<double>::max();
+  std::size_t best_c = 0;
+  for (std::size_t c = 0; c < centroids_.rows(); ++c) {
+    const double d2 = squared_distance(point, centroids_.row(c));
+    if (d2 < best) {
+      best = d2;
+      best_c = c;
+    }
+  }
+  return best_c;
+}
+
+std::vector<std::size_t> KMeans::predict(const Matrix& data) const {
+  std::vector<std::size_t> labels(data.rows());
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    labels[i] = predict_one(data.row(i));
+  }
+  return labels;
+}
+
+std::vector<double> wcss_curve(const Matrix& data, std::size_t k_begin,
+                               std::size_t k_end, std::uint64_t seed) {
+  std::vector<double> out;
+  for (std::size_t k = k_begin; k <= k_end; ++k) {
+    KMeansConfig config;
+    config.k = k;
+    config.seed = seed + k;
+    KMeans model(config);
+    model.fit(data);
+    out.push_back(model.inertia());
+  }
+  return out;
+}
+
+std::vector<double> relative_wcss_drops(const std::vector<double>& wcss) {
+  std::vector<double> out;
+  for (std::size_t i = 1; i < wcss.size(); ++i) {
+    out.push_back(wcss[i - 1] > 0.0
+                      ? (wcss[i - 1] - wcss[i]) / wcss[i - 1]
+                      : 0.0);
+  }
+  return out;
+}
+
+std::size_t elbow_k(const std::vector<double>& wcss, std::size_t k_begin,
+                    std::size_t min_k, double threshold) {
+  const std::vector<double> drops = relative_wcss_drops(wcss);
+  auto drop_at = [&](std::size_t i) {
+    return i < drops.size() ? drops[i] : 0.0;
+  };
+
+  std::size_t fallback = min_k;
+  double fallback_drop = -1.0;
+  for (std::size_t i = 0; i < drops.size(); ++i) {
+    const std::size_t k = k_begin + 1 + i;  // drops[i] = improvement at k
+    if (k < min_k) continue;
+    const bool local_peak =
+        (i == 0 || drops[i] > drop_at(i - 1)) && drops[i] > drop_at(i + 1);
+    if (local_peak && drops[i] >= threshold) return k;
+    if (drops[i] > fallback_drop) {
+      fallback_drop = drops[i];
+      fallback = k;
+    }
+  }
+  return fallback;
+}
+
+}  // namespace bp::ml

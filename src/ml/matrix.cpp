@@ -1,0 +1,112 @@
+#include "ml/matrix.h"
+
+#include <cmath>
+
+namespace bp::ml {
+
+Matrix Matrix::from_rows(const std::vector<std::vector<double>>& rows) {
+  Matrix m;
+  for (const auto& r : rows) m.push_row(r);
+  return m;
+}
+
+void Matrix::push_row(std::span<const double> values) {
+  if (rows_ == 0 && cols_ == 0) cols_ = values.size();
+  assert(values.size() == cols_);
+  data_.insert(data_.end(), values.begin(), values.end());
+  ++rows_;
+}
+
+Matrix Matrix::filter_rows(const std::vector<bool>& keep) const {
+  assert(keep.size() == rows_);
+  Matrix out;
+  out.cols_ = cols_;
+  std::size_t kept = 0;
+  for (bool k : keep) kept += k ? 1 : 0;
+  out.data_.reserve(kept * cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    if (!keep[r]) continue;
+    const auto src = row(r);
+    out.data_.insert(out.data_.end(), src.begin(), src.end());
+    ++out.rows_;
+  }
+  return out;
+}
+
+Matrix Matrix::select_columns(const std::vector<std::size_t>& cols) const {
+  Matrix out(rows_, cols.size());
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t j = 0; j < cols.size(); ++j) {
+      assert(cols[j] < cols_);
+      out(r, j) = (*this)(r, cols[j]);
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::multiply(const Matrix& other) const {
+  assert(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(i, k);
+      if (a == 0.0) continue;
+      const auto brow = other.row(k);
+      const auto orow = out.row(i);
+      for (std::size_t j = 0; j < other.cols_; ++j) {
+        orow[j] += a * brow[j];
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      out(c, r) = (*this)(r, c);
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::column_means() const {
+  std::vector<double> means(cols_, 0.0);
+  if (rows_ == 0) return means;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const auto src = row(r);
+    for (std::size_t c = 0; c < cols_; ++c) means[c] += src[c];
+  }
+  for (double& m : means) m /= static_cast<double>(rows_);
+  return means;
+}
+
+std::vector<double> Matrix::column_stddevs(
+    const std::vector<double>& means) const {
+  assert(means.size() == cols_);
+  std::vector<double> var(cols_, 0.0);
+  if (rows_ == 0) return var;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const auto src = row(r);
+    for (std::size_t c = 0; c < cols_; ++c) {
+      const double d = src[c] - means[c];
+      var[c] += d * d;
+    }
+  }
+  for (double& v : var) v = std::sqrt(v / static_cast<double>(rows_));
+  return var;
+}
+
+double squared_distance(std::span<const double> a,
+                        std::span<const double> b) noexcept {
+  assert(a.size() == b.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+}  // namespace bp::ml

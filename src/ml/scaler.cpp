@@ -1,0 +1,66 @@
+#include "ml/scaler.h"
+
+#include <cassert>
+
+namespace bp::ml {
+
+void StandardScaler::fit(const Matrix& data) {
+  fit(data, std::vector<bool>(data.cols(), true));
+}
+
+void StandardScaler::fit(const Matrix& data,
+                         const std::vector<bool>& scale_column) {
+  assert(scale_column.size() == data.cols());
+  means_ = data.column_means();
+  stddevs_ = data.column_stddevs(means_);
+  for (std::size_t c = 0; c < data.cols(); ++c) {
+    if (!scale_column[c]) {
+      means_[c] = 0.0;
+      stddevs_[c] = 1.0;
+    } else if (stddevs_[c] == 0.0) {
+      stddevs_[c] = 1.0;  // constant column: center only
+    }
+  }
+}
+
+Matrix StandardScaler::transform(const Matrix& data) const {
+  assert(fitted() && data.cols() == means_.size());
+  Matrix out(data.rows(), data.cols());
+  for (std::size_t r = 0; r < data.rows(); ++r) {
+    const auto src = data.row(r);
+    const auto dst = out.row(r);
+    for (std::size_t c = 0; c < data.cols(); ++c) {
+      dst[c] = (src[c] - means_[c]) / stddevs_[c];
+    }
+  }
+  return out;
+}
+
+Matrix StandardScaler::fit_transform(const Matrix& data) {
+  fit(data);
+  return transform(data);
+}
+
+StandardScaler StandardScaler::from_params(std::vector<double> means,
+                                           std::vector<double> stddevs) {
+  assert(means.size() == stddevs.size());
+  StandardScaler scaler;
+  scaler.means_ = std::move(means);
+  scaler.stddevs_ = std::move(stddevs);
+  return scaler;
+}
+
+Matrix StandardScaler::inverse_transform(const Matrix& data) const {
+  assert(fitted() && data.cols() == means_.size());
+  Matrix out(data.rows(), data.cols());
+  for (std::size_t r = 0; r < data.rows(); ++r) {
+    const auto src = data.row(r);
+    const auto dst = out.row(r);
+    for (std::size_t c = 0; c < data.cols(); ++c) {
+      dst[c] = src[c] * stddevs_[c] + means_[c];
+    }
+  }
+  return out;
+}
+
+}  // namespace bp::ml

@@ -1,0 +1,42 @@
+#include "ml/stratified.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace bp::ml {
+
+std::vector<std::size_t> stratified_sample(
+    const std::vector<std::uint32_t>& strata, const StratifiedConfig& config) {
+  std::map<std::uint32_t, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < strata.size(); ++i) {
+    groups[strata[i]].push_back(i);
+  }
+
+  bp::util::Rng rng(config.seed);
+  std::vector<std::size_t> kept;
+  for (auto& [stratum, rows] : groups) {
+    // Keep up to the cap; when a keep-fraction is set, shrink large
+    // strata to that fraction (never below the per-stratum floor).
+    std::size_t quota = config.max_per_stratum;
+    if (config.keep_fraction > 0.0) {
+      const auto fractional = static_cast<std::size_t>(std::ceil(
+          config.keep_fraction * static_cast<double>(rows.size())));
+      quota = std::min(quota, std::max(config.min_per_stratum, fractional));
+    }
+    quota = std::min(quota, rows.size());
+
+    if (quota == rows.size()) {
+      kept.insert(kept.end(), rows.begin(), rows.end());
+      continue;
+    }
+    bp::util::Rng stratum_rng = rng.fork(stratum);
+    for (std::size_t pick : stratum_rng.sample_indices(rows.size(), quota)) {
+      kept.push_back(rows[pick]);
+    }
+  }
+  std::sort(kept.begin(), kept.end());
+  return kept;
+}
+
+}  // namespace bp::ml

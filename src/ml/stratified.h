@@ -1,0 +1,32 @@
+// Stratified sampling (§8 "Scale of the database").
+//
+// When the training corpus outgrows what retraining budgets allow, the
+// paper proposes stratified sampling: cap the rows kept per stratum
+// (user-agent label) while guaranteeing representation of rare strata —
+// so the Chrome-81-class long tail survives while the newest release's
+// hundred-thousand rows shrink to a manageable cap.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace bp::ml {
+
+struct StratifiedConfig {
+  // Keep at most this many rows per stratum...
+  std::size_t max_per_stratum = 2'000;
+  // ...but never fewer than this many (when the stratum has them).
+  std::size_t min_per_stratum = 25;
+  // Additionally keep at least this fraction of each stratum.
+  double keep_fraction = 0.0;
+  std::uint64_t seed = 13;
+};
+
+// Row indices to keep, given each row's stratum label.  Within a stratum
+// the kept rows are a uniform random subset; output indices are sorted.
+std::vector<std::size_t> stratified_sample(
+    const std::vector<std::uint32_t>& strata, const StratifiedConfig& config);
+
+}  // namespace bp::ml

@@ -1,0 +1,87 @@
+#include "stats/entropy.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bp::stats {
+
+std::map<std::string, std::size_t> histogram(
+    const std::vector<std::string>& values) {
+  std::map<std::string, std::size_t> counts;
+  for (const auto& v : values) ++counts[v];
+  return counts;
+}
+
+double shannon_entropy(const std::map<std::string, std::size_t>& counts) {
+  std::size_t total = 0;
+  for (const auto& [value, count] : counts) total += count;
+  if (total == 0) return 0.0;
+  double h = 0.0;
+  for (const auto& [value, count] : counts) {
+    if (count == 0) continue;
+    const double p = static_cast<double>(count) / static_cast<double>(total);
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+double shannon_entropy(const std::vector<std::string>& values) {
+  return shannon_entropy(histogram(values));
+}
+
+double normalized_entropy(const std::vector<std::string>& values) {
+  if (values.size() < 2) return 0.0;
+  const double h = shannon_entropy(values);
+  return h / std::log2(static_cast<double>(values.size()));
+}
+
+AnonymitySetStats anonymity_sets(const std::vector<std::string>& values) {
+  AnonymitySetStats stats;
+  stats.observations = values.size();
+  if (values.empty()) return stats;
+
+  const auto counts = histogram(values);
+  stats.distinct_values = counts.size();
+
+  std::size_t unique = 0;
+  std::size_t small = 0;
+  std::size_t medium = 0;
+  std::size_t large = 0;
+  for (const auto& [value, count] : counts) {
+    if (count == 1) {
+      unique += count;
+    } else if (count <= 10) {
+      small += count;
+    } else if (count <= 50) {
+      medium += count;
+    } else {
+      large += count;
+    }
+  }
+  const double n = static_cast<double>(values.size());
+  stats.pct_unique = 100.0 * static_cast<double>(unique) / n;
+  stats.pct_2_to_10 = 100.0 * static_cast<double>(small) / n;
+  stats.pct_11_to_50 = 100.0 * static_cast<double>(medium) / n;
+  stats.pct_over_50 = 100.0 * static_cast<double>(large) / n;
+  return stats;
+}
+
+std::vector<std::pair<std::size_t, double>> anonymity_distribution(
+    const std::vector<std::string>& values) {
+  std::vector<std::pair<std::size_t, double>> out;
+  if (values.empty()) return out;
+  const auto counts = histogram(values);
+
+  // set size -> number of observations in sets of that size
+  std::map<std::size_t, std::size_t> by_size;
+  for (const auto& [value, count] : counts) by_size[count] += count;
+
+  const double n = static_cast<double>(values.size());
+  out.reserve(by_size.size());
+  for (const auto& [size, observations] : by_size) {
+    out.emplace_back(size, 100.0 * static_cast<double>(observations) / n);
+  }
+  return out;
+}
+
+}  // namespace bp::stats

@@ -1,0 +1,318 @@
+#include "traffic/session_generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "browser/engine_timelines.h"
+#include "util/strings.h"
+
+namespace bp::traffic {
+
+namespace {
+
+using browser::Environment;
+using browser::Modifier;
+using bp::util::Date;
+
+std::vector<std::int32_t> store_features(
+    const browser::CandidateValues& all,
+    const std::vector<std::size_t>& stored_indices) {
+  std::vector<std::int32_t> out;
+  out.reserve(stored_indices.size());
+  for (std::size_t idx : stored_indices) {
+    out.push_back(static_cast<std::int32_t>(all[idx]));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::size_t> experiment_feature_indices() {
+  const auto& catalog = browser::FeatureCatalog::instance();
+  std::vector<std::size_t> indices = catalog.final_indices();
+  for (std::size_t idx : catalog.appendix4_extension(42)) {
+    if (std::find(indices.begin(), indices.end(), idx) == indices.end()) {
+      indices.push_back(idx);
+    }
+  }
+  return indices;
+}
+
+SessionGenerator::SessionGenerator(TrafficConfig config)
+    : config_(config), rng_(config.seed) {}
+
+std::string SessionGenerator::fresh_session_id() {
+  // Opaque and randomized (Appendix A): hash of a counter and the seed,
+  // never derived from any session attribute.
+  const std::uint64_t raw =
+      bp::util::mix64(config_.seed ^ (0x5E551D00ULL + session_counter_));
+  ++session_counter_;
+  return bp::util::to_hex(raw);
+}
+
+ua::Vendor SessionGenerator::sample_vendor() {
+  const double weights[4] = {config_.chrome_share, config_.edge_share,
+                             config_.firefox_share, config_.edge_legacy_share};
+  switch (rng_.weighted(std::span<const double>(weights, 4))) {
+    case 1:
+      return ua::Vendor::kEdge;
+    case 2:
+      return ua::Vendor::kFirefox;
+    case 3:
+      return ua::Vendor::kEdgeLegacy;
+    default:
+      return ua::Vendor::kChrome;
+  }
+}
+
+const browser::BrowserRelease* SessionGenerator::sample_release(
+    ua::Vendor vendor, Date date, double tau_days, double straggler_tail) {
+  const auto& db = browser::ReleaseDatabase::instance();
+  std::vector<const browser::BrowserRelease*> candidates;
+  for (const auto& r : db.releases()) {
+    if (r.vendor == vendor && r.release_date <= date) {
+      candidates.push_back(&r);
+    }
+  }
+  if (candidates.empty()) return nullptr;
+
+  if (rng_.chance(straggler_tail)) {
+    // Straggler: any historical release, uniformly — this is what keeps
+    // Chrome 81-era UAs alive at double-digit row counts.
+    return candidates[rng_.below(candidates.size())];
+  }
+
+  std::vector<double> weights;
+  weights.reserve(candidates.size());
+  for (const auto* r : candidates) {
+    const double age_days = static_cast<double>(date - r->release_date);
+    weights.push_back(std::exp(-age_days / tau_days));
+  }
+  const std::size_t pick = rng_.weighted(weights);
+  return candidates[pick < candidates.size() ? pick : candidates.size() - 1];
+}
+
+void SessionGenerator::assign_tags(SessionRecord& record) {
+  const TagRates* rates = &config_.benign_rates;
+  switch (record.kind) {
+    case SessionKind::kBenign:
+    case SessionKind::kBenignModified:
+      rates = &config_.benign_rates;
+      break;
+    case SessionKind::kPrivacyBrowser:
+      rates = &config_.privacy_rates;
+      break;
+    case SessionKind::kFraudBrowser:
+      rates = &config_.fraud_rates;
+      break;
+  }
+  record.untrusted_ip = rng_.chance(rates->untrusted_ip);
+  record.untrusted_cookie = rng_.chance(rates->untrusted_cookie);
+  record.ato = rng_.chance(rates->ato);
+}
+
+SessionRecord SessionGenerator::make_benign(
+    const std::vector<std::size_t>& stored_indices, Date date) {
+  SessionRecord record;
+  record.date = date;
+  record.session_id = fresh_session_id();
+
+  const ua::Vendor vendor = sample_vendor();
+  const auto* release = sample_release(vendor, date,
+                                       config_.release_age_tau_days,
+                                       config_.straggler_tail);
+  assert(release != nullptr);
+
+  Environment env;
+  env.release = release;
+  env.os = rng_.chance(0.78) ? ua::Os::kWindows10 : ua::Os::kMacSonoma;
+  env.session_salt = rng_.next();
+
+  record.kind = SessionKind::kBenign;
+  if (release->engine == browser::Engine::kBlink) {
+    if (rng_.chance(config_.p_duckduckgo)) {
+      env.modifiers = env.modifiers | Modifier::kDuckDuckGoExtension;
+      record.kind = SessionKind::kBenignModified;
+    }
+    if (rng_.chance(config_.p_generic_extension)) {
+      env.modifiers = env.modifiers | Modifier::kGenericExtension;
+      record.kind = SessionKind::kBenignModified;
+    }
+  } else if (release->engine == browser::Engine::kGecko) {
+    if (rng_.chance(config_.p_ff_no_service_workers)) {
+      env.modifiers = env.modifiers | Modifier::kFirefoxNoServiceWorkers;
+      record.kind = SessionKind::kBenignModified;
+    }
+    if (rng_.chance(config_.p_ff_transform_getters)) {
+      env.modifiers = env.modifiers | Modifier::kFirefoxTransformGetters;
+      record.kind = SessionKind::kBenignModified;
+    }
+  }
+
+  ua::UserAgent claimed = env.presented_user_agent();
+
+  // Update inconsistency: the UA header reports the next major while the
+  // engine still runs this build (staged rollout windows).  Only applies
+  // when the next major exists.
+  bool mid_update = false;
+  if (rng_.chance(config_.p_update_inconsistency)) {
+    const auto* next = browser::ReleaseDatabase::instance().find(
+        claimed.vendor, claimed.major_version + 1);
+    if (next != nullptr && next->release_date <= date) {
+      ++claimed.major_version;
+      mid_update = true;
+    }
+  }
+
+  record.claimed = claimed;
+  record.user_agent = ua::format_user_agent(claimed);
+  record.features =
+      store_features(browser::extract_candidates(env), stored_indices);
+  record.origin = release->label();
+  if (mid_update) {
+    record.origin += " (mid-update)";
+    record.untrusted_ip = rng_.chance(config_.update_inconsistency_rates.untrusted_ip);
+    record.untrusted_cookie =
+        rng_.chance(config_.update_inconsistency_rates.untrusted_cookie);
+    record.ato = rng_.chance(config_.update_inconsistency_rates.ato);
+  } else {
+    assign_tags(record);
+  }
+  return record;
+}
+
+SessionRecord SessionGenerator::make_privacy(
+    const std::vector<std::size_t>& stored_indices, Date date,
+    bool aggressive_brave, bool tor) {
+  SessionRecord record;
+  record.date = date;
+  record.session_id = fresh_session_id();
+  record.kind = SessionKind::kPrivacyBrowser;
+
+  const auto& db = browser::ReleaseDatabase::instance();
+  Environment env;
+  env.os = rng_.chance(0.7) ? ua::Os::kWindows10 : ua::Os::kMacSonoma;
+  env.session_salt = rng_.next();
+
+  if (tor) {
+    // Tor Browser tracks Firefox ESR, roughly a year behind current
+    // (§6.3 found it presenting Firefox 102 while current was ~113).
+    env.release = db.find(ua::Vendor::kFirefox, 102);
+    env.modifiers = env.modifiers | Modifier::kTorPatchset;
+    record.origin = "Tor Browser (ESR 102 base)";
+  } else {
+    // Brave tracks current Chromium closely.
+    const auto* latest = db.latest(ua::Vendor::kChrome, date);
+    env.release = latest;
+    env.modifiers = env.modifiers | (aggressive_brave
+                                         ? Modifier::kBraveAggressiveShields
+                                         : Modifier::kBraveStandardShields);
+    record.origin = aggressive_brave ? "Brave (aggressive shields)"
+                                     : "Brave (standard shields)";
+  }
+  assert(env.release != nullptr);
+
+  const ua::UserAgent claimed = env.presented_user_agent();
+  record.claimed = claimed;
+  record.user_agent = ua::format_user_agent(claimed);
+  record.features =
+      store_features(browser::extract_candidates(env), stored_indices);
+  assign_tags(record);
+  return record;
+}
+
+SessionRecord SessionGenerator::make_fraud(
+    const std::vector<std::size_t>& stored_indices, Date date) {
+  SessionRecord record;
+  record.date = date;
+  record.session_id = fresh_session_id();
+  record.kind = SessionKind::kFraudBrowser;
+
+  // Pick a tool: categories 1/2 with weight fraud_cat12_weight, the
+  // internally-consistent categories 3/4 otherwise.
+  const auto roster = fraudsim::table1_roster();
+  std::vector<const fraudsim::FraudBrowserModel*> cat12;
+  std::vector<const fraudsim::FraudBrowserModel*> cat34;
+  for (const auto& m : roster) {
+    if (m.release_date > date) continue;
+    if (m.category == fraudsim::FraudCategory::kCategory1 ||
+        m.category == fraudsim::FraudCategory::kCategory2) {
+      cat12.push_back(&m);
+    } else {
+      cat34.push_back(&m);
+    }
+  }
+  const bool use_cat12 =
+      !cat12.empty() && (cat34.empty() || rng_.chance(config_.fraud_cat12_weight));
+  const auto& pool = use_cat12 ? cat12 : cat34;
+  const auto* model = pool[rng_.below(pool.size())];
+
+  // The victim's user-agent: drawn from the population's popularity model
+  // but skewed older — marketplace profiles were harvested weeks to
+  // months before the fraudster loads them.
+  const ua::Vendor vendor = sample_vendor();
+  const auto* victim_release = sample_release(
+      vendor, date,
+      config_.release_age_tau_days * config_.victim_staleness_multiplier,
+      config_.victim_straggler_tail);
+  assert(victim_release != nullptr);
+  const ua::UserAgent victim_ua = victim_release->user_agent(
+      rng_.chance(0.78) ? ua::Os::kWindows10 : ua::Os::kMacSonoma);
+
+  const fraudsim::FraudProfile profile =
+      fraudsim::make_profile(*model, victim_ua, rng_);
+
+  record.claimed = profile.claimed_ua;
+  record.user_agent = ua::format_user_agent(profile.claimed_ua);
+  record.features = store_features(profile.candidate_values, stored_indices);
+  record.origin = model->name;
+  assign_tags(record);
+  if (model->category == fraudsim::FraudCategory::kCategory1) {
+    record.ato = rng_.chance(config_.fraud_category1_ato);
+  }
+  return record;
+}
+
+SessionRecord SessionGenerator::next_session(
+    const std::vector<std::size_t>& stored_indices) {
+  const int span_days =
+      std::max(config_.end_date - config_.start_date, 0);
+  const Date date =
+      config_.start_date + static_cast<int>(rng_.below(
+                               static_cast<std::uint64_t>(span_days + 1)));
+
+  const double p_privacy = config_.p_brave_standard +
+                           config_.p_brave_aggressive + config_.p_tor;
+  const double roll = rng_.uniform();
+  if (roll < config_.p_fraud) {
+    return make_fraud(stored_indices, date);
+  }
+  if (roll < config_.p_fraud + p_privacy) {
+    const double r = rng_.uniform() * p_privacy;
+    if (r < config_.p_tor) {
+      return make_privacy(stored_indices, date, false, true);
+    }
+    return make_privacy(stored_indices, date,
+                        r < config_.p_tor + config_.p_brave_aggressive, false);
+  }
+  return make_benign(stored_indices, date);
+}
+
+Dataset SessionGenerator::generate(std::vector<std::size_t> stored_indices) {
+  Dataset dataset(stored_indices);
+  dataset.records().reserve(config_.n_sessions);
+  for (std::size_t i = 0; i < config_.n_sessions; ++i) {
+    dataset.add(next_session(stored_indices));
+  }
+  return dataset;
+}
+
+Dataset SessionGenerator::generate() {
+  const auto& catalog = browser::FeatureCatalog::instance();
+  std::vector<std::size_t> all(catalog.candidate_count());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  return generate(std::move(all));
+}
+
+}  // namespace bp::traffic

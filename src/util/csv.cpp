@@ -1,0 +1,129 @@
+#include "util/csv.h"
+
+#include <cstdio>
+#include <memory>
+
+namespace bp::util {
+
+std::size_t CsvTable::column(std::string_view name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  return npos;
+}
+
+std::string csv_escape(std::string_view field, char delim) {
+  const bool needs_quotes =
+      field.find(delim) != std::string_view::npos ||
+      field.find('"') != std::string_view::npos ||
+      field.find('\n') != std::string_view::npos ||
+      field.find('\r') != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out += '"';
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string to_csv(const CsvTable& table, char delim) {
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i != 0) out += delim;
+      out += csv_escape(row[i], delim);
+    }
+    out += '\n';
+  };
+  if (!table.header.empty()) emit_row(table.header);
+  for (const auto& row : table.rows) emit_row(row);
+  return out;
+}
+
+CsvTable parse_csv(std::string_view text, bool has_header, char delim) {
+  CsvTable table;
+  std::vector<std::string> record;
+  std::string field;
+  bool in_quotes = false;
+  bool any_field = false;
+
+  auto end_field = [&] {
+    record.push_back(std::move(field));
+    field.clear();
+    any_field = true;
+  };
+  auto end_record = [&] {
+    if (!any_field && record.empty()) return;  // skip blank line
+    end_field();
+    if (has_header && table.header.empty() && table.rows.empty()) {
+      table.header = std::move(record);
+    } else {
+      table.rows.push_back(std::move(record));
+    }
+    record.clear();
+    any_field = false;
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    if (c == '"' && field.empty()) {
+      in_quotes = true;
+      any_field = true;
+    } else if (c == delim) {
+      end_field();
+    } else if (c == '\n') {
+      if (any_field || !field.empty() || !record.empty()) end_record();
+    } else if (c == '\r') {
+      // swallow; \r\n handled by the \n branch
+    } else {
+      field += c;
+      any_field = true;
+    }
+  }
+  if (any_field || !field.empty() || !record.empty()) end_record();
+  return table;
+}
+
+bool write_file(const std::string& path, std::string_view contents) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
+      std::fopen(path.c_str(), "wb"), &std::fclose);
+  if (!f) return false;
+  if (!contents.empty() &&
+      std::fwrite(contents.data(), 1, contents.size(), f.get()) !=
+          contents.size()) {
+    return false;
+  }
+  return true;
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
+      std::fopen(path.c_str(), "rb"), &std::fclose);
+  if (!f) return false;
+  out.clear();
+  char buf[1 << 14];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f.get())) > 0) {
+    out.append(buf, n);
+  }
+  return std::ferror(f.get()) == 0;
+}
+
+}  // namespace bp::util

@@ -1,0 +1,41 @@
+// Minimal CSV reader/writer.
+//
+// The deployment at FinOrg exchanged periodic fingerprint datasets as flat
+// files; this module gives the reproduction the same ability to persist and
+// reload datasets (and makes bench output easy to post-process).  Quoting
+// follows RFC 4180: fields containing the delimiter, quotes, or newlines
+// are double-quoted and embedded quotes doubled.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bp::util {
+
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  // Column index by header name, or npos.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t column(std::string_view name) const;
+};
+
+// Serialize a table (header + rows) to CSV text.
+std::string to_csv(const CsvTable& table, char delim = ',');
+
+// Parse CSV text.  `has_header` controls whether the first record is
+// treated as the header row.  Handles quoted fields, embedded delimiters,
+// doubled quotes, and both \n and \r\n terminators.
+CsvTable parse_csv(std::string_view text, bool has_header = true,
+                   char delim = ',');
+
+// Quote a single field if needed.
+std::string csv_escape(std::string_view field, char delim = ',');
+
+// Write / read helpers against the filesystem.  Return false on IO error.
+bool write_file(const std::string& path, std::string_view contents);
+bool read_file(const std::string& path, std::string& out);
+
+}  // namespace bp::util

@@ -1,0 +1,73 @@
+// Civil-date arithmetic (proleptic Gregorian).
+//
+// Release dates of browser versions and session timestamps drive the
+// traffic generator, the popularity model, and the drift-detection
+// schedule.  We only ever need day granularity, so dates are stored as a
+// day count since 1970-01-01 using Howard Hinnant's public-domain civil
+// calendar algorithms.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace bp::util {
+
+struct Date {
+  std::int32_t days_since_epoch = 0;  // 1970-01-01 == 0
+
+  constexpr Date() = default;
+  constexpr explicit Date(std::int32_t days) : days_since_epoch(days) {}
+
+  static constexpr Date from_ymd(int y, unsigned m, unsigned d) noexcept {
+    y -= m <= 2;
+    const int era = (y >= 0 ? y : y - 399) / 400;
+    const auto yoe = static_cast<unsigned>(y - era * 400);           // [0, 399]
+    const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+    const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;      // [0, 146096]
+    return Date{era * 146097 + static_cast<std::int32_t>(doe) - 719468};
+  }
+
+  struct Ymd {
+    int year;
+    unsigned month;
+    unsigned day;
+  };
+
+  constexpr Ymd to_ymd() const noexcept {
+    std::int32_t z = days_since_epoch + 719468;
+    const std::int32_t era = (z >= 0 ? z : z - 146096) / 146097;
+    const auto doe = static_cast<unsigned>(z - era * 146097);        // [0, 146096]
+    const unsigned yoe =
+        (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;       // [0, 399]
+    const int y = static_cast<int>(yoe) + era * 400;
+    const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);    // [0, 365]
+    const unsigned mp = (5 * doy + 2) / 153;                         // [0, 11]
+    const unsigned d = doy - (153 * mp + 2) / 5 + 1;                 // [1, 31]
+    const unsigned m = mp + (mp < 10 ? 3 : -9);                      // [1, 12]
+    return {y + (m <= 2), m, d};
+  }
+
+  constexpr Date operator+(int days) const noexcept {
+    return Date{days_since_epoch + days};
+  }
+  constexpr Date operator-(int days) const noexcept {
+    return Date{days_since_epoch - days};
+  }
+  constexpr int operator-(Date other) const noexcept {
+    return days_since_epoch - other.days_since_epoch;
+  }
+  constexpr auto operator<=>(const Date&) const = default;
+
+  // "YYYY-MM-DD".
+  std::string to_string() const {
+    const Ymd ymd = to_ymd();
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%04d-%02u-%02u", ymd.year, ymd.month,
+                  ymd.day);
+    return buf;
+  }
+};
+
+}  // namespace bp::util

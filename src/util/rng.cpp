@@ -1,0 +1,87 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace bp::util {
+
+std::uint64_t Rng::below(std::uint64_t n) noexcept {
+  if (n == 0) return 0;
+  // Lemire's nearly-divisionless bounded sampling with rejection to keep
+  // the distribution exactly uniform.
+  const std::uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    const std::uint64_t r = next();
+    const unsigned __int128 m =
+        static_cast<unsigned __int128>(r) * static_cast<unsigned __int128>(n);
+    const auto low = static_cast<std::uint64_t>(m);
+    if (low >= threshold) return static_cast<std::uint64_t>(m >> 64);
+  }
+}
+
+std::int64_t Rng::between(std::int64_t lo, std::int64_t hi) noexcept {
+  if (hi <= lo) return lo;
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(below(span));
+}
+
+double Rng::normal() noexcept {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * 3.14159265358979323846 * u2;
+  cached_normal_ = radius * std::sin(angle);
+  have_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::exponential(double lambda) noexcept {
+  double u = 0.0;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  return -std::log(u) / lambda;
+}
+
+int Rng::integer_noise(double p, double decay) noexcept {
+  if (!chance(p)) return 0;
+  int magnitude = 1;
+  while (chance(decay)) ++magnitude;
+  return chance(0.5) ? magnitude : -magnitude;
+}
+
+std::size_t Rng::weighted(std::span<const double> weights) noexcept {
+  double total = 0.0;
+  for (double w : weights) total += (w > 0.0 ? w : 0.0);
+  if (total <= 0.0) return weights.size();
+  double target = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double w = weights[i] > 0.0 ? weights[i] : 0.0;
+    if (target < w) return i;
+    target -= w;
+  }
+  return weights.size() - 1;  // numeric slop lands on the last bucket
+}
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n,
+                                             std::size_t k) noexcept {
+  if (k > n) k = n;
+  // Partial Fisher-Yates over an index vector.
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + static_cast<std::size_t>(below(n - i));
+    using std::swap;
+    swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace bp::util

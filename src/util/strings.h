@@ -1,0 +1,46 @@
+// Small string utilities shared across the Browser Polygraph libraries.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bp::util {
+
+// Split on a single-character delimiter.  Consecutive delimiters produce
+// empty fields (CSV-style), and the result always has count(delim)+1
+// entries.
+std::vector<std::string_view> split(std::string_view s, char delim);
+
+// Trim ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+// True if `s` begins with / contains `needle` (case-sensitive).
+bool starts_with(std::string_view s, std::string_view prefix);
+bool contains(std::string_view s, std::string_view needle);
+
+// Case-insensitive ASCII comparison.
+bool iequals(std::string_view a, std::string_view b);
+
+// Parse a non-negative integer; returns nullopt on any non-digit or
+// overflow past 2^63-1.
+std::optional<std::int64_t> parse_int(std::string_view s);
+
+// Parse a double via std::from_chars semantics; nullopt on failure.
+std::optional<double> parse_double(std::string_view s);
+
+// printf-style formatting into std::string.
+std::string format_double(double v, int precision);
+
+// Join values with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+// Lower-case ASCII copy.
+std::string to_lower(std::string_view s);
+
+// Hex-encode 64-bit values — used for opaque session identifiers.
+std::string to_hex(std::uint64_t v);
+
+}  // namespace bp::util

@@ -1,0 +1,71 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace bp::util {
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths;
+  auto grow = [&](const std::vector<std::string>& row) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  grow(header_);
+  for (const auto& row : rows_) grow(row);
+
+  auto emit = [&](const std::vector<std::string>& row, std::string& out) {
+    out += '|';
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string{};
+      out += ' ';
+      out += cell;
+      out.append(widths[i] - cell.size() + 1, ' ');
+      out += '|';
+    }
+    out += '\n';
+  };
+
+  std::string out;
+  if (!header_.empty()) {
+    emit(header_, out);
+    out += '|';
+    for (std::size_t w : widths) {
+      out.append(w + 2, '-');
+      out += '|';
+    }
+    out += '\n';
+  }
+  for (const auto& row : rows_) emit(row, out);
+  return out;
+}
+
+std::string ascii_chart(const std::vector<std::pair<std::string, double>>& series,
+                        int width, char bar) {
+  double max_v = 0.0;
+  std::size_t label_w = 0;
+  for (const auto& [label, v] : series) {
+    max_v = std::max(max_v, v);
+    label_w = std::max(label_w, label.size());
+  }
+  std::string out;
+  for (const auto& [label, v] : series) {
+    out += label;
+    out.append(label_w - label.size(), ' ');
+    out += " |";
+    const int n = max_v > 0.0
+                      ? static_cast<int>(v / max_v * width + 0.5)
+                      : 0;
+    out.append(static_cast<std::size_t>(std::max(n, 0)), bar);
+    out += "  ";
+    char num[48];
+    std::snprintf(num, sizeof(num), "%.4g", v);
+    out += num;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace bp::util

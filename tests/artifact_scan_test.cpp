@@ -1,0 +1,153 @@
+// Tests for the vendor-artifact scanner and the simulated window
+// namespaces (§8's software-specific fingerprinting).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/artifact_scan.h"
+#include "fraudsim/artifacts.h"
+#include "ml/stratified.h"
+
+namespace bp {
+namespace {
+
+TEST(Artifacts, AntBrowserLeaksItsNamespace) {
+  const auto* model = fraudsim::find_model("AntBrowser");
+  ASSERT_NE(model, nullptr);
+  const auto names = fraudsim::window_artifacts(*model, 1);
+  EXPECT_NE(std::find(names.begin(), names.end(), "ANTBROWSER"), names.end());
+}
+
+TEST(Artifacts, CommodityCategory2ToolsAreClean) {
+  for (const char* name :
+       {"Incogniton-3.2.7.7", "GoLogin-3.3.23", "VMLogin-1.3.8.5",
+        "Octo Browser-1.10", "Sphere-1.3", "CheBrowser-0.3.38"}) {
+    const auto* model = fraudsim::find_model(name);
+    ASSERT_NE(model, nullptr) << name;
+    EXPECT_TRUE(fraudsim::window_artifacts(*model, 5).empty()) << name;
+  }
+}
+
+TEST(Artifacts, StockGlobalsAreEngineSpecific) {
+  const auto blink = fraudsim::stock_window_globals(browser::Engine::kBlink);
+  const auto gecko = fraudsim::stock_window_globals(browser::Engine::kGecko);
+  EXPECT_NE(std::find(blink.begin(), blink.end(), "chrome"), blink.end());
+  EXPECT_EQ(std::find(gecko.begin(), gecko.end(), "chrome"), gecko.end());
+}
+
+TEST(Scanner, BuiltinSignaturesDetectAntBrowser) {
+  const auto scanner = core::ArtifactScanner::with_builtin_signatures();
+  const auto id = scanner.identify({"window", "ANTBROWSER", "document"});
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(*id, "AntBrowser");
+}
+
+TEST(Scanner, PrefixMatchIsCaseInsensitive) {
+  const auto scanner = core::ArtifactScanner::with_builtin_signatures();
+  EXPECT_TRUE(scanner.identify({"AntBrowserProfile"}).has_value());
+  EXPECT_TRUE(scanner.identify({"antbrowserprofile"}).has_value());
+}
+
+TEST(Scanner, CleanNamespaceNoMatch) {
+  const auto scanner = core::ArtifactScanner::with_builtin_signatures();
+  for (const auto engine : {browser::Engine::kBlink, browser::Engine::kGecko,
+                            browser::Engine::kEdgeHtml}) {
+    EXPECT_FALSE(
+        scanner.identify(fraudsim::stock_window_globals(engine)).has_value());
+  }
+}
+
+TEST(Scanner, ScanReportsEveryHit) {
+  const auto scanner = core::ArtifactScanner::with_builtin_signatures();
+  const auto matches =
+      scanner.scan({"ANTBROWSER", "antBrowserProfile", "document"});
+  EXPECT_EQ(matches.size(), 2u);
+}
+
+TEST(Scanner, CustomSignature) {
+  core::ArtifactScanner scanner;
+  scanner.add_signature({"MyTool", "", "mytool_"});
+  EXPECT_EQ(scanner.identify({"mytool_hook"}).value_or(""), "MyTool");
+  EXPECT_FALSE(scanner.identify({"other"}).has_value());
+}
+
+TEST(Scanner, EndToEndOverRoster) {
+  // Every tool that leaks artifacts is identified; the clean ones are
+  // left to the clustering pipeline.
+  const auto scanner = core::ArtifactScanner::with_builtin_signatures();
+  for (const auto& model : fraudsim::table1_roster()) {
+    auto globals = fraudsim::stock_window_globals(model.base_engine);
+    const auto artifacts = fraudsim::window_artifacts(model, 0);
+    globals.insert(globals.end(), artifacts.begin(), artifacts.end());
+    const auto id = scanner.identify(globals);
+    if (!artifacts.empty()) {
+      ASSERT_TRUE(id.has_value()) << model.name;
+      EXPECT_NE(model.name.find(id->substr(0, 4)), std::string::npos)
+          << model.name << " identified as " << *id;
+    } else {
+      EXPECT_FALSE(id.has_value()) << model.name;
+    }
+  }
+}
+
+// ------------------------- stratified sampling -------------------------
+
+TEST(Stratified, CapsLargeStrata) {
+  std::vector<std::uint32_t> strata;
+  for (int i = 0; i < 5'000; ++i) strata.push_back(1);
+  for (int i = 0; i < 40; ++i) strata.push_back(2);
+  ml::StratifiedConfig config;
+  config.max_per_stratum = 1'000;
+  config.min_per_stratum = 25;
+  const auto kept = ml::stratified_sample(strata, config);
+
+  std::size_t big = 0;
+  std::size_t small = 0;
+  for (std::size_t idx : kept) (strata[idx] == 1 ? big : small) += 1;
+  EXPECT_EQ(big, 1'000u);
+  EXPECT_EQ(small, 40u);  // below min: keep everything
+}
+
+TEST(Stratified, KeepFractionApplies) {
+  std::vector<std::uint32_t> strata(10'000, 7);
+  ml::StratifiedConfig config;
+  config.max_per_stratum = 100'000;
+  config.min_per_stratum = 1;
+  config.keep_fraction = 0.1;
+  const auto kept = ml::stratified_sample(strata, config);
+  EXPECT_EQ(kept.size(), 1'000u);
+}
+
+TEST(Stratified, OutputSortedAndUnique) {
+  std::vector<std::uint32_t> strata;
+  for (int i = 0; i < 300; ++i) strata.push_back(i % 3);
+  ml::StratifiedConfig config;
+  config.max_per_stratum = 50;
+  const auto kept = ml::stratified_sample(strata, config);
+  for (std::size_t i = 1; i < kept.size(); ++i) {
+    EXPECT_LT(kept[i - 1], kept[i]);
+  }
+}
+
+TEST(Stratified, DeterministicGivenSeed) {
+  std::vector<std::uint32_t> strata(500, 3);
+  ml::StratifiedConfig config;
+  config.max_per_stratum = 100;
+  EXPECT_EQ(ml::stratified_sample(strata, config),
+            ml::stratified_sample(strata, config));
+}
+
+TEST(Stratified, RareStrataFullyRepresented) {
+  std::vector<std::uint32_t> strata;
+  for (int s = 0; s < 50; ++s) {
+    for (int i = 0; i < 4; ++i) strata.push_back(static_cast<std::uint32_t>(s));
+  }
+  ml::StratifiedConfig config;
+  config.max_per_stratum = 10;
+  config.min_per_stratum = 4;
+  const auto kept = ml::stratified_sample(strata, config);
+  EXPECT_EQ(kept.size(), strata.size());
+}
+
+}  // namespace
+}  // namespace bp

@@ -1,0 +1,251 @@
+// Tests for the fine-grained fingerprinting baselines and the Appendix-5
+// flatten/encode pipeline.
+#include <gtest/gtest.h>
+
+#include "baseline/collectors.h"
+#include "baseline/encode.h"
+#include "browser/release_db.h"
+
+namespace bp::baseline {
+namespace {
+
+browser::Environment make_env(ua::Vendor vendor, int version,
+                              ua::Os os = ua::Os::kWindows10,
+                              std::uint64_t salt = 5) {
+  browser::Environment env;
+  env.release = browser::ReleaseDatabase::instance().find(vendor, version);
+  EXPECT_NE(env.release, nullptr);
+  env.os = os;
+  env.session_salt = salt;
+  return env;
+}
+
+// ------------------------- profile tree -------------------------
+
+TEST(Profile, JsonScalars) {
+  EXPECT_EQ(ProfileValue(nullptr).to_json(), "null");
+  EXPECT_EQ(ProfileValue(true).to_json(), "true");
+  EXPECT_EQ(ProfileValue(42).to_json(), "42");
+  EXPECT_EQ(ProfileValue(2.5).to_json(), "2.5");
+  EXPECT_EQ(ProfileValue("hi").to_json(), "\"hi\"");
+}
+
+TEST(Profile, JsonEscapesQuotes) {
+  EXPECT_EQ(ProfileValue("a\"b").to_json(), "\"a\\\"b\"");
+}
+
+TEST(Profile, JsonNestedStructure) {
+  ProfileValue p;
+  p["a"]["b"] = 1;
+  p["c"] = ProfileValue::Array{1, 2};
+  EXPECT_EQ(p.to_json(), "{\"a\":{\"b\":1},\"c\":[1,2]}");
+}
+
+TEST(Profile, SerializedSizeMatchesJson) {
+  ProfileValue p;
+  p["x"] = "y";
+  EXPECT_EQ(p.serialized_size(), p.to_json().size());
+}
+
+TEST(Flatten, DottedPaths) {
+  ProfileValue p;
+  p["screen"]["width"] = 1920;
+  p["fonts"] = ProfileValue::Array{std::string("Arial")};
+  const auto leaves = flatten_profile(p);
+
+  bool saw_width = false;
+  bool saw_font0 = false;
+  bool saw_length = false;
+  for (const auto& leaf : leaves) {
+    if (leaf.path == "screen.width") saw_width = true;
+    if (leaf.path == "fonts.0") saw_font0 = true;
+    if (leaf.path == "fonts.length") saw_length = true;
+  }
+  EXPECT_TRUE(saw_width);
+  EXPECT_TRUE(saw_font0);
+  EXPECT_TRUE(saw_length);
+}
+
+// ------------------------- collectors -------------------------
+
+TEST(Collectors, DeterministicGivenEnvironment) {
+  const auto env = make_env(ua::Vendor::kChrome, 112);
+  EXPECT_EQ(collect(Collector::kFingerprintJs, env).to_json(),
+            collect(Collector::kFingerprintJs, env).to_json());
+}
+
+TEST(Collectors, CanvasHashVariesByInstall) {
+  const auto a = make_env(ua::Vendor::kChrome, 112, ua::Os::kWindows10, 1);
+  const auto b = make_env(ua::Vendor::kChrome, 112, ua::Os::kWindows10, 2);
+  EXPECT_NE(canvas_probe(a, 64, 32), canvas_probe(b, 64, 32));
+}
+
+TEST(Collectors, CanvasHashVariesByEngineVersionEra) {
+  const auto a = make_env(ua::Vendor::kChrome, 100, ua::Os::kWindows10, 1);
+  const auto b = make_env(ua::Vendor::kChrome, 119, ua::Os::kWindows10, 1);
+  EXPECT_NE(canvas_probe(a, 64, 32), canvas_probe(b, 64, 32));
+}
+
+TEST(Collectors, AudioProbeIsEngineSensitive) {
+  const auto chrome = make_env(ua::Vendor::kChrome, 110);
+  const auto firefox = make_env(ua::Vendor::kFirefox, 110);
+  EXPECT_NE(audio_probe(chrome, 2000), audio_probe(firefox, 2000));
+}
+
+TEST(Collectors, FontProbeSharedWithinOsFamily) {
+  const auto win10 = make_env(ua::Vendor::kChrome, 112, ua::Os::kWindows10);
+  const auto win11 = make_env(ua::Vendor::kChrome, 112, ua::Os::kWindows11);
+  const auto mac = make_env(ua::Vendor::kChrome, 112, ua::Os::kMacSonoma);
+  EXPECT_EQ(font_probe(win10, 100), font_probe(win11, 100));
+  EXPECT_NE(font_probe(win10, 100), font_probe(mac, 100));
+}
+
+TEST(Collectors, PayloadSizeOrdering) {
+  // Table 2's storage ordering is a property of the collectors.
+  const auto env = make_env(ua::Vendor::kChrome, 112);
+  const std::size_t amiunique =
+      collect(Collector::kAmIUnique, env).serialized_size();
+  const std::size_t fpjs =
+      collect(Collector::kFingerprintJs, env).serialized_size();
+  const std::size_t clientjs =
+      collect(Collector::kClientJs, env).serialized_size();
+  EXPECT_GT(amiunique, fpjs);
+  EXPECT_GT(fpjs, clientjs);
+  EXPECT_GT(clientjs, 1024u);     // all fine-grained payloads exceed 1KB
+  EXPECT_GT(amiunique, 40'000u);  // ~60KB in the paper
+}
+
+TEST(Collectors, ClientJsUaDerivedSubtreePresent) {
+  const auto env = make_env(ua::Vendor::kFirefox, 102);
+  const ProfileValue p = collect(Collector::kClientJs, env);
+  const auto& ua_derived = p.as_object().at("uaDerived");
+  EXPECT_EQ(ua_derived.as_object().at("browser").as_string(), "Firefox");
+  EXPECT_EQ(ua_derived.as_object().at("browserVersion").as_number(), 102.0);
+}
+
+TEST(Collectors, NamesAreStable) {
+  EXPECT_EQ(collector_name(Collector::kFingerprintJs), "FingerprintJS");
+  EXPECT_EQ(collector_name(Collector::kClientJs), "ClientJS");
+  EXPECT_EQ(collector_name(Collector::kAmIUnique), "AmIUnique");
+}
+
+// ------------------------- encoder -------------------------
+
+TEST(Encode, NumbersPassThrough) {
+  ProfileValue a;
+  a["x"] = 3;
+  ProfileValue b;
+  b["x"] = 5;
+  ProfileValue c;
+  c["x"] = 3;  // repeat: the column is neither constant nor all-unique
+  const auto encoded = encode_profiles({a, b, c});
+  ASSERT_EQ(encoded.column_names.size(), 1u);
+  EXPECT_DOUBLE_EQ(encoded.features(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(encoded.features(1, 0), 5.0);
+}
+
+TEST(Encode, BooleansBecomeZeroOne) {
+  ProfileValue a;
+  a["b"] = true;
+  ProfileValue b;
+  b["b"] = false;
+  ProfileValue c;
+  c["b"] = true;
+  const auto encoded = encode_profiles({a, b, c});
+  ASSERT_EQ(encoded.column_names.size(), 1u);
+  EXPECT_DOUBLE_EQ(encoded.features(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(encoded.features(1, 0), 0.0);
+}
+
+TEST(Encode, StringsBecomeCategories) {
+  ProfileValue a;
+  a["s"] = "x";
+  ProfileValue b;
+  b["s"] = "y";
+  ProfileValue c;
+  c["s"] = "x";
+  const auto encoded = encode_profiles({a, b, c});
+  EXPECT_DOUBLE_EQ(encoded.features(0, 0), encoded.features(2, 0));
+  EXPECT_NE(encoded.features(0, 0), encoded.features(1, 0));
+}
+
+TEST(Encode, MissingValuesAreMinusOne) {
+  ProfileValue a;
+  a["p"] = 1;
+  a["q"] = 7;
+  ProfileValue b;
+  b["q"] = 9;  // "p" missing
+  ProfileValue c;
+  c["p"] = 1;
+  c["q"] = 7;
+  const auto encoded = encode_profiles({a, b, c});
+  ASSERT_EQ(encoded.column_names.size(), 2u);
+  // Columns are path-sorted: p before q.
+  EXPECT_DOUBLE_EQ(encoded.features(1, 0), -1.0);
+}
+
+TEST(Encode, DropsConstantColumns) {
+  ProfileValue a;
+  a["c"] = 1;
+  a["v"] = 1;
+  ProfileValue b;
+  b["c"] = 1;
+  b["v"] = 2;
+  ProfileValue c2;
+  c2["c"] = 1;
+  c2["v"] = 2;
+  const auto encoded = encode_profiles({a, b, c2});
+  EXPECT_EQ(encoded.column_names, std::vector<std::string>{"v"});
+  EXPECT_EQ(encoded.dropped_constant, 1u);
+}
+
+TEST(Encode, DropsAllUniqueColumns) {
+  ProfileValue a;
+  a["hash"] = "aaa";
+  a["v"] = 1;
+  ProfileValue b;
+  b["hash"] = "bbb";
+  b["v"] = 1;
+  ProfileValue c;
+  c["hash"] = "ccc";
+  c["v"] = 2;
+  const auto encoded = encode_profiles({a, b, c});
+  EXPECT_EQ(encoded.column_names, std::vector<std::string>{"v"});
+  EXPECT_EQ(encoded.dropped_all_unique, 1u);
+}
+
+TEST(Encode, ExcludePrefixes) {
+  ProfileValue a;
+  a["uaDerived"]["browser"] = "Chrome";
+  a["keep"] = 1;
+  ProfileValue b;
+  b["uaDerived"]["browser"] = "Firefox";
+  b["keep"] = 2;
+  ProfileValue c;
+  c["uaDerived"]["browser"] = "Chrome";
+  c["keep"] = 2;
+  EncodeOptions options;
+  options.exclude_prefixes = {"uaDerived."};
+  const auto encoded = encode_profiles({a, b, c}, options);
+  EXPECT_EQ(encoded.column_names, std::vector<std::string>{"keep"});
+  EXPECT_EQ(encoded.dropped_excluded, 1u);
+}
+
+TEST(Encode, HashColumnsFromCollectorsAreDropped) {
+  // Canvas/audio hashes differ per install: across distinct installs
+  // they are all-unique and must not survive encoding.
+  std::vector<ProfileValue> profiles;
+  for (std::uint64_t salt = 1; salt <= 6; ++salt) {
+    profiles.push_back(collect(
+        Collector::kFingerprintJs,
+        make_env(ua::Vendor::kChrome, 112, ua::Os::kWindows10, salt)));
+  }
+  const auto encoded = encode_profiles(profiles);
+  for (const auto& name : encoded.column_names) {
+    EXPECT_EQ(name.find("canvas.hash"), std::string::npos) << name;
+    EXPECT_EQ(name.find("audio.hash"), std::string::npos) << name;
+  }
+}
+
+}  // namespace
+}  // namespace bp::baseline

@@ -1,0 +1,215 @@
+// Tests for the engine-timeline model: era boundaries, cross-engine
+// coincidences that define Table 3's cluster structure, and the §6.3
+// statistics the synthetic candidates must satisfy.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "browser/engine_timelines.h"
+#include "browser/extractor.h"
+
+namespace bp::browser {
+namespace {
+
+const FeatureCatalog& catalog() { return FeatureCatalog::instance(); }
+
+std::size_t feature(const char* interface_name) {
+  const std::size_t idx = catalog().index_of(
+      std::string("Object.getOwnPropertyNames(") + interface_name +
+      ".prototype).length");
+  EXPECT_NE(idx, FeatureCatalog::npos);
+  return idx;
+}
+
+TEST(Eras, BlinkBoundaries) {
+  EXPECT_EQ(blink_era(59), 0);
+  EXPECT_EQ(blink_era(68), 0);
+  EXPECT_EQ(blink_era(69), 1);
+  EXPECT_EQ(blink_era(89), 1);
+  EXPECT_EQ(blink_era(90), 2);
+  EXPECT_EQ(blink_era(101), 2);
+  EXPECT_EQ(blink_era(102), 3);
+  EXPECT_EQ(blink_era(109), 3);
+  EXPECT_EQ(blink_era(110), 4);
+  EXPECT_EQ(blink_era(113), 4);
+  EXPECT_EQ(blink_era(114), 5);
+  EXPECT_EQ(blink_era(118), 5);
+  EXPECT_EQ(blink_era(119), 6);
+}
+
+TEST(Eras, GeckoBoundaries) {
+  EXPECT_EQ(gecko_era(46), 0);
+  EXPECT_EQ(gecko_era(50), 0);
+  EXPECT_EQ(gecko_era(51), 1);
+  EXPECT_EQ(gecko_era(91), 1);
+  EXPECT_EQ(gecko_era(92), 2);
+  EXPECT_EQ(gecko_era(100), 2);
+  EXPECT_EQ(gecko_era(101), 3);
+  EXPECT_EQ(gecko_era(118), 3);
+  EXPECT_EQ(gecko_era(119), 4);
+}
+
+TEST(Timelines, ValuesConstantWithinEra) {
+  const std::size_t element = feature("Element");
+  EXPECT_EQ(baseline_value(Engine::kBlink, 110, element),
+            baseline_value(Engine::kBlink, 113, element));
+  EXPECT_EQ(baseline_value(Engine::kGecko, 101, element),
+            baseline_value(Engine::kGecko, 114, element));
+}
+
+TEST(Timelines, ValuesStepAcrossEras) {
+  const std::size_t element = feature("Element");
+  EXPECT_LT(baseline_value(Engine::kBlink, 109, element),
+            baseline_value(Engine::kBlink, 110, element));
+  EXPECT_LT(baseline_value(Engine::kGecko, 91, element),
+            baseline_value(Engine::kGecko, 92, element));
+}
+
+TEST(Timelines, BlinkDeviationValuesNonDecreasing) {
+  // Prototype surfaces only grow within our window for Blink.
+  for (std::size_t i = 0; i < 22; ++i) {
+    const std::size_t idx = catalog().final_indices()[i];
+    for (int v = 60; v <= 119; ++v) {
+      EXPECT_GE(baseline_value(Engine::kBlink, v, idx),
+                baseline_value(Engine::kBlink, v - 1, idx))
+          << catalog().spec(idx).name << " at Blink " << v;
+    }
+  }
+}
+
+TEST(Timelines, Cluster2Coincidence) {
+  // Chrome 59-68 and Firefox 51-91 must be close on every production
+  // numeric (this is what merges them into the paper's cluster 2).
+  double total = 0.0;
+  for (std::size_t i = 0; i < 22; ++i) {
+    const std::size_t idx = catalog().final_indices()[i];
+    const double diff =
+        std::abs(baseline_value(Engine::kBlink, 63, idx) -
+                 baseline_value(Engine::kGecko, 70, idx));
+    total += diff;
+    EXPECT_LE(diff, 6.0) << catalog().spec(idx).name;
+  }
+  EXPECT_LE(total, 40.0);
+}
+
+TEST(Timelines, Cluster6Coincidence) {
+  // EdgeHTML sits next to Firefox 46-50 (cluster 6).
+  for (std::size_t i = 0; i < 22; ++i) {
+    const std::size_t idx = catalog().final_indices()[i];
+    EXPECT_LE(std::abs(baseline_value(Engine::kEdgeHtml, 18, idx) -
+                       baseline_value(Engine::kGecko, 48, idx)),
+              10.0)
+        << catalog().spec(idx).name;
+  }
+}
+
+TEST(Timelines, Firefox119ConvergesToBlinkEra2) {
+  // §7.3: Firefox 119's Element rework pushes it into the Chrome 90-101
+  // cluster; the numerics must match Blink era 2 exactly in our model.
+  for (std::size_t i = 0; i < 22; ++i) {
+    const std::size_t idx = catalog().final_indices()[i];
+    EXPECT_NEAR(baseline_value(Engine::kGecko, 119, idx),
+                baseline_value(Engine::kBlink, 95, idx), 6.0)
+        << catalog().spec(idx).name;
+  }
+}
+
+TEST(Timelines, TimeBasedBitsAreBinary) {
+  for (std::size_t i = 22; i < 28; ++i) {
+    const std::size_t idx = catalog().final_indices()[i];
+    for (const auto& release : ReleaseDatabase::instance().releases()) {
+      const int v = baseline_value(release.engine, release.engine_version, idx);
+      EXPECT_TRUE(v == 0 || v == 1) << catalog().spec(idx).name;
+    }
+  }
+}
+
+TEST(Timelines, DeviceMemoryIsBlinkOnlyFrom63) {
+  const std::size_t idx =
+      catalog().index_of("Navigator.prototype.hasOwnProperty('deviceMemory')");
+  EXPECT_EQ(baseline_value(Engine::kBlink, 62, idx), 0);
+  EXPECT_EQ(baseline_value(Engine::kBlink, 63, idx), 1);
+  EXPECT_EQ(baseline_value(Engine::kGecko, 119, idx), 0);
+  EXPECT_EQ(baseline_value(Engine::kEdgeHtml, 18, idx), 0);
+}
+
+TEST(Timelines, WebkitFullscreenSeparatesVendors) {
+  const std::size_t idx = catalog().index_of(
+      "HTMLVideoElement.prototype.hasOwnProperty('webkitDisplayingFullscreen')");
+  EXPECT_EQ(baseline_value(Engine::kBlink, 100, idx), 1);
+  EXPECT_EQ(baseline_value(Engine::kGecko, 100, idx), 0);
+}
+
+TEST(Timelines, DeviationValuesNeverNegative) {
+  for (std::size_t idx = 0; idx < catalog().candidate_count(); ++idx) {
+    for (const auto& release : ReleaseDatabase::instance().releases()) {
+      EXPECT_GE(baseline_value(release.engine, release.engine_version, idx), 0)
+          << catalog().spec(idx).name;
+    }
+  }
+}
+
+TEST(Constants, RoughlyMatchPaperCount) {
+  // §6.3: a one-day sample showed 186 of 513 features with a singular
+  // value.  Our timeline model must land in that neighbourhood for the
+  // modern population (global constancy is the lower bound).
+  std::size_t constant = 0;
+  for (std::size_t idx = 0; idx < catalog().candidate_count(); ++idx) {
+    constant += is_globally_constant(idx) ? 1 : 0;
+  }
+  EXPECT_GE(constant, 120u);
+  EXPECT_LE(constant, 240u);
+}
+
+TEST(Constants, FinalFeaturesNeverConstant) {
+  for (std::size_t idx : catalog().final_indices()) {
+    EXPECT_FALSE(is_globally_constant(idx)) << catalog().spec(idx).name;
+  }
+}
+
+TEST(Rollout, OnlyVersion119Blends) {
+  const auto& db = ReleaseDatabase::instance();
+  for (const auto& release : db.releases()) {
+    const double fraction = rollout_blend_fraction(release);
+    if ((release.vendor == ua::Vendor::kChrome ||
+         release.vendor == ua::Vendor::kFirefox) &&
+        release.version == 119) {
+      EXPECT_GT(fraction, 0.0) << release.label();
+    } else {
+      EXPECT_EQ(fraction, 0.0) << release.label();
+    }
+  }
+}
+
+TEST(Rollout, PreviousEraValueMatchesPredecessor) {
+  const std::size_t element = feature("Element");
+  // Blink 119's rollback cohort reports 110-113-era values.
+  EXPECT_EQ(previous_era_value(Engine::kBlink, 119, element),
+            baseline_value(Engine::kBlink, 113, element));
+  // Gecko 119's laggards still report the 101-118 era.
+  EXPECT_EQ(previous_era_value(Engine::kGecko, 119, element),
+            baseline_value(Engine::kGecko, 118, element));
+}
+
+// Property: every release produces identical candidates on repeated
+// extraction (the cache and the generator agree).
+class BaselineDeterminism : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BaselineDeterminism, CachedEqualsRecomputed) {
+  const auto releases = ReleaseDatabase::instance().releases();
+  const auto& release = releases[GetParam() % releases.size()];
+  const auto& cached =
+      baseline_candidates(release.engine, release.engine_version);
+  ASSERT_EQ(cached.size(), catalog().candidate_count());
+  for (std::size_t idx = 0; idx < cached.size(); ++idx) {
+    EXPECT_EQ(cached[idx],
+              baseline_value(release.engine, release.engine_version, idx));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SampleReleases, BaselineDeterminism,
+                         ::testing::Values(0, 17, 35, 61, 88, 120, 135, 160,
+                                           178));
+
+}  // namespace
+}  // namespace bp::browser

@@ -1,0 +1,226 @@
+// Tests for drift detection (§6.6/§7.3) and model persistence.
+#include <gtest/gtest.h>
+
+#include "core/drift.h"
+#include "core/model_io.h"
+#include "traffic/session_generator.h"
+
+namespace bp::core {
+namespace {
+
+struct DriftFixture {
+  Polygraph model;
+  traffic::Dataset drift_data;
+};
+
+const DriftFixture& fixture() {
+  static const DriftFixture* instance = [] {
+    auto* f = new DriftFixture;
+    {
+      traffic::TrafficConfig config;
+      config.n_sessions = 40'000;
+      traffic::SessionGenerator gen(config);
+      const traffic::Dataset train = gen.generate(
+          traffic::experiment_feature_indices());
+      const ml::Matrix features =
+          train.feature_matrix(f->model.config().feature_indices);
+      std::vector<ua::UserAgent> uas;
+      for (const auto& r : train.records()) uas.push_back(r.claimed);
+      f->model.train(features, uas);
+    }
+    {
+      traffic::TrafficConfig config;
+      config.seed = 20230725;
+      config.n_sessions = 60'000;
+      config.start_date = bp::util::Date::from_ymd(2023, 7, 20);
+      config.end_date = bp::util::Date::from_ymd(2023, 11, 3);
+      traffic::SessionGenerator gen(config);
+      f->drift_data = gen.generate(traffic::experiment_feature_indices());
+    }
+    return f;
+  }();
+  return *instance;
+}
+
+ua::UserAgent chrome(int v) { return {ua::Vendor::kChrome, v, ua::Os::kWindows10}; }
+ua::UserAgent firefox(int v) {
+  return {ua::Vendor::kFirefox, v, ua::Os::kWindows10};
+}
+ua::UserAgent edge(int v) { return {ua::Vendor::kEdge, v, ua::Os::kWindows10}; }
+
+TEST(Drift, StableReleasesDoNotTrigger) {
+  const DriftDetector detector(fixture().model, 0.98);
+  for (int version = 115; version <= 118; ++version) {
+    const DriftReport report = detector.check(
+        fixture().drift_data,
+        {chrome(version), firefox(version), edge(version)},
+        bp::util::Date::from_ymd(2023, 10, 23));
+    EXPECT_FALSE(report.retraining_required) << "version " << version;
+    for (const auto& entry : report.entries) {
+      EXPECT_GT(entry.accuracy, 0.98) << entry.release.label();
+      EXPECT_FALSE(entry.cluster_changed) << entry.release.label();
+    }
+  }
+}
+
+TEST(Drift, StableReleasesInheritPredecessorCluster) {
+  const DriftDetector detector(fixture().model, 0.98);
+  const DriftReport report =
+      detector.check(fixture().drift_data, {chrome(116), firefox(116)},
+                     bp::util::Date::from_ymd(2023, 8, 25));
+  ASSERT_EQ(report.entries.size(), 2u);
+  for (const auto& entry : report.entries) {
+    ASSERT_TRUE(entry.reference_cluster.has_value());
+    EXPECT_EQ(entry.predominant_cluster, *entry.reference_cluster);
+  }
+}
+
+TEST(Drift, Firefox119ChangesCluster) {
+  const DriftDetector detector(fixture().model, 0.98);
+  const DriftReport report =
+      detector.check(fixture().drift_data, {firefox(119)},
+                     bp::util::Date::from_ymd(2023, 11, 2));
+  ASSERT_EQ(report.entries.size(), 1u);
+  EXPECT_TRUE(report.entries[0].cluster_changed);
+  EXPECT_TRUE(report.retraining_required);
+  // It lands in the Chrome 90-101 cluster (§7.3's Table 6).
+  const auto chrome95_cluster =
+      fixture().model.cluster_table().expected_cluster(chrome(95));
+  ASSERT_TRUE(chrome95_cluster.has_value());
+  EXPECT_EQ(report.entries[0].predominant_cluster, *chrome95_cluster);
+}
+
+TEST(Drift, Chrome119DropsBelowAccuracyThreshold) {
+  const DriftDetector detector(fixture().model, 0.98);
+  const DriftReport report =
+      detector.check(fixture().drift_data, {chrome(119)},
+                     bp::util::Date::from_ymd(2023, 11, 2));
+  ASSERT_EQ(report.entries.size(), 1u);
+  EXPECT_TRUE(report.entries[0].accuracy_below_threshold);
+  EXPECT_FALSE(report.entries[0].cluster_changed);
+  EXPECT_LT(report.entries[0].accuracy, 0.98);
+  EXPECT_GT(report.entries[0].accuracy, 0.94);
+}
+
+TEST(Drift, Edge119StaysHealthy) {
+  const DriftDetector detector(fixture().model, 0.98);
+  const DriftReport report =
+      detector.check(fixture().drift_data, {edge(119)},
+                     bp::util::Date::from_ymd(2023, 11, 2));
+  ASSERT_EQ(report.entries.size(), 1u);
+  EXPECT_FALSE(report.entries[0].triggers_retraining());
+}
+
+TEST(Drift, ReleasesWithoutSessionsAreSkipped) {
+  const DriftDetector detector(fixture().model, 0.98);
+  const DriftReport report =
+      detector.check(fixture().drift_data, {chrome(200)},
+                     bp::util::Date::from_ymd(2023, 11, 2));
+  EXPECT_TRUE(report.entries.empty());
+  EXPECT_FALSE(report.retraining_required);
+}
+
+TEST(Drift, ClosestKnownReleaseFindsPredecessor) {
+  const DriftDetector detector(fixture().model, 0.98);
+  const auto closest = detector.closest_known_release(chrome(117));
+  ASSERT_TRUE(closest.has_value());
+  EXPECT_EQ(closest->vendor, ua::Vendor::kChrome);
+  EXPECT_EQ(closest->major_version, 114);  // last trained Chrome release
+}
+
+TEST(Drift, ScheduleAnchorsOnFirefoxReleases) {
+  const auto schedule = DriftDetector::schedule(
+      bp::util::Date::from_ymd(2023, 7, 20),
+      bp::util::Date::from_ymd(2023, 11, 3), /*days_after_release=*/3);
+  // Firefox 116 (Aug 1), 117 (Aug 29), 118 (Sep 26), 119 (Oct 24).
+  ASSERT_EQ(schedule.size(), 4u);
+  EXPECT_EQ(schedule[0].date.to_string(), "2023-08-04");
+  EXPECT_EQ(schedule.back().date.to_string(), "2023-10-27");
+  // Every window's releases fall inside (previous check, check date].
+  bp::util::Date window_start = bp::util::Date::from_ymd(2023, 7, 20);
+  const auto& db = browser::ReleaseDatabase::instance();
+  for (const auto& check : schedule) {
+    for (const auto& release : check.releases) {
+      const auto* r = db.find(release);
+      ASSERT_NE(r, nullptr);
+      EXPECT_GE(r->release_date, window_start);
+      EXPECT_LE(r->release_date, check.date);
+    }
+    window_start = check.date + 1;
+  }
+}
+
+// ------------------------- model persistence -------------------------
+
+TEST(ModelIo, RoundTripPreservesPredictions) {
+  const Polygraph& original = fixture().model;
+  const std::string text = serialize_model(original);
+  const auto restored = deserialize_model(text);
+  ASSERT_TRUE(restored.has_value());
+
+  const ml::Matrix features = fixture().drift_data.feature_matrix(
+      original.config().feature_indices);
+  for (std::size_t i = 0; i < 500; ++i) {
+    EXPECT_EQ(restored->predict_cluster(features.row(i)),
+              original.predict_cluster(features.row(i)));
+  }
+}
+
+TEST(ModelIo, RoundTripPreservesClusterTable) {
+  const Polygraph& original = fixture().model;
+  const auto restored = deserialize_model(serialize_model(original));
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->cluster_table().entries(),
+            original.cluster_table().entries());
+}
+
+TEST(ModelIo, RoundTripPreservesRiskFactors) {
+  const Polygraph& original = fixture().model;
+  const auto restored = deserialize_model(serialize_model(original));
+  ASSERT_TRUE(restored.has_value());
+  for (std::size_t cluster = 0; cluster < 11; ++cluster) {
+    EXPECT_EQ(restored->risk_factor(chrome(95), cluster),
+              original.risk_factor(chrome(95), cluster));
+    EXPECT_EQ(restored->risk_factor(firefox(110), cluster),
+              original.risk_factor(firefox(110), cluster));
+  }
+}
+
+TEST(ModelIo, RejectsBadHeader) {
+  EXPECT_FALSE(deserialize_model("not-a-model v9\n").has_value());
+  EXPECT_FALSE(deserialize_model("").has_value());
+}
+
+TEST(ModelIo, RejectsTruncatedBody) {
+  std::string text = serialize_model(fixture().model);
+  text.resize(text.size() / 2);
+  // Either a structural error (nullopt) — truncation mid-matrix — is
+  // acceptable; what must not happen is a crash or a silently wrong
+  // model with a full table.
+  const auto restored = deserialize_model(text);
+  if (restored.has_value()) {
+    EXPECT_LT(restored->cluster_table().size(),
+              fixture().model.cluster_table().size());
+  }
+}
+
+TEST(ModelIo, RejectsCorruptedNumbers) {
+  std::string text = serialize_model(fixture().model);
+  const auto pos = text.find("scaler_means");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 12, "scaler_meanz");
+  EXPECT_FALSE(deserialize_model(text).has_value());
+}
+
+TEST(ModelIo, FileRoundTrip) {
+  const std::string path = "/tmp/bp_model_io_test.model";
+  ASSERT_TRUE(save_model(fixture().model, path));
+  const auto restored = load_model(path);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->cluster_table().size(),
+            fixture().model.cluster_table().size());
+  EXPECT_FALSE(load_model("/tmp/definitely_missing_bp_model").has_value());
+}
+
+}  // namespace
+}  // namespace bp::core

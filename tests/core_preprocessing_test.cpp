@@ -1,0 +1,129 @@
+// Tests for candidate ranking (§6.1) and data pre-processing (§6.3).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/preprocessing.h"
+#include "traffic/session_generator.h"
+
+namespace bp::core {
+namespace {
+
+// A one-day collection sample carrying ALL 513 candidates, like the
+// March-1 sample the paper analyzed.
+const traffic::Dataset& march_sample() {
+  static const traffic::Dataset* sample = [] {
+    traffic::TrafficConfig config;
+    config.n_sessions = 4'000;
+    config.start_date = bp::util::Date::from_ymd(2023, 3, 1);
+    config.end_date = bp::util::Date::from_ymd(2023, 3, 1);
+    traffic::SessionGenerator gen(config);
+    return new traffic::Dataset(gen.generate());
+  }();
+  return *sample;
+}
+
+TEST(Ranking, CoversAllDeviationCandidates) {
+  const auto ranking = rank_candidates_by_deviation();
+  EXPECT_EQ(ranking.size(), 200u);
+}
+
+TEST(Ranking, SortedDescendingByStddev) {
+  const auto ranking = rank_candidates_by_deviation();
+  for (std::size_t i = 1; i < ranking.size(); ++i) {
+    EXPECT_GE(ranking[i - 1].stddev, ranking[i].stddev);
+  }
+}
+
+TEST(Ranking, ProductionFeaturesRankHighly) {
+  // The 22 production deviation features were chosen for spread: they
+  // should all sit in the upper half of the ranking.
+  const auto ranking = rank_candidates_by_deviation();
+  const auto& catalog = browser::FeatureCatalog::instance();
+  std::set<std::size_t> finals(catalog.final_indices().begin(),
+                               catalog.final_indices().end());
+  std::size_t in_top_half = 0;
+  std::size_t in_top_170 = 0;
+  for (std::size_t i = 0; i < ranking.size(); ++i) {
+    if (finals.count(ranking[i].candidate_index) == 0) continue;
+    in_top_half += i < 100 ? 1 : 0;
+    in_top_170 += i < 170 ? 1 : 0;
+  }
+  // The big prototype surfaces dominate the head of the ranking; the
+  // small-count production features (StaticRange, TextMetrics, ...) sit
+  // mid-table but never in the tail.
+  EXPECT_GE(in_top_half, 10u);
+  EXPECT_EQ(in_top_170, 22u);
+}
+
+TEST(Ranking, NormalizedStddevInPaperBand) {
+  // Paper: selected features' normalized deviation spans 0.0012-1.3853.
+  const auto ranking = rank_candidates_by_deviation();
+  const auto& catalog = browser::FeatureCatalog::instance();
+  std::set<std::size_t> finals(catalog.final_indices().begin(),
+                               catalog.final_indices().end());
+  for (const auto& entry : ranking) {
+    if (finals.count(entry.candidate_index) == 0) continue;
+    EXPECT_GT(entry.normalized_stddev, 0.001)
+        << catalog.spec(entry.candidate_index).name;
+    EXPECT_LT(entry.normalized_stddev, 2.0);
+  }
+}
+
+TEST(Preprocess, FindsConstantFeaturesNearPaperCount) {
+  // Paper: 186 of 513 features showed a singular value in the sample.
+  const auto report = preprocess(march_sample());
+  EXPECT_GE(report.constant_features.size(), 120u);
+  EXPECT_LE(report.constant_features.size(), 260u);
+}
+
+TEST(Preprocess, TimeBasedDominateTheConstants) {
+  // Paper: ~40% of time-based candidates showed unique values; most of
+  // BrowserPrint's 2016-2020 bits stopped moving by 2023.
+  const auto report = preprocess(march_sample());
+  EXPECT_GT(report.constant_time_based, report.constant_deviation);
+  EXPECT_GE(report.constant_time_based, 100u);
+}
+
+TEST(Preprocess, CuratedSetSurvives) {
+  // The curated 28 must pass every automatic filter — otherwise the
+  // curation is stale.
+  const auto report = preprocess(march_sample());
+  EXPECT_EQ(report.selected_features,
+            browser::FeatureCatalog::instance().final_indices());
+}
+
+TEST(Preprocess, ConfigSensitiveExcluded) {
+  const auto report = preprocess(march_sample());
+  const auto& catalog = browser::FeatureCatalog::instance();
+  std::set<std::size_t> selected(report.selected_features.begin(),
+                                 report.selected_features.end());
+  for (std::size_t idx : catalog.config_sensitive_indices()) {
+    EXPECT_EQ(selected.count(idx), 0u) << catalog.spec(idx).name;
+  }
+}
+
+TEST(Preprocess, DistinctValueCountsMatchManualCheck) {
+  traffic::TrafficConfig config;
+  config.n_sessions = 300;
+  traffic::SessionGenerator gen(config);
+  const traffic::Dataset data = gen.generate(
+      browser::FeatureCatalog::instance().final_indices());
+  const auto counts = distinct_value_counts(data);
+  ASSERT_EQ(counts.size(), 28u);
+  for (std::size_t c = 0; c < counts.size(); ++c) {
+    std::set<std::int32_t> seen;
+    for (const auto& r : data.records()) seen.insert(r.features[c]);
+    EXPECT_EQ(counts[c], seen.size());
+  }
+}
+
+TEST(Preprocess, CustomCuratedSet) {
+  PreprocessingOptions options;
+  options.curated_final_set = {0, 1};  // Element, Document
+  const auto report = preprocess(march_sample(), options);
+  EXPECT_EQ(report.selected_features, (std::vector<std::size_t>{0, 1}));
+}
+
+}  // namespace
+}  // namespace bp::core

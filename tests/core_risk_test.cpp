@@ -1,0 +1,127 @@
+// Tests for Algorithm 1: the risk-factor computation, in isolation from
+// training (the cluster table is constructed by hand).
+#include <gtest/gtest.h>
+
+#include "core/polygraph.h"
+
+namespace bp::core {
+namespace {
+
+ua::UserAgent chrome(int v) { return {ua::Vendor::kChrome, v, ua::Os::kWindows10}; }
+ua::UserAgent firefox(int v) {
+  return {ua::Vendor::kFirefox, v, ua::Os::kWindows10};
+}
+ua::UserAgent edge(int v) { return {ua::Vendor::kEdge, v, ua::Os::kWindows10}; }
+ua::UserAgent edge_legacy(int v) {
+  return {ua::Vendor::kEdgeLegacy, v, ua::Os::kWindows10};
+}
+
+// A Polygraph with only the risk machinery exercised: a hand-built table
+// mirroring Table 3's cluster 0 and 1.
+Polygraph hand_built() {
+  ClusterTable table;
+  for (int v = 110; v <= 113; ++v) {
+    table.assign(chrome(v), 0);
+    table.assign(edge(v), 0);
+  }
+  for (int v = 101; v <= 114; ++v) table.assign(firefox(v), 1);
+  table.assign(edge_legacy(18), 6);
+
+  PolygraphConfig config = PolygraphConfig::production();
+  return Polygraph::from_parts(config, ml::StandardScaler(), ml::Pca(),
+                               ml::KMeans(), std::move(table));
+}
+
+TEST(Algorithm1, ExactMatchIsZero) {
+  const Polygraph model = hand_built();
+  EXPECT_EQ(model.risk_factor(chrome(112), 0), 0);
+}
+
+TEST(Algorithm1, SameVendorDistanceIsFlooredQuarter) {
+  const Polygraph model = hand_built();
+  // Closest cluster-0 member to Chrome 120 is Chrome/Edge 113: |7|/4 = 1.
+  EXPECT_EQ(model.risk_factor(chrome(120), 0), 1);
+  // Chrome 90 vs closest 110: 20/4 = 5.
+  EXPECT_EQ(model.risk_factor(chrome(90), 0), 5);
+  // Distances below the divisor floor to zero (the false-negative
+  // reduction the paper tuned for).
+  EXPECT_EQ(model.risk_factor(chrome(109), 0), 0);
+}
+
+TEST(Algorithm1, VendorMismatchIsTwenty) {
+  const Polygraph model = hand_built();
+  EXPECT_EQ(model.risk_factor(firefox(112), 0), 20);
+  EXPECT_EQ(model.risk_factor(chrome(112), 1), 20);
+}
+
+TEST(Algorithm1, MinimumOverClusterMembers) {
+  const Polygraph model = hand_built();
+  // Firefox 120 against cluster 1 (Firefox 101-114): |120-114|/4 = 1,
+  // not |120-101|/4.
+  EXPECT_EQ(model.risk_factor(firefox(120), 1), 1);
+}
+
+TEST(Algorithm1, EdgeLineagesAreSameVendor) {
+  const Polygraph model = hand_built();
+  // EdgeHTML 18 claiming a cluster with Chromium Edge 110-113:
+  // same-vendor distance |110-18|/4 = 23... but Chrome members give the
+  // same value; it is NOT the vendor mismatch constant.
+  EXPECT_EQ(model.risk_factor(edge_legacy(110), 0), 0);
+  EXPECT_EQ(model.risk_factor(edge(18), 6), 0);
+}
+
+TEST(Algorithm1, EmptyClusterCapsAtVendorDistance) {
+  const Polygraph model = hand_built();
+  // Cluster 7 holds no UAs (noise cluster): maximum risk.
+  EXPECT_EQ(model.risk_factor(chrome(112), 7), 20);
+}
+
+TEST(Algorithm1, CustomDivisorAndVendorDistance) {
+  ClusterTable table;
+  table.assign(chrome(100), 0);
+  PolygraphConfig config = PolygraphConfig::production();
+  config.version_divisor = 2;
+  config.vendor_distance = 50;
+  const Polygraph model = Polygraph::from_parts(
+      config, ml::StandardScaler(), ml::Pca(), ml::KMeans(), std::move(table));
+  EXPECT_EQ(model.risk_factor(chrome(106), 0), 3);
+  EXPECT_EQ(model.risk_factor(firefox(100), 0), 50);
+}
+
+// Properties of Algorithm 1 over version sweeps.
+class RiskMonotonicity : public ::testing::TestWithParam<int> {};
+
+TEST_P(RiskMonotonicity, NonDecreasingInVersionGap) {
+  const Polygraph model = hand_built();
+  const int base = GetParam();
+  int previous = model.risk_factor(chrome(base), 0);
+  for (int v = base + 1; v <= base + 40; ++v) {
+    if (v >= 110 && v <= 113) continue;  // inside the cluster: risk 0
+    const int risk = model.risk_factor(chrome(v), 0);
+    if (v > 113) {
+      EXPECT_GE(risk, previous);
+      previous = risk;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bases, RiskMonotonicity,
+                         ::testing::Values(114, 115, 120, 130));
+
+class RiskSymmetrySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RiskSymmetrySweep, BoundedByVendorDistance) {
+  const Polygraph model = hand_built();
+  const int v = GetParam();
+  for (std::size_t cluster = 0; cluster < 11; ++cluster) {
+    const int risk = model.risk_factor(chrome(v), cluster);
+    EXPECT_GE(risk, 0);
+    EXPECT_LE(risk, 23);  // |113-20|/4 = 23 caps same-vendor gaps here
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Versions, RiskSymmetrySweep,
+                         ::testing::Values(20, 59, 80, 100, 113, 119, 140));
+
+}  // namespace
+}  // namespace bp::core

@@ -1,0 +1,196 @@
+// Tests for the fraud ("anti-detect") browser simulation (§2.3 / Table 1).
+#include <gtest/gtest.h>
+
+#include "browser/extractor.h"
+#include "fraudsim/fraud_browser.h"
+
+namespace bp::fraudsim {
+namespace {
+
+ua::UserAgent chrome(int version) {
+  return {ua::Vendor::kChrome, version, ua::Os::kWindows10};
+}
+ua::UserAgent firefox(int version) {
+  return {ua::Vendor::kFirefox, version, ua::Os::kWindows10};
+}
+
+TEST(Roster, HasAllTable1Entries) {
+  // Table 1 lists 11 builds; we also carry the newer GoLogin build used
+  // in Table 5's experiment.
+  EXPECT_EQ(table1_roster().size(), 12u);
+}
+
+TEST(Roster, CategoriesMatchTable1) {
+  EXPECT_EQ(find_model("Linken Sphere-8.93")->category,
+            FraudCategory::kCategory1);
+  EXPECT_EQ(find_model("ClonBrowser-4.6.6")->category,
+            FraudCategory::kCategory1);
+  EXPECT_EQ(find_model("Incogniton-3.2.7.7")->category,
+            FraudCategory::kCategory2);
+  EXPECT_EQ(find_model("Sphere-1.3")->category, FraudCategory::kCategory2);
+  EXPECT_EQ(find_model("AdsPower-4.12.27")->category,
+            FraudCategory::kCategory3);
+  EXPECT_EQ(find_model("AdsPower-5.4.20")->category,
+            FraudCategory::kCategory3);
+}
+
+TEST(Roster, UnknownNameIsNull) { EXPECT_EQ(find_model("NotABrowser"), nullptr); }
+
+TEST(Category2, FingerprintFrozenAcrossClaimedUas) {
+  // The defining behaviour: changing the user-agent does not move the
+  // fingerprint (§2.3 Category 2).
+  const auto* model = find_model("Incogniton-3.2.7.7");
+  ASSERT_NE(model, nullptr);
+  bp::util::Rng rng(1);
+  const auto a = make_profile(*model, chrome(60), rng);
+  const auto b = make_profile(*model, chrome(113), rng);
+  const auto c = make_profile(*model, firefox(110), rng);
+  EXPECT_EQ(a.candidate_values, b.candidate_values);
+  EXPECT_EQ(a.candidate_values, c.candidate_values);
+}
+
+TEST(Category2, FingerprintMatchesBaseEngine) {
+  const auto* model = find_model("CheBrowser-0.3.38");
+  bp::util::Rng rng(2);
+  const auto profile = make_profile(*model, firefox(100), rng);
+  EXPECT_EQ(profile.candidate_values,
+            browser::baseline_candidates(browser::Engine::kBlink, 108));
+}
+
+TEST(Category2, MultiEngineToolPicksClosestBuild) {
+  // GoLogin-3.3.23 ships Chrome 112 and Chrome 105 builds: a Chrome 104
+  // victim profile loads the 105 build, a Chrome 113 victim the 112 one.
+  const auto* model = find_model("GoLogin-3.3.23");
+  bp::util::Rng rng(3);
+  EXPECT_EQ(make_profile(*model, chrome(104), rng).candidate_values,
+            browser::baseline_candidates(browser::Engine::kBlink, 105));
+  EXPECT_EQ(make_profile(*model, chrome(113), rng).candidate_values,
+            browser::baseline_candidates(browser::Engine::kBlink, 112));
+}
+
+TEST(Category2, ChromiumToolFallsBackForFirefoxClaims) {
+  // No Gecko build shipped: Firefox claims land on the default engine.
+  const auto* model = find_model("GoLogin-3.3.23");
+  bp::util::Rng rng(4);
+  EXPECT_EQ(make_profile(*model, firefox(110), rng).candidate_values,
+            browser::baseline_candidates(browser::Engine::kBlink, 112));
+}
+
+TEST(Category2, GeckoToolUsesGeckoBuild) {
+  const auto* model = find_model("AntBrowser");
+  bp::util::Rng rng(5);
+  EXPECT_EQ(make_profile(*model, firefox(110), rng).candidate_values,
+            browser::baseline_candidates(browser::Engine::kGecko, 102));
+}
+
+TEST(Category1, FingerprintMatchesNoLegitimateRelease) {
+  const auto* model = find_model("Linken Sphere-8.93");
+  bp::util::Rng rng(6);
+  const auto profile = make_profile(*model, chrome(100), rng);
+  for (const auto& release : browser::ReleaseDatabase::instance().releases()) {
+    EXPECT_NE(profile.candidate_values,
+              browser::baseline_candidates(release.engine,
+                                           release.engine_version))
+        << "matched " << release.label();
+  }
+}
+
+TEST(Category1, ProfilesVaryBetweenBuilds) {
+  const auto* model = find_model("Linken Sphere-8.93");
+  bp::util::Rng rng(7);
+  const auto a = make_profile(*model, chrome(100), rng);
+  const auto b = make_profile(*model, chrome(100), rng);
+  EXPECT_NE(a.candidate_values, b.candidate_values);
+}
+
+TEST(Category3, FingerprintTracksClaimedUa) {
+  const auto* model = find_model("AdsPower-5.4.20");
+  bp::util::Rng rng(8);
+  const auto profile = make_profile(*model, chrome(96), rng);
+  EXPECT_EQ(profile.candidate_values,
+            browser::baseline_candidates(browser::Engine::kBlink, 96));
+  const auto ff = make_profile(*model, firefox(103), rng);
+  EXPECT_EQ(ff.candidate_values,
+            browser::baseline_candidates(browser::Engine::kGecko, 103));
+}
+
+TEST(Category3, UnknownClaimFallsBackToDefaultBuild) {
+  const auto* model = find_model("AdsPower-5.4.20");
+  bp::util::Rng rng(9);
+  const auto profile =
+      make_profile(*model, {ua::Vendor::kSafari, 16, ua::Os::kMacSonoma}, rng);
+  EXPECT_EQ(profile.candidate_values,
+            browser::baseline_candidates(browser::Engine::kBlink, 112));
+}
+
+TEST(Profiles, ClaimedUaIsPreserved) {
+  const auto* model = find_model("Octo Browser-1.10");
+  bp::util::Rng rng(10);
+  const auto profile = make_profile(*model, firefox(97), rng);
+  EXPECT_EQ(profile.claimed_ua, firefox(97));
+  EXPECT_EQ(profile.browser_name, "Octo Browser-1.10");
+}
+
+TEST(EvaluationProfiles, CustomizableToolHonorsRequestedUas) {
+  const auto* model = find_model("Incogniton-3.2.7.7");
+  bp::util::Rng rng(11);
+  const std::vector<ua::UserAgent> uas = {chrome(60), chrome(112), firefox(95)};
+  const auto profiles = make_evaluation_profiles(*model, uas, 2, rng);
+  ASSERT_EQ(profiles.size(), 6u);
+  EXPECT_EQ(profiles[0].claimed_ua, chrome(60));
+  EXPECT_EQ(profiles[5].claimed_ua, firefox(95));
+}
+
+TEST(EvaluationProfiles, SphereInjectsBuiltinOldChromeUas) {
+  // §7.2: the free Sphere tier forces old-Chrome profiles on a third of
+  // the attempts.
+  const auto* model = find_model("Sphere-1.3");
+  bp::util::Rng rng(12);
+  const std::vector<ua::UserAgent> uas = {firefox(110), chrome(113),
+                                          chrome(80)};
+  const auto profiles = make_evaluation_profiles(*model, uas, 3, rng);
+  ASSERT_EQ(profiles.size(), 9u);
+  std::size_t builtin = 0;
+  for (const auto& profile : profiles) {
+    if (profile.claimed_ua.vendor == ua::Vendor::kChrome &&
+        profile.claimed_ua.major_version >= 63 &&
+        profile.claimed_ua.major_version <= 65) {
+      ++builtin;
+    }
+  }
+  EXPECT_EQ(builtin, 3u);
+}
+
+// Property: every category-2 tool in the roster freezes its fingerprint
+// under UA changes, and every tool's profile preserves the claimed UA.
+class RosterSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RosterSweep, CategoryContractsHold) {
+  const auto roster = table1_roster();
+  const auto& model = roster[GetParam() % roster.size()];
+  bp::util::Rng rng(GetParam() + 100);
+
+  const auto a = make_profile(model, chrome(95), rng);
+  const auto b = make_profile(model, chrome(114), rng);
+  EXPECT_EQ(a.claimed_ua, chrome(95));
+  EXPECT_EQ(b.claimed_ua, chrome(114));
+  EXPECT_EQ(a.category, model.category);
+
+  if (model.category == FraudCategory::kCategory2 &&
+      model.name != "GoLogin-3.3.23" && model.name != "Gologin-3.2.19" &&
+      model.name != "Octo Browser-1.10") {
+    // Single-build category-2 tools: identical fingerprints regardless
+    // of the claim (multi-build tools may switch engines).
+    EXPECT_EQ(a.candidate_values, b.candidate_values) << model.name;
+  }
+  if (model.category == FraudCategory::kCategory3) {
+    EXPECT_EQ(a.candidate_values,
+              browser::baseline_candidates(browser::Engine::kBlink, 95));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTools, RosterSweep,
+                         ::testing::Range<std::size_t>(0, 12));
+
+}  // namespace
+}  // namespace bp::fraudsim

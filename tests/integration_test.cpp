@@ -1,0 +1,205 @@
+// End-to-end integration tests: collection -> pre-processing -> training
+// -> detection -> drift, on one coherent synthetic deployment.
+#include <gtest/gtest.h>
+
+#include "core/drift.h"
+#include "core/polygraph.h"
+#include "core/preprocessing.h"
+#include "fraudsim/fraud_browser.h"
+#include "stats/entropy.h"
+#include "traffic/session_generator.h"
+
+namespace bp {
+namespace {
+
+struct Deployment {
+  traffic::Dataset training;
+  core::Polygraph model;
+  core::TrainingSummary summary;
+};
+
+const Deployment& deployment() {
+  static const Deployment* instance = [] {
+    auto* d = new Deployment;
+    traffic::TrafficConfig config;
+    config.n_sessions = 60'000;
+    traffic::SessionGenerator gen(config);
+    d->training = gen.generate(traffic::experiment_feature_indices());
+    const ml::Matrix features =
+        d->training.feature_matrix(d->model.config().feature_indices);
+    std::vector<ua::UserAgent> uas;
+    for (const auto& r : d->training.records()) uas.push_back(r.claimed);
+    d->summary = d->model.train(features, uas);
+    return d;
+  }();
+  return *instance;
+}
+
+TEST(EndToEnd, TrainingAccuracyInPaperBand) {
+  EXPECT_GT(deployment().summary.clustering_accuracy, 0.985);
+}
+
+TEST(EndToEnd, FlaggedRateMatchesDeploymentScale) {
+  // Paper: 897 flagged of 205k (~0.44%).  Band: 0.2% - 0.8%.
+  const auto& d = deployment();
+  const ml::Matrix features =
+      d.training.feature_matrix(d.model.config().feature_indices);
+  std::size_t flagged = 0;
+  for (std::size_t i = 0; i < d.training.size(); ++i) {
+    flagged += d.model.score(features.row(i),
+                             d.training.records()[i].claimed)
+                       .flagged
+                   ? 1
+                   : 0;
+  }
+  const double rate =
+      static_cast<double>(flagged) / static_cast<double>(d.training.size());
+  EXPECT_GT(rate, 0.002);
+  EXPECT_LT(rate, 0.008);
+}
+
+TEST(EndToEnd, FlaggedSessionsEnrichedInAto) {
+  const auto& d = deployment();
+  const ml::Matrix features =
+      d.training.feature_matrix(d.model.config().feature_indices);
+  std::size_t flagged = 0;
+  std::size_t flagged_ato = 0;
+  std::size_t total_ato = 0;
+  for (std::size_t i = 0; i < d.training.size(); ++i) {
+    const auto& record = d.training.records()[i];
+    total_ato += record.ato ? 1 : 0;
+    if (d.model.score(features.row(i), record.claimed).flagged) {
+      ++flagged;
+      flagged_ato += record.ato ? 1 : 0;
+    }
+  }
+  const double base_rate =
+      static_cast<double>(total_ato) / static_cast<double>(d.training.size());
+  const double flagged_rate =
+      static_cast<double>(flagged_ato) / static_cast<double>(flagged);
+  // Paper: ~5x enrichment (0.43% -> 2%).
+  EXPECT_GT(flagged_rate, 2.0 * base_rate);
+}
+
+TEST(EndToEnd, FraudBrowserRecallInPaperBand) {
+  // §7.2 band: 67% - 84% recall for category-1/2 tools.
+  const auto& d = deployment();
+  bp::util::Rng rng(42);
+  std::size_t flagged = 0;
+  std::size_t total = 0;
+  for (const char* name : {"GoLogin-3.3.23", "Incogniton-3.2.7.7",
+                           "Octo Browser-1.10", "Sphere-1.3"}) {
+    const auto* model = fraudsim::find_model(name);
+    ASSERT_NE(model, nullptr);
+    std::vector<ua::UserAgent> victims;
+    for (std::size_t cluster : d.model.cluster_table().populated_clusters()) {
+      const auto& uas = d.model.cluster_table().user_agents_in(cluster);
+      victims.push_back(uas.front());
+      victims.push_back(uas.back());
+    }
+    for (const auto& profile :
+         fraudsim::make_evaluation_profiles(*model, victims, 1, rng)) {
+      const auto features = browser::select_features(
+          profile.candidate_values, d.model.config().feature_indices);
+      flagged += d.model.score(features, profile.claimed_ua).flagged ? 1 : 0;
+      ++total;
+    }
+  }
+  const double recall =
+      static_cast<double>(flagged) / static_cast<double>(total);
+  EXPECT_GT(recall, 0.55);
+  EXPECT_LT(recall, 0.95);
+}
+
+TEST(EndToEnd, Category3ToolsEvadeByDesign) {
+  // §2.3/§8: category-3 (engine-swapping) tools produce internally
+  // consistent fingerprints that coarse-grained detection cannot flag.
+  const auto& d = deployment();
+  bp::util::Rng rng(43);
+  const auto* adspower = fraudsim::find_model("AdsPower-5.4.20");
+  ASSERT_NE(adspower, nullptr);
+  for (int version : {96, 105, 112}) {
+    const auto profile = fraudsim::make_profile(
+        *adspower, {ua::Vendor::kChrome, version, ua::Os::kWindows10}, rng);
+    const auto features = browser::select_features(
+        profile.candidate_values, d.model.config().feature_indices);
+    EXPECT_FALSE(d.model.score(features, profile.claimed_ua).flagged)
+        << "Chrome " << version;
+  }
+}
+
+TEST(EndToEnd, PrivacyPropertiesHold) {
+  // §7.4: coarse fingerprints must not identify users — unique rate well
+  // under 1%, and the UA string carries more entropy than any feature.
+  const auto& d = deployment();
+  const auto& catalog = browser::FeatureCatalog::instance();
+  const ml::Matrix features = d.training.feature_matrix(catalog.final_indices());
+
+  std::vector<std::string> fingerprints;
+  fingerprints.reserve(features.rows());
+  for (std::size_t r = 0; r < features.rows(); ++r) {
+    std::string s;
+    for (const double v : features.row(r)) {
+      s += std::to_string(static_cast<long long>(v));
+      s += ',';
+    }
+    fingerprints.push_back(std::move(s));
+  }
+  const stats::AnonymitySetStats sets = stats::anonymity_sets(fingerprints);
+  EXPECT_LT(sets.pct_unique, 1.0);
+  EXPECT_GT(sets.pct_over_50, 90.0);
+
+  std::vector<std::string> uas;
+  for (const auto& r : d.training.records()) uas.push_back(r.user_agent);
+  const double ua_entropy = stats::normalized_entropy(uas);
+  for (std::size_t c = 0; c < 28; ++c) {
+    std::vector<std::string> column;
+    column.reserve(features.rows());
+    for (std::size_t r = 0; r < features.rows(); ++r) {
+      column.push_back(std::to_string(static_cast<long long>(features(r, c))));
+    }
+    EXPECT_LE(stats::normalized_entropy(column), ua_entropy + 1e-9)
+        << catalog.spec(catalog.final_indices()[c]).name;
+  }
+}
+
+TEST(EndToEnd, PreprocessingFeedsTraining) {
+  // The §6.3 output on a raw collection sample is exactly the feature
+  // set the production model trains on.
+  traffic::TrafficConfig config;
+  config.n_sessions = 3'000;
+  traffic::SessionGenerator gen(config);
+  const traffic::Dataset sample = gen.generate();
+  const core::PreprocessingReport report = core::preprocess(sample);
+  EXPECT_EQ(report.selected_features,
+            deployment().model.config().feature_indices);
+}
+
+TEST(EndToEnd, RetrainingAfterDriftRestoresAccuracy) {
+  // After the October drift fires, retraining on fresh data must restore
+  // high accuracy and give Firefox 119 a stable home.
+  traffic::TrafficConfig config;
+  config.seed = 20231101;
+  config.n_sessions = 50'000;
+  config.start_date = bp::util::Date::from_ymd(2023, 9, 1);
+  config.end_date = bp::util::Date::from_ymd(2023, 11, 3);
+  traffic::SessionGenerator gen(config);
+  const traffic::Dataset fresh = gen.generate(
+      traffic::experiment_feature_indices());
+
+  core::Polygraph retrained;
+  const ml::Matrix features =
+      fresh.feature_matrix(retrained.config().feature_indices);
+  std::vector<ua::UserAgent> uas;
+  for (const auto& r : fresh.records()) uas.push_back(r.claimed);
+  const auto summary = retrained.train(features, uas);
+
+  EXPECT_GT(summary.clustering_accuracy, 0.96);
+  EXPECT_TRUE(retrained.cluster_table()
+                  .expected_cluster({ua::Vendor::kFirefox, 119,
+                                     ua::Os::kWindows10})
+                  .has_value());
+}
+
+}  // namespace
+}  // namespace bp

@@ -1,0 +1,160 @@
+// Tests for the Isolation Forest and the clustering-accuracy metrics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/isolation_forest.h"
+#include "ml/metrics.h"
+#include "util/rng.h"
+
+namespace bp::ml {
+namespace {
+
+Matrix cluster_with_outliers(std::size_t n_inliers, std::uint64_t seed) {
+  bp::util::Rng rng(seed);
+  Matrix data(n_inliers + 3, 2);
+  for (std::size_t i = 0; i < n_inliers; ++i) {
+    data(i, 0) = rng.normal(0.0, 1.0);
+    data(i, 1) = rng.normal(0.0, 1.0);
+  }
+  // Three gross outliers.
+  data(n_inliers + 0, 0) = 60.0;
+  data(n_inliers + 1, 1) = -55.0;
+  data(n_inliers + 2, 0) = 40.0;
+  data(n_inliers + 2, 1) = 40.0;
+  return data;
+}
+
+TEST(AveragePathLength, KnownValues) {
+  EXPECT_DOUBLE_EQ(IsolationForest::average_path_length(0), 0.0);
+  EXPECT_DOUBLE_EQ(IsolationForest::average_path_length(1), 0.0);
+  EXPECT_DOUBLE_EQ(IsolationForest::average_path_length(2), 1.0);
+  // c(n) grows like 2 ln(n); spot check against the published formula.
+  const double c256 = IsolationForest::average_path_length(256);
+  EXPECT_NEAR(c256, 2.0 * (std::log(255.0) + 0.5772156649) - 2.0 * 255.0 / 256.0,
+              1e-10);
+}
+
+TEST(IsolationForest, OutliersScoreHigher) {
+  const Matrix data = cluster_with_outliers(300, 1);
+  IsolationForest forest;
+  forest.fit(data);
+  const auto scores = forest.score(data);
+  double max_inlier = 0.0;
+  for (std::size_t i = 0; i < 300; ++i) max_inlier = std::max(max_inlier, scores[i]);
+  for (std::size_t i = 300; i < 303; ++i) {
+    EXPECT_GT(scores[i], max_inlier);
+  }
+}
+
+TEST(IsolationForest, ScoresInUnitInterval) {
+  const Matrix data = cluster_with_outliers(200, 2);
+  IsolationForest forest;
+  forest.fit(data);
+  for (double s : forest.score(data)) {
+    EXPECT_GT(s, 0.0);
+    EXPECT_LT(s, 1.0);
+  }
+}
+
+TEST(IsolationForest, InlierMaskDropsExactlyTheOutliers) {
+  const Matrix data = cluster_with_outliers(300, 3);
+  IsolationForest forest;
+  forest.fit(data);
+  const auto keep = forest.inlier_mask(data, 3.0 / 303.0);
+  std::size_t dropped = 0;
+  for (bool k : keep) dropped += k ? 0 : 1;
+  EXPECT_EQ(dropped, 3u);
+  EXPECT_FALSE(keep[300]);
+  EXPECT_FALSE(keep[301]);
+  EXPECT_FALSE(keep[302]);
+}
+
+TEST(IsolationForest, ZeroContaminationKeepsEverything) {
+  const Matrix data = cluster_with_outliers(100, 4);
+  IsolationForest forest;
+  forest.fit(data);
+  for (bool k : forest.inlier_mask(data, 0.0)) EXPECT_TRUE(k);
+}
+
+TEST(IsolationForest, ContaminationDropsCeil) {
+  const Matrix data = cluster_with_outliers(100, 5);
+  IsolationForest forest;
+  forest.fit(data);
+  const auto keep = forest.inlier_mask(data, 0.005);  // ceil(0.515) = 1
+  std::size_t dropped = 0;
+  for (bool k : keep) dropped += k ? 0 : 1;
+  EXPECT_EQ(dropped, 1u);
+}
+
+TEST(IsolationForest, DeterministicGivenSeed) {
+  const Matrix data = cluster_with_outliers(150, 6);
+  IsolationForestConfig config;
+  config.seed = 77;
+  IsolationForest a(config);
+  IsolationForest b(config);
+  a.fit(data);
+  b.fit(data);
+  EXPECT_EQ(a.score(data), b.score(data));
+}
+
+TEST(IsolationForest, HandlesConstantData) {
+  Matrix data(50, 2, 3.0);
+  IsolationForest forest;
+  forest.fit(data);
+  const auto scores = forest.score(data);
+  for (std::size_t i = 1; i < scores.size(); ++i) {
+    EXPECT_DOUBLE_EQ(scores[i], scores[0]);
+  }
+}
+
+// ------------------------- metrics -------------------------
+
+TEST(Metrics, MajorityClusters) {
+  const std::vector<std::uint32_t> labels = {1, 1, 1, 2, 2};
+  const std::vector<std::size_t> clusters = {0, 0, 3, 3, 3};
+  const auto majority = majority_clusters(labels, clusters);
+  EXPECT_EQ(majority.at(1), 0u);
+  EXPECT_EQ(majority.at(2), 3u);
+}
+
+TEST(Metrics, PerfectAccuracy) {
+  const std::vector<std::uint32_t> labels = {1, 1, 2, 2};
+  const std::vector<std::size_t> clusters = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(clustering_accuracy(labels, clusters).row_accuracy, 1.0);
+}
+
+TEST(Metrics, MiscluaterCounted) {
+  const std::vector<std::uint32_t> labels = {1, 1, 1, 1};
+  const std::vector<std::size_t> clusters = {0, 0, 0, 5};
+  const auto acc = clustering_accuracy(labels, clusters);
+  EXPECT_DOUBLE_EQ(acc.row_accuracy, 0.75);
+  EXPECT_EQ(acc.correct_rows, 3u);
+}
+
+TEST(Metrics, SharedMajorityClusterIsAllowed) {
+  // Two labels whose majority is the same cluster: both count as correct
+  // (the paper's metric does not demand distinct clusters per label).
+  const std::vector<std::uint32_t> labels = {1, 1, 2, 2};
+  const std::vector<std::size_t> clusters = {0, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(clustering_accuracy(labels, clusters).row_accuracy, 1.0);
+}
+
+TEST(Metrics, EmptyInput) {
+  const auto acc = clustering_accuracy({}, {});
+  EXPECT_DOUBLE_EQ(acc.row_accuracy, 0.0);
+  EXPECT_EQ(acc.total_rows, 0u);
+}
+
+TEST(Metrics, PerLabelAccuracy) {
+  const std::vector<std::uint32_t> labels = {7, 7, 7, 7, 9};
+  const std::vector<std::size_t> clusters = {2, 2, 2, 4, 5};
+  const auto per_label = per_label_accuracy(labels, clusters);
+  EXPECT_EQ(per_label.at(7).cluster, 2u);
+  EXPECT_DOUBLE_EQ(per_label.at(7).accuracy, 0.75);
+  EXPECT_EQ(per_label.at(7).count, 4u);
+  EXPECT_DOUBLE_EQ(per_label.at(9).accuracy, 1.0);
+}
+
+}  // namespace
+}  // namespace bp::ml

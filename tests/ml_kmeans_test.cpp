@@ -1,0 +1,177 @@
+// Tests for k-means, the WCSS utilities and the elbow reading.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ml/kmeans.h"
+#include "util/rng.h"
+
+namespace bp::ml {
+namespace {
+
+// Three well-separated Gaussian blobs in 2D.
+Matrix three_blobs(std::size_t per_blob, std::uint64_t seed) {
+  bp::util::Rng rng(seed);
+  const double centers[3][2] = {{0, 0}, {20, 0}, {0, 20}};
+  Matrix data(per_blob * 3, 2);
+  for (std::size_t b = 0; b < 3; ++b) {
+    for (std::size_t i = 0; i < per_blob; ++i) {
+      const std::size_t row = b * per_blob + i;
+      data(row, 0) = rng.normal(centers[b][0], 0.5);
+      data(row, 1) = rng.normal(centers[b][1], 0.5);
+    }
+  }
+  return data;
+}
+
+TEST(KMeans, RecoversSeparableBlobs) {
+  const Matrix data = three_blobs(100, 1);
+  KMeansConfig config;
+  config.k = 3;
+  KMeans model(config);
+  model.fit(data);
+
+  // Every blob is internally consistent and blobs get distinct clusters.
+  std::set<std::size_t> blob_clusters;
+  for (std::size_t b = 0; b < 3; ++b) {
+    const std::size_t cluster = model.labels()[b * 100];
+    blob_clusters.insert(cluster);
+    for (std::size_t i = 0; i < 100; ++i) {
+      EXPECT_EQ(model.labels()[b * 100 + i], cluster);
+    }
+  }
+  EXPECT_EQ(blob_clusters.size(), 3u);
+}
+
+TEST(KMeans, DeterministicGivenSeed) {
+  const Matrix data = three_blobs(50, 2);
+  KMeansConfig config;
+  config.k = 3;
+  config.seed = 99;
+  KMeans a(config);
+  KMeans b(config);
+  a.fit(data);
+  b.fit(data);
+  EXPECT_EQ(a.labels(), b.labels());
+  EXPECT_DOUBLE_EQ(a.inertia(), b.inertia());
+}
+
+TEST(KMeans, PredictMatchesTrainingLabels) {
+  const Matrix data = three_blobs(60, 3);
+  KMeansConfig config;
+  config.k = 3;
+  KMeans model(config);
+  model.fit(data);
+  const auto predicted = model.predict(data);
+  EXPECT_EQ(predicted, model.labels());
+}
+
+TEST(KMeans, PredictOneNearestCentroid) {
+  const Matrix data = three_blobs(60, 4);
+  KMeansConfig config;
+  config.k = 3;
+  KMeans model(config);
+  model.fit(data);
+  const double near_origin[] = {0.1, -0.2};
+  const std::size_t cluster = model.predict_one(near_origin);
+  EXPECT_EQ(cluster, model.labels()[0]);  // blob 0 sits at the origin
+}
+
+TEST(KMeans, InertiaIsSumOfSquaredDistances) {
+  const Matrix data = Matrix::from_rows({{0.0}, {2.0}, {10.0}, {12.0}});
+  KMeansConfig config;
+  config.k = 2;
+  KMeans model(config);
+  model.fit(data);
+  // Optimal: centroids at 1 and 11, inertia = 4 * 1.
+  EXPECT_NEAR(model.inertia(), 4.0, 1e-9);
+}
+
+TEST(KMeans, SingletonClustersWhenKEqualsN) {
+  const Matrix data = Matrix::from_rows({{0.0}, {5.0}, {9.0}});
+  KMeansConfig config;
+  config.k = 3;
+  KMeans model(config);
+  model.fit(data);
+  EXPECT_NEAR(model.inertia(), 0.0, 1e-12);
+  std::set<std::size_t> distinct(model.labels().begin(), model.labels().end());
+  EXPECT_EQ(distinct.size(), 3u);
+}
+
+TEST(KMeans, HandlesDuplicatePoints) {
+  // More clusters than distinct points: empty-cluster repair must not
+  // loop or crash, and inertia lands at zero.
+  Matrix data(10, 1, 7.0);
+  for (std::size_t i = 5; i < 10; ++i) data(i, 0) = 3.0;
+  KMeansConfig config;
+  config.k = 4;
+  KMeans model(config);
+  model.fit(data);
+  EXPECT_LE(model.inertia(), 1e-9);
+}
+
+TEST(KMeans, MoreRestartsNeverWorse) {
+  const Matrix data = three_blobs(40, 5);
+  KMeansConfig one;
+  one.k = 3;
+  one.n_init = 1;
+  KMeansConfig many = one;
+  many.n_init = 8;
+  KMeans a(one);
+  KMeans b(many);
+  a.fit(data);
+  b.fit(data);
+  EXPECT_LE(b.inertia(), a.inertia() + 1e-9);
+}
+
+TEST(KMeans, FromCentroidsPredicts) {
+  Matrix centroids = Matrix::from_rows({{0.0}, {10.0}});
+  const KMeans model = KMeans::from_centroids(std::move(centroids));
+  const double pt_a[] = {1.0};
+  const double pt_b[] = {9.0};
+  EXPECT_EQ(model.predict_one(pt_a), 0u);
+  EXPECT_EQ(model.predict_one(pt_b), 1u);
+}
+
+TEST(WcssCurve, NonIncreasingInK) {
+  const Matrix data = three_blobs(50, 6);
+  const auto wcss = wcss_curve(data, 1, 8);
+  ASSERT_EQ(wcss.size(), 8u);
+  for (std::size_t i = 1; i < wcss.size(); ++i) {
+    // Independent restarts can wobble slightly; allow 5% slack.
+    EXPECT_LE(wcss[i], wcss[i - 1] * 1.05);
+  }
+}
+
+TEST(WcssCurve, CollapsesAtTrueK) {
+  const Matrix data = three_blobs(50, 7);
+  const auto wcss = wcss_curve(data, 1, 6);
+  // Going 2 -> 3 must be a huge drop; 3 -> 4 a small one.
+  const double drop_to_3 = (wcss[1] - wcss[2]) / wcss[1];
+  const double drop_to_4 = (wcss[2] - wcss[3]) / wcss[2];
+  EXPECT_GT(drop_to_3, 0.8);
+  EXPECT_LT(drop_to_4, 0.5);
+}
+
+TEST(RelativeWcssDrops, KnownValues) {
+  const auto drops = relative_wcss_drops({100.0, 50.0, 40.0});
+  ASSERT_EQ(drops.size(), 2u);
+  EXPECT_DOUBLE_EQ(drops[0], 0.5);
+  EXPECT_DOUBLE_EQ(drops[1], 0.2);
+}
+
+TEST(ElbowK, PicksFirstLatePeak) {
+  // wcss indexed from k=1; drops: k=2:50%, k=3:10%, ..., peak at k=10.
+  std::vector<double> wcss = {100, 50, 45, 42, 40, 38, 36, 34, 32, 16, 15};
+  EXPECT_EQ(elbow_k(wcss, 1, /*min_k=*/9, /*threshold=*/0.3), 10u);
+}
+
+TEST(ElbowK, FallsBackToLargestLateDrop) {
+  // No drop clears the threshold: the largest late-stage one wins.
+  std::vector<double> wcss = {100, 95, 90, 85, 80, 70, 68, 66, 64, 62, 60};
+  const std::size_t k = elbow_k(wcss, 1, 5, 0.5);
+  EXPECT_EQ(k, 6u);  // 80 -> 70 is the biggest relative drop at k >= 5
+}
+
+}  // namespace
+}  // namespace bp::ml

@@ -1,0 +1,123 @@
+// Tests for the dense matrix substrate.
+#include <gtest/gtest.h>
+
+#include "ml/matrix.h"
+
+namespace bp::ml {
+namespace {
+
+TEST(Matrix, ConstructionAndFill) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+}
+
+TEST(Matrix, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0u);
+}
+
+TEST(Matrix, Identity) {
+  const Matrix id = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(id(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(id(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(id(2, 2), 1.0);
+}
+
+TEST(Matrix, FromRows) {
+  const Matrix m = Matrix::from_rows({{1, 2}, {3, 4}});
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, PushRowSetsColumnCount) {
+  Matrix m;
+  const double row[] = {1.0, 2.0, 3.0};
+  m.push_row(row);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.rows(), 1u);
+}
+
+TEST(Matrix, RowSpanIsMutable) {
+  Matrix m(1, 2);
+  m.row(0)[1] = 9.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), 9.0);
+}
+
+TEST(Matrix, FilterRows) {
+  const Matrix m = Matrix::from_rows({{1, 1}, {2, 2}, {3, 3}});
+  const Matrix f = m.filter_rows({true, false, true});
+  ASSERT_EQ(f.rows(), 2u);
+  EXPECT_DOUBLE_EQ(f(1, 0), 3.0);
+}
+
+TEST(Matrix, FilterRowsAllFalse) {
+  const Matrix m = Matrix::from_rows({{1.0}});
+  const Matrix f = m.filter_rows({false});
+  EXPECT_EQ(f.rows(), 0u);
+  EXPECT_EQ(f.cols(), 1u);
+}
+
+TEST(Matrix, SelectColumns) {
+  const Matrix m = Matrix::from_rows({{1, 2, 3}, {4, 5, 6}});
+  const Matrix s = m.select_columns({2, 0});
+  ASSERT_EQ(s.cols(), 2u);
+  EXPECT_DOUBLE_EQ(s(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(s(1, 1), 4.0);
+}
+
+TEST(Matrix, MultiplyKnownProduct) {
+  const Matrix a = Matrix::from_rows({{1, 2}, {3, 4}});
+  const Matrix b = Matrix::from_rows({{5, 6}, {7, 8}});
+  const Matrix c = a.multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MultiplyByIdentity) {
+  const Matrix a = Matrix::from_rows({{1, 2}, {3, 4}});
+  const Matrix c = a.multiply(Matrix::identity(2));
+  EXPECT_DOUBLE_EQ(c(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 4.0);
+}
+
+TEST(Matrix, Transposed) {
+  const Matrix m = Matrix::from_rows({{1, 2, 3}});
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 1u);
+  EXPECT_DOUBLE_EQ(t(2, 0), 3.0);
+}
+
+TEST(Matrix, ColumnMeans) {
+  const Matrix m = Matrix::from_rows({{1, 10}, {3, 30}});
+  const auto means = m.column_means();
+  EXPECT_DOUBLE_EQ(means[0], 2.0);
+  EXPECT_DOUBLE_EQ(means[1], 20.0);
+}
+
+TEST(Matrix, ColumnStddevs) {
+  const Matrix m = Matrix::from_rows({{1, 5}, {3, 5}});
+  const auto means = m.column_means();
+  const auto stds = m.column_stddevs(means);
+  EXPECT_DOUBLE_EQ(stds[0], 1.0);   // population stddev of {1,3}
+  EXPECT_DOUBLE_EQ(stds[1], 0.0);   // constant column
+}
+
+TEST(SquaredDistance, KnownValue) {
+  const double a[] = {0.0, 3.0};
+  const double b[] = {4.0, 0.0};
+  EXPECT_DOUBLE_EQ(squared_distance(a, b), 25.0);
+}
+
+TEST(SquaredDistance, ZeroForIdentical) {
+  const double a[] = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(squared_distance(a, a), 0.0);
+}
+
+}  // namespace
+}  // namespace bp::ml

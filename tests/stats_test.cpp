@@ -1,0 +1,93 @@
+// Tests for entropy and anonymity-set statistics (§7.4 substrate).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/entropy.h"
+
+namespace bp::stats {
+namespace {
+
+TEST(Histogram, Counts) {
+  const auto h = histogram(std::vector<std::string>{"a", "b", "a"});
+  EXPECT_EQ(h.at("a"), 2u);
+  EXPECT_EQ(h.at("b"), 1u);
+}
+
+TEST(Entropy, UniformTwoValues) {
+  EXPECT_NEAR(shannon_entropy(std::vector<std::string>{"a", "b"}), 1.0, 1e-12);
+}
+
+TEST(Entropy, SingleValueIsZero) {
+  EXPECT_DOUBLE_EQ(shannon_entropy(std::vector<std::string>{"x", "x", "x"}), 0.0);
+}
+
+TEST(Entropy, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(shannon_entropy(std::vector<std::string>{}), 0.0);
+}
+
+TEST(Entropy, UniformFourValuesIsTwoBits) {
+  EXPECT_NEAR(shannon_entropy(std::vector<std::string>{"a", "b", "c", "d"}), 2.0, 1e-12);
+}
+
+TEST(Entropy, SkewedBelowUniform) {
+  const double skewed = shannon_entropy(std::vector<std::string>{"a", "a", "a", "b"});
+  EXPECT_LT(skewed, 1.0);
+  EXPECT_GT(skewed, 0.0);
+  // H(0.75, 0.25) = 0.811278...
+  EXPECT_NEAR(skewed, 0.8112781244591328, 1e-12);
+}
+
+TEST(NormalizedEntropy, AllDistinctIsOne) {
+  EXPECT_NEAR(normalized_entropy(std::vector<std::string>{"a", "b", "c", "d"}), 1.0, 1e-12);
+}
+
+TEST(NormalizedEntropy, ConstantIsZero) {
+  EXPECT_DOUBLE_EQ(normalized_entropy(std::vector<std::string>{"x", "x", "x", "x"}), 0.0);
+}
+
+TEST(NormalizedEntropy, TinyInputsAreZero) {
+  EXPECT_DOUBLE_EQ(normalized_entropy(std::vector<std::string>{"a"}), 0.0);
+  EXPECT_DOUBLE_EQ(normalized_entropy(std::vector<std::string>{}), 0.0);
+}
+
+TEST(AnonymitySets, Buckets) {
+  // 1 unique value, one set of size 3, one set of size 60.
+  std::vector<std::string> values = {"solo"};
+  for (int i = 0; i < 3; ++i) values.push_back("trio");
+  for (int i = 0; i < 60; ++i) values.push_back("crowd");
+
+  const AnonymitySetStats stats = anonymity_sets(values);
+  EXPECT_EQ(stats.observations, 64u);
+  EXPECT_EQ(stats.distinct_values, 3u);
+  EXPECT_NEAR(stats.pct_unique, 100.0 / 64.0, 1e-9);
+  EXPECT_NEAR(stats.pct_2_to_10, 300.0 / 64.0, 1e-9);
+  EXPECT_NEAR(stats.pct_over_50, 6000.0 / 64.0, 1e-9);
+  EXPECT_NEAR(stats.pct_unique + stats.pct_2_to_10 + stats.pct_11_to_50 +
+                  stats.pct_over_50,
+              100.0, 1e-9);
+}
+
+TEST(AnonymitySets, EmptyInput) {
+  const AnonymitySetStats stats = anonymity_sets(std::vector<std::string>{});
+  EXPECT_EQ(stats.observations, 0u);
+  EXPECT_DOUBLE_EQ(stats.pct_unique, 0.0);
+}
+
+TEST(AnonymityDistribution, SumsToHundred) {
+  std::vector<std::string> values;
+  for (int i = 0; i < 5; ++i) values.push_back("a");
+  for (int i = 0; i < 7; ++i) values.push_back("b");
+  values.push_back("c");
+  const auto dist = anonymity_distribution(values);
+  double total = 0.0;
+  for (const auto& [size, pct] : dist) total += pct;
+  EXPECT_NEAR(total, 100.0, 1e-9);
+  // Sizes present: 1, 5, 7 — ascending.
+  ASSERT_EQ(dist.size(), 3u);
+  EXPECT_EQ(dist[0].first, 1u);
+  EXPECT_EQ(dist[2].first, 7u);
+}
+
+}  // namespace
+}  // namespace bp::stats

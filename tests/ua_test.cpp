@@ -1,0 +1,163 @@
+// Tests for user-agent formatting, parsing, and Algorithm 1's vendor
+// semantics.
+#include <gtest/gtest.h>
+
+#include "browser/release_db.h"
+#include "ua/user_agent.h"
+
+namespace bp::ua {
+namespace {
+
+TEST(Format, ChromeShape) {
+  const std::string s =
+      format_user_agent({Vendor::kChrome, 112, Os::kWindows10});
+  EXPECT_NE(s.find("Chrome/112.0.0.0"), std::string::npos);
+  EXPECT_NE(s.find("Windows NT 10.0"), std::string::npos);
+  EXPECT_EQ(s.find("Edg/"), std::string::npos);
+}
+
+TEST(Format, EdgeContainsBothTokens) {
+  const std::string s = format_user_agent({Vendor::kEdge, 114, Os::kWindows10});
+  EXPECT_NE(s.find("Chrome/114"), std::string::npos);
+  EXPECT_NE(s.find("Edg/114"), std::string::npos);
+}
+
+TEST(Format, EdgeLegacyShape) {
+  const std::string s =
+      format_user_agent({Vendor::kEdgeLegacy, 18, Os::kWindows10});
+  EXPECT_NE(s.find("Edge/18"), std::string::npos);
+}
+
+TEST(Format, FirefoxShape) {
+  const std::string s =
+      format_user_agent({Vendor::kFirefox, 102, Os::kWindows10});
+  EXPECT_NE(s.find("Gecko/20100101"), std::string::npos);
+  EXPECT_NE(s.find("Firefox/102.0"), std::string::npos);
+  EXPECT_NE(s.find("rv:102.0"), std::string::npos);
+}
+
+TEST(Format, Windows11ReportsFrozenPlatformToken) {
+  // Windows 11 deliberately reports "Windows NT 10.0".
+  const std::string s =
+      format_user_agent({Vendor::kChrome, 112, Os::kWindows11});
+  EXPECT_NE(s.find("Windows NT 10.0"), std::string::npos);
+}
+
+TEST(Parse, Chrome) {
+  const UserAgent ua = parse_user_agent(
+      "Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 "
+      "(KHTML, like Gecko) Chrome/112.0.0.0 Safari/537.36");
+  EXPECT_EQ(ua.vendor, Vendor::kChrome);
+  EXPECT_EQ(ua.major_version, 112);
+}
+
+TEST(Parse, EdgeBeatsChromeToken) {
+  const UserAgent ua = parse_user_agent(
+      "Mozilla/5.0 (Windows NT 10.0) AppleWebKit/537.36 (KHTML, like Gecko) "
+      "Chrome/112.0.0.0 Safari/537.36 Edg/112.0.1722.48");
+  EXPECT_EQ(ua.vendor, Vendor::kEdge);
+  EXPECT_EQ(ua.major_version, 112);
+}
+
+TEST(Parse, EdgeLegacy) {
+  const UserAgent ua = parse_user_agent(
+      "Mozilla/5.0 (Windows NT 10.0) AppleWebKit/537.36 (KHTML, like Gecko) "
+      "Chrome/64.0.3282.140 Safari/537.36 Edge/17.17134");
+  EXPECT_EQ(ua.vendor, Vendor::kEdgeLegacy);
+  EXPECT_EQ(ua.major_version, 17);
+}
+
+TEST(Parse, Firefox) {
+  const UserAgent ua = parse_user_agent(
+      "Mozilla/5.0 (Windows NT 10.0; rv:102.0) Gecko/20100101 Firefox/102.0");
+  EXPECT_EQ(ua.vendor, Vendor::kFirefox);
+  EXPECT_EQ(ua.major_version, 102);
+}
+
+TEST(Parse, UnknownString) {
+  const UserAgent ua = parse_user_agent("curl/8.0.1");
+  EXPECT_EQ(ua.vendor, Vendor::kUnknown);
+  EXPECT_EQ(ua.major_version, 0);
+}
+
+TEST(Parse, EmptyString) {
+  EXPECT_EQ(parse_user_agent("").vendor, Vendor::kUnknown);
+}
+
+TEST(Parse, OsDetection) {
+  EXPECT_EQ(parse_user_agent(format_user_agent(
+                                 {Vendor::kChrome, 110, Os::kMacSonoma}))
+                .os,
+            Os::kMacSonoma);
+}
+
+TEST(ParseLabel, Valid) {
+  const auto ua = parse_label("Chrome 112");
+  ASSERT_TRUE(ua.has_value());
+  EXPECT_EQ(ua->vendor, Vendor::kChrome);
+  EXPECT_EQ(ua->major_version, 112);
+}
+
+TEST(ParseLabel, EdgeVersionDisambiguatesEngine) {
+  EXPECT_EQ(parse_label("Edge 17")->vendor, Vendor::kEdgeLegacy);
+  EXPECT_EQ(parse_label("Edge 110")->vendor, Vendor::kEdge);
+}
+
+TEST(ParseLabel, Invalid) {
+  EXPECT_FALSE(parse_label("Chrome").has_value());
+  EXPECT_FALSE(parse_label("Chrome twelve").has_value());
+  EXPECT_FALSE(parse_label("Netscape 4").has_value());
+  EXPECT_FALSE(parse_label("Chrome 0").has_value());
+}
+
+TEST(Label, Rendering) {
+  EXPECT_EQ((UserAgent{Vendor::kFirefox, 101, Os::kWindows10}).label(),
+            "Firefox 101");
+  // Both Edge lineages present as "Edge" to the analyst.
+  EXPECT_EQ((UserAgent{Vendor::kEdgeLegacy, 18, Os::kWindows10}).label(),
+            "Edge 18");
+}
+
+TEST(Key, DistinguishesVendorAndVersion) {
+  const UserAgent a{Vendor::kChrome, 112, Os::kWindows10};
+  const UserAgent b{Vendor::kChrome, 113, Os::kWindows10};
+  const UserAgent c{Vendor::kEdge, 112, Os::kWindows10};
+  EXPECT_NE(a.key(), b.key());
+  EXPECT_NE(a.key(), c.key());
+}
+
+TEST(Key, IgnoresOs) {
+  const UserAgent a{Vendor::kChrome, 112, Os::kWindows10};
+  const UserAgent b{Vendor::kChrome, 112, Os::kMacSonoma};
+  EXPECT_EQ(a.key(), b.key());
+}
+
+TEST(SameVendor, EdgeLineagesMatch) {
+  EXPECT_TRUE(same_vendor(Vendor::kEdge, Vendor::kEdgeLegacy));
+  EXPECT_TRUE(same_vendor(Vendor::kChrome, Vendor::kChrome));
+  EXPECT_FALSE(same_vendor(Vendor::kChrome, Vendor::kEdge));
+  EXPECT_FALSE(same_vendor(Vendor::kFirefox, Vendor::kChrome));
+}
+
+// Property: every release in the database survives a format -> parse
+// round trip with vendor and version intact (the foundation of the whole
+// detection pipeline: the claimed UA must be recoverable).
+class UaRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(UaRoundTrip, FormatParse) {
+  const auto releases = browser::ReleaseDatabase::instance().releases();
+  const auto& release = releases[GetParam() % releases.size()];
+  for (const Os os : {Os::kWindows10, Os::kMacSonoma, Os::kLinux}) {
+    const UserAgent original = release.user_agent(os);
+    const UserAgent parsed = parse_user_agent(format_user_agent(original));
+    EXPECT_EQ(parsed.vendor, original.vendor)
+        << format_user_agent(original);
+    EXPECT_EQ(parsed.major_version, original.major_version);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllReleases, UaRoundTrip,
+                         ::testing::Range<std::size_t>(0, 179));
+
+}  // namespace
+}  // namespace bp::ua

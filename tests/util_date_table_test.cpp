@@ -1,0 +1,114 @@
+// Tests for civil-date arithmetic and the ASCII table renderer.
+#include <gtest/gtest.h>
+
+#include "util/date.h"
+#include "util/table.h"
+
+namespace bp::util {
+namespace {
+
+TEST(Date, EpochIsZero) {
+  EXPECT_EQ(Date::from_ymd(1970, 1, 1).days_since_epoch, 0);
+}
+
+TEST(Date, KnownOffsets) {
+  EXPECT_EQ(Date::from_ymd(1970, 1, 2).days_since_epoch, 1);
+  EXPECT_EQ(Date::from_ymd(1969, 12, 31).days_since_epoch, -1);
+  // 2000-01-01 is a well-known anchor: 10957 days after the epoch.
+  EXPECT_EQ(Date::from_ymd(2000, 1, 1).days_since_epoch, 10957);
+}
+
+TEST(Date, RoundTripYmd) {
+  const Date d = Date::from_ymd(2023, 7, 2);
+  const auto ymd = d.to_ymd();
+  EXPECT_EQ(ymd.year, 2023);
+  EXPECT_EQ(ymd.month, 7u);
+  EXPECT_EQ(ymd.day, 2u);
+}
+
+TEST(Date, LeapYearHandling) {
+  const Date feb29 = Date::from_ymd(2024, 2, 29);
+  const Date mar1 = Date::from_ymd(2024, 3, 1);
+  EXPECT_EQ(mar1 - feb29, 1);
+  // 2023 is not a leap year.
+  EXPECT_EQ(Date::from_ymd(2023, 3, 1) - Date::from_ymd(2023, 2, 28), 1);
+}
+
+TEST(Date, Arithmetic) {
+  const Date d = Date::from_ymd(2023, 3, 1);
+  EXPECT_EQ((d + 31).to_string(), "2023-04-01");
+  EXPECT_EQ((d - 1).to_string(), "2023-02-28");
+  EXPECT_EQ((d + 365) - d, 365);
+}
+
+TEST(Date, Comparisons) {
+  EXPECT_LT(Date::from_ymd(2023, 3, 1), Date::from_ymd(2023, 3, 2));
+  EXPECT_EQ(Date::from_ymd(2023, 3, 1), Date::from_ymd(2023, 3, 1));
+  EXPECT_GT(Date::from_ymd(2024, 1, 1), Date::from_ymd(2023, 12, 31));
+}
+
+TEST(Date, ToStringPadsZeroes) {
+  EXPECT_EQ(Date::from_ymd(2023, 7, 4).to_string(), "2023-07-04");
+}
+
+// Property: every day over several decades round-trips through Ymd.
+class DateRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(DateRoundTrip, YearSweep) {
+  const int year = GetParam();
+  Date d = Date::from_ymd(year, 1, 1);
+  const Date end = Date::from_ymd(year + 1, 1, 1);
+  int days = 0;
+  while (d < end) {
+    const auto ymd = d.to_ymd();
+    EXPECT_EQ(Date::from_ymd(ymd.year, ymd.month, ymd.day), d);
+    EXPECT_EQ(ymd.year, year);
+    d = d + 1;
+    ++days;
+  }
+  const bool leap = (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+  EXPECT_EQ(days, leap ? 366 : 365);
+}
+
+INSTANTIATE_TEST_SUITE_P(Years, DateRoundTrip,
+                         ::testing::Values(1970, 1999, 2000, 2016, 2020, 2023,
+                                           2024, 2100));
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable table({"A", "Long header"});
+  table.add_row({"1", "x"});
+  table.add_row({"22", "yy"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("| A  | Long header |"), std::string::npos);
+  EXPECT_NE(out.find("| 22 | yy          |"), std::string::npos);
+}
+
+TEST(TextTable, HandlesRaggedRows) {
+  TextTable table({"A", "B", "C"});
+  table.add_row({"1"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("| 1 |"), std::string::npos);
+}
+
+TEST(TextTable, RowCount) {
+  TextTable table({"x"});
+  EXPECT_EQ(table.row_count(), 0u);
+  table.add_row({"1"});
+  EXPECT_EQ(table.row_count(), 1u);
+}
+
+TEST(AsciiChart, ScalesToMax) {
+  const std::string out =
+      ascii_chart({{"a", 10.0}, {"b", 5.0}}, /*width=*/10, '#');
+  // "a" gets the full width, "b" half of it.
+  EXPECT_NE(out.find("a |##########"), std::string::npos);
+  EXPECT_NE(out.find("b |#####"), std::string::npos);
+}
+
+TEST(AsciiChart, AllZeroYieldsNoBars) {
+  const std::string out = ascii_chart({{"a", 0.0}}, 10, '#');
+  EXPECT_EQ(out.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bp::util
