@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ua_randomization.dir/bench_ablation_ua_randomization.cpp.o"
+  "CMakeFiles/bench_ablation_ua_randomization.dir/bench_ablation_ua_randomization.cpp.o.d"
+  "bench_ablation_ua_randomization"
+  "bench_ablation_ua_randomization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ua_randomization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

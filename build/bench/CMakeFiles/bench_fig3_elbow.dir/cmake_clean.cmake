@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_elbow.dir/bench_fig3_elbow.cpp.o"
+  "CMakeFiles/bench_fig3_elbow.dir/bench_fig3_elbow.cpp.o.d"
+  "bench_fig3_elbow"
+  "bench_fig3_elbow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_elbow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

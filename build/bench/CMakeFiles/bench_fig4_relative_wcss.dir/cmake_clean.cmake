@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_relative_wcss.dir/bench_fig4_relative_wcss.cpp.o"
+  "CMakeFiles/bench_fig4_relative_wcss.dir/bench_fig4_relative_wcss.cpp.o.d"
+  "bench_fig4_relative_wcss"
+  "bench_fig4_relative_wcss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_relative_wcss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

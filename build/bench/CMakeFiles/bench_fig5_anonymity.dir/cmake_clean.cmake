@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_anonymity.dir/bench_fig5_anonymity.cpp.o"
+  "CMakeFiles/bench_fig5_anonymity.dir/bench_fig5_anonymity.cpp.o.d"
+  "bench_fig5_anonymity"
+  "bench_fig5_anonymity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_anonymity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

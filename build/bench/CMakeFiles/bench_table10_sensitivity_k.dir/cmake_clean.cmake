@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table10_sensitivity_k.dir/bench_table10_sensitivity_k.cpp.o"
+  "CMakeFiles/bench_table10_sensitivity_k.dir/bench_table10_sensitivity_k.cpp.o.d"
+  "bench_table10_sensitivity_k"
+  "bench_table10_sensitivity_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table10_sensitivity_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

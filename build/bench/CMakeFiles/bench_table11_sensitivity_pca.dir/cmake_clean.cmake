@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table11_sensitivity_pca.dir/bench_table11_sensitivity_pca.cpp.o"
+  "CMakeFiles/bench_table11_sensitivity_pca.dir/bench_table11_sensitivity_pca.cpp.o.d"
+  "bench_table11_sensitivity_pca"
+  "bench_table11_sensitivity_pca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table11_sensitivity_pca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

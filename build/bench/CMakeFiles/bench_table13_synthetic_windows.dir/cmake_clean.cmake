@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table13_synthetic_windows.dir/bench_table13_synthetic_windows.cpp.o"
+  "CMakeFiles/bench_table13_synthetic_windows.dir/bench_table13_synthetic_windows.cpp.o.d"
+  "bench_table13_synthetic_windows"
+  "bench_table13_synthetic_windows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table13_synthetic_windows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

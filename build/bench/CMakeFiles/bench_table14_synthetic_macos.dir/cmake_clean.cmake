@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table14_synthetic_macos.dir/bench_table14_synthetic_macos.cpp.o"
+  "CMakeFiles/bench_table14_synthetic_macos.dir/bench_table14_synthetic_macos.cpp.o.d"
+  "bench_table14_synthetic_macos"
+  "bench_table14_synthetic_macos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table14_synthetic_macos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

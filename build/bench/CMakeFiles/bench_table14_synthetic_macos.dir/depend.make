@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table14_synthetic_macos.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_performance.dir/bench_table2_performance.cpp.o"
+  "CMakeFiles/bench_table2_performance.dir/bench_table2_performance.cpp.o.d"
+  "bench_table2_performance"
+  "bench_table2_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_cluster_map.dir/bench_table3_cluster_map.cpp.o"
+  "CMakeFiles/bench_table3_cluster_map.dir/bench_table3_cluster_map.cpp.o.d"
+  "bench_table3_cluster_map"
+  "bench_table3_cluster_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_cluster_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

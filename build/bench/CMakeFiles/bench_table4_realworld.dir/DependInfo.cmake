@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table4_realworld.cpp" "bench/CMakeFiles/bench_table4_realworld.dir/bench_table4_realworld.cpp.o" "gcc" "bench/CMakeFiles/bench_table4_realworld.dir/bench_table4_realworld.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bp_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/bp_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/fraudsim/CMakeFiles/bp_fraudsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/bp_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/bp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/bp_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/browser/CMakeFiles/bp_browser.dir/DependInfo.cmake"
+  "/root/repo/build/src/ua/CMakeFiles/bp_ua.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

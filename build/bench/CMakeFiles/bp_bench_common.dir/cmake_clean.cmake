@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bp_bench_common.dir/appendix5_common.cpp.o"
+  "CMakeFiles/bp_bench_common.dir/appendix5_common.cpp.o.d"
+  "CMakeFiles/bp_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/bp_bench_common.dir/bench_common.cpp.o.d"
+  "libbp_bench_common.a"
+  "libbp_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bp_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drift_monitoring.dir/drift_monitoring.cpp.o"
+  "CMakeFiles/drift_monitoring.dir/drift_monitoring.cpp.o.d"
+  "drift_monitoring"
+  "drift_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drift_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fraud_detection_service.dir/fraud_detection_service.cpp.o"
+  "CMakeFiles/fraud_detection_service.dir/fraud_detection_service.cpp.o.d"
+  "fraud_detection_service"
+  "fraud_detection_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fraud_detection_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

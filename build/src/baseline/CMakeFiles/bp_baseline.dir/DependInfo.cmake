@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/collectors.cpp" "src/baseline/CMakeFiles/bp_baseline.dir/collectors.cpp.o" "gcc" "src/baseline/CMakeFiles/bp_baseline.dir/collectors.cpp.o.d"
+  "/root/repo/src/baseline/encode.cpp" "src/baseline/CMakeFiles/bp_baseline.dir/encode.cpp.o" "gcc" "src/baseline/CMakeFiles/bp_baseline.dir/encode.cpp.o.d"
+  "/root/repo/src/baseline/profile.cpp" "src/baseline/CMakeFiles/bp_baseline.dir/profile.cpp.o" "gcc" "src/baseline/CMakeFiles/bp_baseline.dir/profile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/browser/CMakeFiles/bp_browser.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/bp_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/ua/CMakeFiles/bp_ua.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bp_baseline.dir/collectors.cpp.o"
+  "CMakeFiles/bp_baseline.dir/collectors.cpp.o.d"
+  "CMakeFiles/bp_baseline.dir/encode.cpp.o"
+  "CMakeFiles/bp_baseline.dir/encode.cpp.o.d"
+  "CMakeFiles/bp_baseline.dir/profile.cpp.o"
+  "CMakeFiles/bp_baseline.dir/profile.cpp.o.d"
+  "libbp_baseline.a"
+  "libbp_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bp_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/browser/engine_timelines.cpp" "src/browser/CMakeFiles/bp_browser.dir/engine_timelines.cpp.o" "gcc" "src/browser/CMakeFiles/bp_browser.dir/engine_timelines.cpp.o.d"
+  "/root/repo/src/browser/extractor.cpp" "src/browser/CMakeFiles/bp_browser.dir/extractor.cpp.o" "gcc" "src/browser/CMakeFiles/bp_browser.dir/extractor.cpp.o.d"
+  "/root/repo/src/browser/feature_catalog.cpp" "src/browser/CMakeFiles/bp_browser.dir/feature_catalog.cpp.o" "gcc" "src/browser/CMakeFiles/bp_browser.dir/feature_catalog.cpp.o.d"
+  "/root/repo/src/browser/release_db.cpp" "src/browser/CMakeFiles/bp_browser.dir/release_db.cpp.o" "gcc" "src/browser/CMakeFiles/bp_browser.dir/release_db.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ua/CMakeFiles/bp_ua.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

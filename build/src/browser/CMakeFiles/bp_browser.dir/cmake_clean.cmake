@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bp_browser.dir/engine_timelines.cpp.o"
+  "CMakeFiles/bp_browser.dir/engine_timelines.cpp.o.d"
+  "CMakeFiles/bp_browser.dir/extractor.cpp.o"
+  "CMakeFiles/bp_browser.dir/extractor.cpp.o.d"
+  "CMakeFiles/bp_browser.dir/feature_catalog.cpp.o"
+  "CMakeFiles/bp_browser.dir/feature_catalog.cpp.o.d"
+  "CMakeFiles/bp_browser.dir/release_db.cpp.o"
+  "CMakeFiles/bp_browser.dir/release_db.cpp.o.d"
+  "libbp_browser.a"
+  "libbp_browser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bp_browser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

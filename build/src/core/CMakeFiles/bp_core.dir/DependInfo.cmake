@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/artifact_scan.cpp" "src/core/CMakeFiles/bp_core.dir/artifact_scan.cpp.o" "gcc" "src/core/CMakeFiles/bp_core.dir/artifact_scan.cpp.o.d"
+  "/root/repo/src/core/drift.cpp" "src/core/CMakeFiles/bp_core.dir/drift.cpp.o" "gcc" "src/core/CMakeFiles/bp_core.dir/drift.cpp.o.d"
+  "/root/repo/src/core/model_io.cpp" "src/core/CMakeFiles/bp_core.dir/model_io.cpp.o" "gcc" "src/core/CMakeFiles/bp_core.dir/model_io.cpp.o.d"
+  "/root/repo/src/core/polygraph.cpp" "src/core/CMakeFiles/bp_core.dir/polygraph.cpp.o" "gcc" "src/core/CMakeFiles/bp_core.dir/polygraph.cpp.o.d"
+  "/root/repo/src/core/preprocessing.cpp" "src/core/CMakeFiles/bp_core.dir/preprocessing.cpp.o" "gcc" "src/core/CMakeFiles/bp_core.dir/preprocessing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ml/CMakeFiles/bp_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/browser/CMakeFiles/bp_browser.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/bp_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/bp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/fraudsim/CMakeFiles/bp_fraudsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ua/CMakeFiles/bp_ua.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bp_core.dir/artifact_scan.cpp.o"
+  "CMakeFiles/bp_core.dir/artifact_scan.cpp.o.d"
+  "CMakeFiles/bp_core.dir/drift.cpp.o"
+  "CMakeFiles/bp_core.dir/drift.cpp.o.d"
+  "CMakeFiles/bp_core.dir/model_io.cpp.o"
+  "CMakeFiles/bp_core.dir/model_io.cpp.o.d"
+  "CMakeFiles/bp_core.dir/polygraph.cpp.o"
+  "CMakeFiles/bp_core.dir/polygraph.cpp.o.d"
+  "CMakeFiles/bp_core.dir/preprocessing.cpp.o"
+  "CMakeFiles/bp_core.dir/preprocessing.cpp.o.d"
+  "libbp_core.a"
+  "libbp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bp_fraudsim.dir/artifacts.cpp.o"
+  "CMakeFiles/bp_fraudsim.dir/artifacts.cpp.o.d"
+  "CMakeFiles/bp_fraudsim.dir/fraud_browser.cpp.o"
+  "CMakeFiles/bp_fraudsim.dir/fraud_browser.cpp.o.d"
+  "libbp_fraudsim.a"
+  "libbp_fraudsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bp_fraudsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/isolation_forest.cpp" "src/ml/CMakeFiles/bp_ml.dir/isolation_forest.cpp.o" "gcc" "src/ml/CMakeFiles/bp_ml.dir/isolation_forest.cpp.o.d"
+  "/root/repo/src/ml/kmeans.cpp" "src/ml/CMakeFiles/bp_ml.dir/kmeans.cpp.o" "gcc" "src/ml/CMakeFiles/bp_ml.dir/kmeans.cpp.o.d"
+  "/root/repo/src/ml/matrix.cpp" "src/ml/CMakeFiles/bp_ml.dir/matrix.cpp.o" "gcc" "src/ml/CMakeFiles/bp_ml.dir/matrix.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/ml/CMakeFiles/bp_ml.dir/metrics.cpp.o" "gcc" "src/ml/CMakeFiles/bp_ml.dir/metrics.cpp.o.d"
+  "/root/repo/src/ml/pca.cpp" "src/ml/CMakeFiles/bp_ml.dir/pca.cpp.o" "gcc" "src/ml/CMakeFiles/bp_ml.dir/pca.cpp.o.d"
+  "/root/repo/src/ml/scaler.cpp" "src/ml/CMakeFiles/bp_ml.dir/scaler.cpp.o" "gcc" "src/ml/CMakeFiles/bp_ml.dir/scaler.cpp.o.d"
+  "/root/repo/src/ml/stratified.cpp" "src/ml/CMakeFiles/bp_ml.dir/stratified.cpp.o" "gcc" "src/ml/CMakeFiles/bp_ml.dir/stratified.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bp_ml.dir/isolation_forest.cpp.o"
+  "CMakeFiles/bp_ml.dir/isolation_forest.cpp.o.d"
+  "CMakeFiles/bp_ml.dir/kmeans.cpp.o"
+  "CMakeFiles/bp_ml.dir/kmeans.cpp.o.d"
+  "CMakeFiles/bp_ml.dir/matrix.cpp.o"
+  "CMakeFiles/bp_ml.dir/matrix.cpp.o.d"
+  "CMakeFiles/bp_ml.dir/metrics.cpp.o"
+  "CMakeFiles/bp_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/bp_ml.dir/pca.cpp.o"
+  "CMakeFiles/bp_ml.dir/pca.cpp.o.d"
+  "CMakeFiles/bp_ml.dir/scaler.cpp.o"
+  "CMakeFiles/bp_ml.dir/scaler.cpp.o.d"
+  "CMakeFiles/bp_ml.dir/stratified.cpp.o"
+  "CMakeFiles/bp_ml.dir/stratified.cpp.o.d"
+  "libbp_ml.a"
+  "libbp_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bp_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bp_stats.dir/entropy.cpp.o"
+  "CMakeFiles/bp_stats.dir/entropy.cpp.o.d"
+  "libbp_stats.a"
+  "libbp_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bp_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bp_traffic.dir/dataset.cpp.o"
+  "CMakeFiles/bp_traffic.dir/dataset.cpp.o.d"
+  "CMakeFiles/bp_traffic.dir/session_generator.cpp.o"
+  "CMakeFiles/bp_traffic.dir/session_generator.cpp.o.d"
+  "libbp_traffic.a"
+  "libbp_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bp_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bp_ua.dir/user_agent.cpp.o"
+  "CMakeFiles/bp_ua.dir/user_agent.cpp.o.d"
+  "libbp_ua.a"
+  "libbp_ua.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bp_ua.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

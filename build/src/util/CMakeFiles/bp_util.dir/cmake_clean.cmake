@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bp_util.dir/csv.cpp.o"
+  "CMakeFiles/bp_util.dir/csv.cpp.o.d"
+  "CMakeFiles/bp_util.dir/rng.cpp.o"
+  "CMakeFiles/bp_util.dir/rng.cpp.o.d"
+  "CMakeFiles/bp_util.dir/strings.cpp.o"
+  "CMakeFiles/bp_util.dir/strings.cpp.o.d"
+  "CMakeFiles/bp_util.dir/table.cpp.o"
+  "CMakeFiles/bp_util.dir/table.cpp.o.d"
+  "libbp_util.a"
+  "libbp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

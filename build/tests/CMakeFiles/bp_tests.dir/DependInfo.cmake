@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/artifact_scan_test.cpp" "tests/CMakeFiles/bp_tests.dir/artifact_scan_test.cpp.o" "gcc" "tests/CMakeFiles/bp_tests.dir/artifact_scan_test.cpp.o.d"
+  "/root/repo/tests/baseline_test.cpp" "tests/CMakeFiles/bp_tests.dir/baseline_test.cpp.o" "gcc" "tests/CMakeFiles/bp_tests.dir/baseline_test.cpp.o.d"
+  "/root/repo/tests/browser_catalog_test.cpp" "tests/CMakeFiles/bp_tests.dir/browser_catalog_test.cpp.o" "gcc" "tests/CMakeFiles/bp_tests.dir/browser_catalog_test.cpp.o.d"
+  "/root/repo/tests/browser_extractor_test.cpp" "tests/CMakeFiles/bp_tests.dir/browser_extractor_test.cpp.o" "gcc" "tests/CMakeFiles/bp_tests.dir/browser_extractor_test.cpp.o.d"
+  "/root/repo/tests/browser_timeline_test.cpp" "tests/CMakeFiles/bp_tests.dir/browser_timeline_test.cpp.o" "gcc" "tests/CMakeFiles/bp_tests.dir/browser_timeline_test.cpp.o.d"
+  "/root/repo/tests/core_drift_model_io_test.cpp" "tests/CMakeFiles/bp_tests.dir/core_drift_model_io_test.cpp.o" "gcc" "tests/CMakeFiles/bp_tests.dir/core_drift_model_io_test.cpp.o.d"
+  "/root/repo/tests/core_polygraph_test.cpp" "tests/CMakeFiles/bp_tests.dir/core_polygraph_test.cpp.o" "gcc" "tests/CMakeFiles/bp_tests.dir/core_polygraph_test.cpp.o.d"
+  "/root/repo/tests/core_preprocessing_test.cpp" "tests/CMakeFiles/bp_tests.dir/core_preprocessing_test.cpp.o" "gcc" "tests/CMakeFiles/bp_tests.dir/core_preprocessing_test.cpp.o.d"
+  "/root/repo/tests/core_risk_test.cpp" "tests/CMakeFiles/bp_tests.dir/core_risk_test.cpp.o" "gcc" "tests/CMakeFiles/bp_tests.dir/core_risk_test.cpp.o.d"
+  "/root/repo/tests/fraudsim_test.cpp" "tests/CMakeFiles/bp_tests.dir/fraudsim_test.cpp.o" "gcc" "tests/CMakeFiles/bp_tests.dir/fraudsim_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/bp_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/bp_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/ml_iforest_metrics_test.cpp" "tests/CMakeFiles/bp_tests.dir/ml_iforest_metrics_test.cpp.o" "gcc" "tests/CMakeFiles/bp_tests.dir/ml_iforest_metrics_test.cpp.o.d"
+  "/root/repo/tests/ml_kmeans_test.cpp" "tests/CMakeFiles/bp_tests.dir/ml_kmeans_test.cpp.o" "gcc" "tests/CMakeFiles/bp_tests.dir/ml_kmeans_test.cpp.o.d"
+  "/root/repo/tests/ml_matrix_test.cpp" "tests/CMakeFiles/bp_tests.dir/ml_matrix_test.cpp.o" "gcc" "tests/CMakeFiles/bp_tests.dir/ml_matrix_test.cpp.o.d"
+  "/root/repo/tests/ml_scaler_pca_test.cpp" "tests/CMakeFiles/bp_tests.dir/ml_scaler_pca_test.cpp.o" "gcc" "tests/CMakeFiles/bp_tests.dir/ml_scaler_pca_test.cpp.o.d"
+  "/root/repo/tests/stats_test.cpp" "tests/CMakeFiles/bp_tests.dir/stats_test.cpp.o" "gcc" "tests/CMakeFiles/bp_tests.dir/stats_test.cpp.o.d"
+  "/root/repo/tests/traffic_test.cpp" "tests/CMakeFiles/bp_tests.dir/traffic_test.cpp.o" "gcc" "tests/CMakeFiles/bp_tests.dir/traffic_test.cpp.o.d"
+  "/root/repo/tests/ua_test.cpp" "tests/CMakeFiles/bp_tests.dir/ua_test.cpp.o" "gcc" "tests/CMakeFiles/bp_tests.dir/ua_test.cpp.o.d"
+  "/root/repo/tests/util_date_table_test.cpp" "tests/CMakeFiles/bp_tests.dir/util_date_table_test.cpp.o" "gcc" "tests/CMakeFiles/bp_tests.dir/util_date_table_test.cpp.o.d"
+  "/root/repo/tests/util_rng_test.cpp" "tests/CMakeFiles/bp_tests.dir/util_rng_test.cpp.o" "gcc" "tests/CMakeFiles/bp_tests.dir/util_rng_test.cpp.o.d"
+  "/root/repo/tests/util_strings_csv_test.cpp" "tests/CMakeFiles/bp_tests.dir/util_strings_csv_test.cpp.o" "gcc" "tests/CMakeFiles/bp_tests.dir/util_strings_csv_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/bp_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/fraudsim/CMakeFiles/bp_fraudsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/bp_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/bp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/browser/CMakeFiles/bp_browser.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/bp_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/ua/CMakeFiles/bp_ua.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
