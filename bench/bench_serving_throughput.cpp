@@ -1,0 +1,196 @@
+// bench_serving_throughput: load driver for the serving subsystem.
+//
+// Sweeps worker counts and batch sizes over a pre-generated session
+// stream and reports sessions/second plus the latency distribution
+// against the paper's ~100 ms per-request budget (§3).  The single
+// worker / batch 1 configuration is the baseline; on a 4+ core machine
+// the pool is expected to clear >= 3x its throughput.
+//
+// Output: a human-readable table on stdout plus machine-readable JSON
+// ("serving_throughput.json" in the working directory, or argv[2]).
+//
+// Usage: bench_serving_throughput [n_sessions] [json_path]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "serve/model_registry.h"
+#include "serve/scoring_engine.h"
+#include "traffic/session_generator.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace {
+
+struct RunResult {
+  std::size_t workers = 0;
+  std::size_t max_batch = 0;
+  double seconds = 0.0;
+  double sessions_per_second = 0.0;
+  double speedup = 1.0;  // vs the single worker / batch 1 baseline
+  bp::serve::MetricsSnapshot metrics;
+};
+
+RunResult run_configuration(const bp::serve::ModelRegistry& registry,
+                            const std::vector<bp::serve::ScoreRequest>& stream,
+                            std::size_t workers, std::size_t max_batch) {
+  bp::serve::EngineConfig config;
+  config.workers = workers;
+  config.max_batch = max_batch;
+  config.queue_capacity = 4096;
+  config.overflow_policy = bp::serve::OverflowPolicy::kBlock;
+  bp::serve::ScoringEngine engine(registry, config, nullptr);
+
+  const auto begin = std::chrono::steady_clock::now();
+  for (const bp::serve::ScoreRequest& request : stream) {
+    engine.submit(request);  // copies; every run scores identical work
+  }
+  engine.drain();
+  const auto end = std::chrono::steady_clock::now();
+
+  RunResult result;
+  result.workers = workers;
+  result.max_batch = max_batch;
+  result.seconds = std::chrono::duration<double>(end - begin).count();
+  result.sessions_per_second =
+      static_cast<double>(stream.size()) / result.seconds;
+  result.metrics = engine.metrics();
+  engine.stop();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bp;
+
+  std::size_t n_sessions = 30'000;
+  if (argc > 1) {
+    char* end = nullptr;
+    const long parsed = std::strtol(argv[1], &end, 10);
+    if (end == argv[1] || *end != '\0' || parsed <= 0) {
+      std::fprintf(stderr,
+                   "usage: %s [n_sessions > 0] [json_path]\n"
+                   "  n_sessions: got '%s'\n",
+                   argv[0], argv[1]);
+      return 2;
+    }
+    n_sessions = static_cast<std::size_t>(parsed);
+  }
+  const std::string json_path = argc > 2 ? argv[2] : "serving_throughput.json";
+
+  std::printf("training the production model...\n");
+  const auto trained = benchmark_support::train_production(
+      benchmark_support::make_training_dataset(40'000));
+
+  serve::ModelRegistry registry;
+  registry.publish(trained.model);
+
+  // Pre-generate the stream so the sweep measures scoring, not synthesis.
+  std::printf("generating %zu live sessions...\n", n_sessions);
+  traffic::TrafficConfig live_config;
+  live_config.seed = 0x5EF7E2024;
+  traffic::SessionGenerator live(live_config);
+  const auto& indices = trained.model.config().feature_indices;
+  std::vector<serve::ScoreRequest> stream;
+  stream.reserve(n_sessions);
+  for (std::size_t i = 0; i < n_sessions; ++i) {
+    traffic::SessionRecord session = live.next_session(indices);
+    serve::ScoreRequest request;
+    request.id = i;
+    request.features = std::move(session.features);
+    request.claimed = session.claimed;
+    stream.push_back(std::move(request));
+  }
+
+  const unsigned hardware = std::thread::hardware_concurrency();
+  std::vector<std::size_t> worker_counts{1, 2, 4};
+  if (hardware > 4) worker_counts.push_back(hardware);
+  const std::vector<std::size_t> batch_sizes{1, 16, 64};
+
+  std::vector<RunResult> results;
+  for (std::size_t workers : worker_counts) {
+    for (std::size_t batch : batch_sizes) {
+      RunResult result = run_configuration(registry, stream, workers, batch);
+      if (!results.empty()) {
+        result.speedup =
+            result.sessions_per_second / results.front().sessions_per_second;
+      }
+      results.push_back(result);
+      std::printf("  workers=%zu batch=%-3zu  %10.0f sessions/s  "
+                  "p50=%.0fus p99=%.0fus\n",
+                  result.workers, result.max_batch,
+                  result.sessions_per_second, result.metrics.p50_micros(),
+                  result.metrics.p99_micros());
+    }
+  }
+
+  util::TextTable table(
+      {"workers", "batch", "sessions/s", "speedup", "p50_us", "p95_us",
+       "p99_us", "p99<100ms"});
+  for (const RunResult& r : results) {
+    char sps[32], speedup[16], p50[24], p95[24], p99[24];
+    std::snprintf(sps, sizeof(sps), "%.0f", r.sessions_per_second);
+    std::snprintf(speedup, sizeof(speedup), "%.2fx", r.speedup);
+    std::snprintf(p50, sizeof(p50), "%.0f", r.metrics.p50_micros());
+    std::snprintf(p95, sizeof(p95), "%.0f", r.metrics.p95_micros());
+    std::snprintf(p99, sizeof(p99), "%.0f", r.metrics.p99_micros());
+    table.add_row({std::to_string(r.workers), std::to_string(r.max_batch),
+                   sps, speedup, p50, p95, p99,
+                   r.metrics.within_budget() ? "yes" : "NO"});
+  }
+  std::printf("\nserving throughput (%u hardware threads, %zu sessions "
+              "per run):\n%s",
+              hardware, n_sessions, table.render().c_str());
+
+  std::string json = "{\n";
+  json += "  \"hardware_threads\": " + std::to_string(hardware) + ",\n";
+  json += "  \"sessions_per_run\": " + std::to_string(n_sessions) + ",\n";
+  json += "  \"latency_budget_micros\": " +
+          std::to_string(serve::kLatencyBudgetMicros) + ",\n";
+  json += "  \"runs\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const RunResult& r = results[i];
+    char entry[512];
+    std::snprintf(
+        entry, sizeof(entry),
+        "    {\"workers\": %zu, \"max_batch\": %zu, \"seconds\": %.4f, "
+        "\"sessions_per_second\": %.1f, \"speedup_vs_single\": %.3f, "
+        "\"p50_micros\": %.1f, \"p95_micros\": %.1f, \"p99_micros\": %.1f, "
+        "\"within_budget\": %s}%s\n",
+        r.workers, r.max_batch, r.seconds, r.sessions_per_second, r.speedup,
+        r.metrics.p50_micros(), r.metrics.p95_micros(),
+        r.metrics.p99_micros(),
+        r.metrics.within_budget() ? "true" : "false",
+        i + 1 == results.size() ? "" : ",");
+    json += entry;
+  }
+  json += "  ]\n}\n";
+  if (!util::write_file(json_path, json)) {
+    std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("\nJSON written to %s\n", json_path.c_str());
+
+  // The acceptance gate (meaningful on 4+ core machines): the pool must
+  // beat 3x the single-thread baseline and hold p99 under the budget.
+  double best_speedup = 1.0;
+  bool all_within_budget = true;
+  for (const RunResult& r : results) {
+    best_speedup = std::max(best_speedup, r.speedup);
+    all_within_budget = all_within_budget && r.metrics.within_budget();
+  }
+  std::printf("best speedup %.2fx; %s\n", best_speedup,
+              all_within_budget ? "all runs inside the 100 ms p99 budget"
+                                : "SOME RUNS OVER the 100 ms p99 budget");
+  if (hardware >= 4 && best_speedup < 3.0) {
+    std::fprintf(stderr, "expected >= 3x speedup on %u threads\n", hardware);
+    return 1;
+  }
+  return all_within_budget ? 0 : 1;
+}

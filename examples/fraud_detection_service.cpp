@@ -1,79 +1,215 @@
-// fraud_detection_service: the deployment workload of §6.5 in miniature.
+// fraud_detection_service: the deployment workload of §6.5 on the
+// serving subsystem (src/serve).
 //
-// Trains offline, persists the model to disk, reloads it (as a serving
-// tier would), then scores a live stream of sessions one at a time,
-// maintaining the risk-factor histogram and the flag rate a risk team
-// monitors.  Demonstrates the offline/online split and model_io.
+// Offline, a model is trained and persisted; the serving tier reloads
+// it and publishes it into a ModelRegistry.  A ScoringEngine (sharded
+// worker pool over a bounded queue) then scores a live stream of
+// sessions within the paper's ~100 ms budget, while:
+//
+//   * the drift module (§6.6) watches the Firefox/Chrome 119 era and
+//     raises the retraining signal, and
+//   * a retraining job runs concurrently with serving and hot-swaps the
+//     new model mid-stream with zero downtime — in-flight batches
+//     finish on the version they hold; every response names the model
+//     version that produced it.
 #include <cstdio>
 #include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
 
+#include "core/drift.h"
 #include "core/model_io.h"
-#include "core/polygraph.h"
+#include "serve/model_registry.h"
+#include "serve/scoring_engine.h"
 #include "traffic/session_generator.h"
 #include "util/table.h"
+
+namespace {
+
+// Everything the risk dashboard accumulates from responses.  The
+// callback runs on worker threads, so state is folded under one mutex
+// (cheap next to scoring; ServeMetrics handles the hot counters).
+struct Dashboard {
+  std::mutex mutex;
+  std::map<int, std::size_t> risk_histogram;
+  std::map<std::uint64_t, std::size_t> scored_by_version;
+  std::size_t flagged = 0;
+  std::size_t flagged_ato = 0;
+};
+
+bp::core::Polygraph train_model(const bp::traffic::TrafficConfig& config) {
+  bp::traffic::SessionGenerator generator(config);
+  const bp::traffic::Dataset history =
+      generator.generate(bp::traffic::experiment_feature_indices());
+  bp::core::Polygraph model;
+  const bp::ml::Matrix features =
+      history.feature_matrix(model.config().feature_indices);
+  std::vector<bp::ua::UserAgent> uas;
+  uas.reserve(history.size());
+  for (const auto& r : history.records()) uas.push_back(r.claimed);
+  const auto summary = model.train(features, uas);
+  std::printf("  trained: %.2f%% accuracy on %zu sessions\n",
+              100.0 * summary.clustering_accuracy, summary.rows_total);
+  return model;
+}
+
+}  // namespace
 
 int main() {
   using namespace bp;
 
-  // ---- offline: train and persist ----
+  // ---- offline: train and persist (§6.5's offline/online split) ----
+  std::printf("offline training (Mar-Jul 2023 window):\n");
   traffic::TrafficConfig train_config;
   train_config.n_sessions = 40'000;
-  traffic::SessionGenerator trainer(train_config);
-  const traffic::Dataset history =
-      trainer.generate(traffic::experiment_feature_indices());
-
-  core::Polygraph trained;
-  {
-    const ml::Matrix features =
-        history.feature_matrix(trained.config().feature_indices);
-    std::vector<ua::UserAgent> uas;
-    for (const auto& r : history.records()) uas.push_back(r.claimed);
-    const auto summary = trained.train(features, uas);
-    std::printf("offline training: %.2f%% accuracy on %zu sessions\n",
-                100.0 * summary.clustering_accuracy, summary.rows_total);
-  }
+  const core::Polygraph trained = train_model(train_config);
 
   const std::string model_path = "/tmp/browser_polygraph.model";
   if (!core::save_model(trained, model_path)) {
     std::fprintf(stderr, "failed to persist model\n");
     return 1;
   }
-  std::printf("model persisted to %s\n", model_path.c_str());
 
-  // ---- online: load and serve ----
-  const auto model = core::load_model(model_path);
-  if (!model.has_value()) {
+  // ---- online: load, publish, serve ----
+  auto loaded = core::load_model(model_path);
+  if (!loaded.has_value()) {
     std::fprintf(stderr, "failed to load model\n");
     return 1;
   }
 
+  serve::ModelRegistry registry;
+  const std::uint64_t v1 = registry.publish(std::move(*loaded));
+  std::printf("model persisted to %s and published as v%llu\n\n",
+              model_path.c_str(), static_cast<unsigned long long>(v1));
+
+  constexpr std::size_t kPhaseA = 25'000;   // pre-drift era traffic
+  constexpr std::size_t kPhaseB1 = 10'000;  // drift era, old model serving
+  constexpr std::size_t kPhaseB2 = 15'000;  // drift era, after the hot swap
+  constexpr std::size_t kStream = kPhaseA + kPhaseB1 + kPhaseB2;
+
+  std::vector<std::uint8_t> session_ato(kStream, 0);
+  Dashboard dashboard;
+
+  serve::EngineConfig engine_config;
+  engine_config.workers = 4;
+  engine_config.queue_capacity = 1024;
+  engine_config.max_batch = 32;
+  engine_config.overflow_policy = serve::OverflowPolicy::kBlock;
+  serve::ScoringEngine engine(
+      registry, engine_config, [&](const serve::ScoreResponse& response) {
+        if (response.status != serve::ResponseStatus::kScored) return;
+        std::lock_guard lock(dashboard.mutex);
+        ++dashboard.scored_by_version[response.model_version];
+        if (!response.detection.flagged) return;
+        ++dashboard.flagged;
+        dashboard.flagged_ato += session_ato[response.id];
+        ++dashboard.risk_histogram[response.detection.risk_factor];
+      });
+
+  const auto& indices = trained.config().feature_indices;
+  std::uint64_t next_id = 0;
+  const auto stream_sessions = [&](traffic::SessionGenerator& generator,
+                                   std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      traffic::SessionRecord session = generator.next_session(indices);
+      session_ato[next_id] = session.ato ? 1 : 0;
+      serve::ScoreRequest request;
+      request.id = next_id++;
+      request.features = std::move(session.features);
+      request.claimed = session.claimed;
+      if (engine.submit(std::move(request)) != serve::SubmitResult::kAdmitted) {
+        std::fprintf(stderr, "submission failed\n");
+        std::exit(1);
+      }
+    }
+  };
+
+  // ---- phase A: the stable summer (no new-era releases) ----
   traffic::TrafficConfig live_config;
   live_config.seed = 0x117E2024;
+  live_config.start_date = util::Date::from_ymd(2023, 7, 20);
+  live_config.end_date = util::Date::from_ymd(2023, 9, 30);
   traffic::SessionGenerator live(live_config);
-  const auto& indices = model->config().feature_indices;
+  stream_sessions(live, kPhaseA);
+  engine.drain();
+  std::printf("phase A (stable era): %s\n\n", engine.metrics().summary().c_str());
 
-  std::map<int, std::size_t> risk_histogram;
-  std::size_t flagged = 0;
-  std::size_t flagged_ato = 0;
-  constexpr std::size_t kStream = 50'000;
-  for (std::size_t i = 0; i < kStream; ++i) {
-    const traffic::SessionRecord session = live.next_session(indices);
-    std::vector<double> features(session.features.begin(),
-                                 session.features.end());
-    const core::Detection detection =
-        model->score(features, session.claimed);
-    if (!detection.flagged) continue;
-    ++flagged;
-    flagged_ato += session.ato ? 1 : 0;
-    ++risk_histogram[detection.risk_factor];
+  // ---- drift check (§6.6): the 119 era arrives ----
+  traffic::TrafficConfig drift_config;
+  drift_config.seed = 20231103;
+  drift_config.n_sessions = 15'000;
+  drift_config.start_date = util::Date::from_ymd(2023, 10, 20);
+  drift_config.end_date = util::Date::from_ymd(2023, 11, 3);
+  traffic::SessionGenerator drift_generator(drift_config);
+  const traffic::Dataset drift_data =
+      drift_generator.generate(traffic::experiment_feature_indices());
+
+  const core::DriftDetector detector(trained, 0.98);
+  const core::DriftReport report = detector.check(
+      drift_data,
+      {{ua::Vendor::kFirefox, 119, ua::Os::kWindows10},
+       {ua::Vendor::kChrome, 119, ua::Os::kWindows10}},
+      util::Date::from_ymd(2023, 11, 2));
+  for (const auto& entry : report.entries) {
+    std::printf("drift check %s: accuracy %.1f%%%s%s\n",
+                entry.release.label().c_str(), 100.0 * entry.accuracy,
+                entry.cluster_changed ? " [cluster changed]" : "",
+                entry.accuracy_below_threshold ? " [below threshold]" : "");
   }
+  if (!report.retraining_required) {
+    std::fprintf(stderr, "expected the 119 era to trigger retraining\n");
+    return 1;
+  }
+  std::printf("retraining signal raised; serving continues on v%llu\n\n",
+              static_cast<unsigned long long>(registry.version()));
 
+  // ---- phase B: drift-era traffic; retrain + hot-swap mid-stream ----
+  traffic::TrafficConfig live_b_config;
+  live_b_config.seed = 0x117E2025;
+  live_b_config.start_date = util::Date::from_ymd(2023, 10, 20);
+  live_b_config.end_date = util::Date::from_ymd(2023, 11, 3);
+  traffic::SessionGenerator live_b(live_b_config);
+
+  std::uint64_t v2 = 0;
+  std::thread retrainer([&] {
+    std::printf("retraining in the background (Mar-Nov window):\n");
+    traffic::TrafficConfig retrain_config;
+    retrain_config.seed = 20231104;
+    retrain_config.n_sessions = 20'000;
+    retrain_config.end_date = util::Date::from_ymd(2023, 11, 3);
+    core::Polygraph fresh = train_model(retrain_config);
+    v2 = registry.publish(std::move(fresh));  // zero-downtime hot swap
+  });
+
+  stream_sessions(live_b, kPhaseB1);  // served while the retrain runs
+  retrainer.join();
+  std::printf("hot-swapped to v%llu mid-stream (engine never paused)\n\n",
+              static_cast<unsigned long long>(v2));
+  stream_sessions(live_b, kPhaseB2);  // served by the fresh model
+  engine.drain();
+
+  const serve::MetricsSnapshot metrics = engine.metrics();
+  std::printf("phase B (drift era):  %s\n", metrics.summary().c_str());
+  engine.stop();
+
+  // ---- the risk team's view ----
+  std::lock_guard lock(dashboard.mutex);
   std::printf("\nserved %zu sessions, flagged %zu (%.2f%%), of which %zu "
               "became ATO within 72h\n",
-              kStream, flagged, 100.0 * flagged / kStream, flagged_ato);
+              kStream, dashboard.flagged,
+              100.0 * dashboard.flagged / kStream, dashboard.flagged_ato);
+  for (const auto& [version, count] : dashboard.scored_by_version) {
+    std::printf("  model v%llu scored %zu sessions\n",
+                static_cast<unsigned long long>(version), count);
+  }
+  if (dashboard.scored_by_version.size() < 2) {
+    std::fprintf(stderr, "expected sessions under both model versions\n");
+    return 1;
+  }
 
   util::TextTable table({"risk_factor", "sessions"});
-  for (const auto& [risk, count] : risk_histogram) {
+  for (const auto& [risk, count] : dashboard.risk_histogram) {
     table.add_row({std::to_string(risk), std::to_string(count)});
   }
   std::printf("\nrisk-factor histogram of flagged sessions:\n%s",
@@ -82,6 +218,10 @@ int main() {
       "\nA risk-based-authentication system consumes these factors as one\n"
       "signal among many: risk 0-1 near-misses are soft signals, vendor\n"
       "mismatches (risk %d) warrant step-up authentication.\n",
-      model->config().vendor_distance);
+      trained.config().vendor_distance);
+  if (!metrics.within_budget()) {
+    std::fprintf(stderr, "p99 latency exceeded the 100 ms budget\n");
+    return 1;
+  }
   return 0;
 }

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Tier-1 verification: full build + test suite, plus an optional
+# sanitizer pass over the serving concurrency tests.
+#
+#   ./scripts/tier1.sh                  # standard build + ctest
+#   BP_SANITIZE=thread ./scripts/tier1.sh   # ... + TSan concurrency pass
+#   BP_SANITIZE=address ./scripts/tier1.sh  # ... + ASan concurrency pass
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+case "${BP_SANITIZE:-}" in
+  "" | thread | address ) ;;
+  * )
+    echo "BP_SANITIZE must be 'thread' or 'address', got '${BP_SANITIZE}'" >&2
+    exit 2
+    ;;
+esac
+
+cmake -B build -S .
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j
+
+if [[ -n "${BP_SANITIZE:-}" ]]; then
+  san_dir="build-${BP_SANITIZE}"
+  echo "== ${BP_SANITIZE} sanitizer pass over the serving tests =="
+  cmake -B "${san_dir}" -S . -DBP_SANITIZE="${BP_SANITIZE}"
+  cmake --build "${san_dir}" -j --target bp_tests
+  ctest --test-dir "${san_dir}" -R 'Serve|BoundedQueue' --output-on-failure
+fi

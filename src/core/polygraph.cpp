@@ -152,12 +152,19 @@ TrainingSummary Polygraph::train(const ml::Matrix& features,
 }
 
 std::size_t Polygraph::predict_cluster(std::span<const double> features) const {
+  ScoringScratch scratch;
+  return predict_cluster(features, scratch);
+}
+
+std::size_t Polygraph::predict_cluster(std::span<const double> features,
+                                       ScoringScratch& scratch) const {
   assert(trained());
   assert(features.size() == config_.feature_indices.size());
-  ml::Matrix row(1, features.size());
-  std::copy(features.begin(), features.end(), row.row(0).begin());
-  const ml::Matrix projected = pca_.transform(scaler_.transform(row));
-  return kmeans_.predict_one(projected.row(0));
+  scratch.scaled_.resize(features.size());
+  scratch.projected_.resize(pca_.n_components());
+  scaler_.transform_row(features, scratch.scaled_);
+  pca_.transform_row(scratch.scaled_, scratch.projected_);
+  return kmeans_.predict_one(scratch.projected_);
 }
 
 std::vector<std::size_t> Polygraph::predict_clusters(
@@ -189,8 +196,23 @@ int Polygraph::risk_factor(const ua::UserAgent& session_ua,
 
 Detection Polygraph::score(std::span<const double> features,
                            const ua::UserAgent& claimed) const {
+  ScoringScratch scratch;
+  return score(features, claimed, scratch);
+}
+
+Detection Polygraph::score(std::span<const std::int32_t> features,
+                           const ua::UserAgent& claimed,
+                           ScoringScratch& scratch) const {
+  scratch.features_.resize(features.size());
+  std::copy(features.begin(), features.end(), scratch.features_.begin());
+  return score(std::span<const double>(scratch.features_), claimed, scratch);
+}
+
+Detection Polygraph::score(std::span<const double> features,
+                           const ua::UserAgent& claimed,
+                           ScoringScratch& scratch) const {
   Detection detection;
-  detection.predicted_cluster = predict_cluster(features);
+  detection.predicted_cluster = predict_cluster(features, scratch);
   detection.expected_cluster = table_.expected_cluster(claimed);
   if (detection.expected_cluster.has_value() &&
       *detection.expected_cluster != detection.predicted_cluster) {

@@ -100,6 +100,21 @@ struct TrainingSummary {
   double wcss = 0.0;                 // final k-means inertia
 };
 
+// Reusable buffers for the allocation-free scoring path.  One instance
+// per thread (the serving tier keeps one per worker); after the first
+// score the vectors hold their capacity, so steady-state scoring does
+// not touch the allocator.
+class ScoringScratch {
+ public:
+  ScoringScratch() = default;
+
+ private:
+  friend class Polygraph;
+  std::vector<double> features_;   // int32 -> double widening target
+  std::vector<double> scaled_;     // StandardScaler output
+  std::vector<double> projected_;  // PCA output
+};
+
 class Polygraph {
  public:
   explicit Polygraph(PolygraphConfig config = PolygraphConfig::production());
@@ -118,6 +133,21 @@ class Polygraph {
   // Full fraud-detection scoring (§6.5).
   Detection score(std::span<const double> features,
                   const ua::UserAgent& claimed) const;
+
+  // Allocation-free variants for the serving hot path.  All scoring
+  // entry points are const and touch only state frozen at train / load
+  // time, so one model may be scored from many threads concurrently;
+  // the scratch is the only mutable state and must not be shared
+  // between threads.
+  std::size_t predict_cluster(std::span<const double> features,
+                              ScoringScratch& scratch) const;
+  Detection score(std::span<const double> features,
+                  const ua::UserAgent& claimed, ScoringScratch& scratch) const;
+  // Scores a session's native integer feature storage directly
+  // (traffic::SessionRecord::features) without an intermediate
+  // std::vector<double> per call.
+  Detection score(std::span<const std::int32_t> features,
+                  const ua::UserAgent& claimed, ScoringScratch& scratch) const;
 
   // Algorithm 1 verbatim: smallest UA distance within a cluster.
   int risk_factor(const ua::UserAgent& session_ua,

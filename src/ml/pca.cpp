@@ -132,6 +132,20 @@ Matrix Pca::transform(const Matrix& data) const {
   return centered.multiply(components_);
 }
 
+void Pca::transform_row(std::span<const double> in,
+                        std::span<double> out) const {
+  assert(fitted() && in.size() == mean_.size() && out.size() == n_components_);
+  std::fill(out.begin(), out.end(), 0.0);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const double centered = in[i] - mean_[i];
+    if (centered == 0.0) continue;
+    const auto components = components_.row(i);
+    for (std::size_t j = 0; j < n_components_; ++j) {
+      out[j] += centered * components[j];
+    }
+  }
+}
+
 Matrix Pca::fit_transform(const Matrix& data, std::size_t n_components) {
   fit(data, n_components);
   return transform(data);

@@ -33,6 +33,11 @@ class Pca {
   Matrix transform(const Matrix& data) const;
   Matrix fit_transform(const Matrix& data, std::size_t n_components);
 
+  // Single-row projection into a caller-owned buffer (`in.size() ==
+  // n_features`, `out.size() == n_components()`).  Allocation-free for
+  // the serving tier's per-session hot path.
+  void transform_row(std::span<const double> in, std::span<double> out) const;
+
   // Reconstruct from component space back to (centered-removed) feature
   // space; lossless when n_components == n_features.
   Matrix inverse_transform(const Matrix& projected) const;

@@ -41,6 +41,14 @@ Matrix StandardScaler::fit_transform(const Matrix& data) {
   return transform(data);
 }
 
+void StandardScaler::transform_row(std::span<const double> in,
+                                   std::span<double> out) const {
+  assert(fitted() && in.size() == means_.size() && out.size() == in.size());
+  for (std::size_t c = 0; c < in.size(); ++c) {
+    out[c] = (in[c] - means_[c]) / stddevs_[c];
+  }
+}
+
 StandardScaler StandardScaler::from_params(std::vector<double> means,
                                            std::vector<double> stddevs) {
   assert(means.size() == stddevs.size());

@@ -29,6 +29,11 @@ class StandardScaler {
   Matrix transform(const Matrix& data) const;
   Matrix fit_transform(const Matrix& data);
 
+  // Single-row transform into a caller-owned buffer (`out.size() ==
+  // in.size() == cols`).  Allocation-free: the serving tier calls this
+  // per session under its latency budget.  `in` and `out` may alias.
+  void transform_row(std::span<const double> in, std::span<double> out) const;
+
   // Invert the transform (used by tests to verify round-tripping).
   Matrix inverse_transform(const Matrix& data) const;
 

@@ -1,0 +1,140 @@
+// Bounded MPMC queue with explicit overflow policies.
+//
+// The serving tier (§3's per-request budget at FinOrg scale) must keep
+// latency bounded when offered load exceeds scoring capacity.  An
+// unbounded queue converts overload into unbounded latency; a bounded
+// queue forces an explicit decision at the admission edge:
+//
+//   kBlock      — producers wait for space (lossless; backpressure is
+//                 pushed upstream to the caller's accept loop);
+//   kDropOldest — admit the new request by shedding the oldest queued
+//                 one (freshest-first under overload: a stale session
+//                 score is worth less than a fresh one);
+//   kReject     — refuse the new request immediately (caller falls back
+//                 to its UA-only risk path and retries later).
+//
+// Shed/displaced items are *returned to the producer*, never silently
+// discarded, so the engine can complete every admitted request with
+// either a score or an explicit shed response.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace bp::serve {
+
+enum class OverflowPolicy {
+  kBlock,
+  kDropOldest,
+  kReject,
+};
+
+enum class PushResult {
+  kAccepted,        // item enqueued
+  kDisplacedOldest, // item enqueued; the previous head came back via `displaced`
+  kRejected,        // queue full under kReject; item not enqueued
+  kClosed,          // queue closed; item not enqueued
+};
+
+template <typename T>
+class BoundedQueue {
+ public:
+  BoundedQueue(std::size_t capacity, OverflowPolicy policy)
+      : capacity_(capacity == 0 ? 1 : capacity), policy_(policy) {}
+
+  // Push under the configured policy.  On kDisplacedOldest the shed
+  // item is moved into `displaced` for the caller to dispose of.
+  PushResult push(T item, std::optional<T>& displaced) {
+    std::unique_lock lock(mutex_);
+    if (closed_) return PushResult::kClosed;
+    if (items_.size() >= capacity_) {
+      switch (policy_) {
+        case OverflowPolicy::kBlock:
+          not_full_.wait(lock,
+                         [&] { return closed_ || items_.size() < capacity_; });
+          if (closed_) return PushResult::kClosed;
+          break;
+        case OverflowPolicy::kDropOldest:
+          displaced = std::move(items_.front());
+          items_.pop_front();
+          items_.push_back(std::move(item));
+          not_empty_.notify_one();
+          return PushResult::kDisplacedOldest;
+        case OverflowPolicy::kReject:
+          return PushResult::kRejected;
+      }
+    }
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return PushResult::kAccepted;
+  }
+
+  PushResult push(T item) {
+    std::optional<T> displaced;
+    return push(std::move(item), displaced);
+  }
+
+  // Blocks until at least one item is available (or the queue closes),
+  // then drains up to `max_batch` items into `out` (cleared first).
+  // Returns false only when the queue is closed and fully drained.
+  bool pop_batch(std::vector<T>& out, std::size_t max_batch) {
+    out.clear();
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;  // closed and drained
+    const std::size_t n = std::min(max_batch, items_.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    if (policy_ == OverflowPolicy::kBlock) not_full_.notify_all();
+    return true;
+  }
+
+  bool pop(T& out) {
+    std::vector<T> batch;
+    if (!pop_batch(batch, 1)) return false;
+    out = std::move(batch.front());
+    return true;
+  }
+
+  // Wakes all waiters; subsequent pushes fail with kClosed.  Items
+  // already queued remain poppable until drained.
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  OverflowPolicy policy() const noexcept { return policy_; }
+
+ private:
+  const std::size_t capacity_;
+  const OverflowPolicy policy_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace bp::serve

@@ -1,0 +1,31 @@
+#include "serve/model_registry.h"
+
+#include <utility>
+
+namespace bp::serve {
+
+std::uint64_t ModelRegistry::publish(
+    std::shared_ptr<const core::Polygraph> model) {
+  if (model == nullptr || !model->trained()) return 0;
+  std::lock_guard lock(publish_mutex_);
+  const std::uint64_t version = published_.load(std::memory_order_relaxed) + 1;
+  history_.push_back(
+      std::make_unique<const Entry>(Entry{std::move(model), version}));
+  current_.store(history_.back().get(), std::memory_order_release);
+  published_.store(version, std::memory_order_release);
+  return version;
+}
+
+std::uint64_t ModelRegistry::publish(core::Polygraph model) {
+  return publish(std::make_shared<const core::Polygraph>(std::move(model)));
+}
+
+ModelSnapshot ModelRegistry::current() const {
+  const Entry* entry = current_.load(std::memory_order_acquire);
+  if (entry == nullptr) return {};
+  // Safe without a reference count: entries are immutable and outlive
+  // every reader (retained in history_ until the registry dies).
+  return {entry->model, entry->version};
+}
+
+}  // namespace bp::serve

@@ -1,0 +1,87 @@
+// Hot-swappable model snapshots for zero-downtime retraining.
+//
+// The paper's drift module (§6.6) periodically decides that the frozen
+// model must be retrained; at FinOrg scale the serving tier cannot stop
+// while that happens.  The registry holds immutable snapshot entries
+// behind a single atomic raw pointer:
+//
+//   * readers (`current()`) take a reference with one atomic load —
+//     no mutex on the scoring path, so a publish never stalls scoring;
+//   * writers (`publish()`) install a fresh snapshot; in-flight batches
+//     finish on the version they already hold.
+//
+// Superseded entries are retained until the registry is destroyed
+// rather than reference-counted on the read path.  Publishes are rare
+// drift-triggered retrains (a handful over a deployment's lifetime),
+// so the retention cost is a few model tables, and it is what makes
+// the read path a single data-race-free atomic load: readers can
+// dereference the entry without coordinating with the writer, because
+// no entry is ever freed while the registry is alive.  (libstdc++'s
+// std::atomic<shared_ptr> would reclaim eagerly, but its lock-free
+// protocol is opaque to ThreadSanitizer — see GCC PR 101761 — and this
+// subsystem's concurrency tests must run clean under TSan.)
+//
+// Every snapshot carries a monotonically increasing version so each
+// detection can be attributed to exactly one published model — the
+// audit requirement when a risk team reviews why a session was flagged.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/polygraph.h"
+
+namespace bp::serve {
+
+struct ModelSnapshot {
+  std::shared_ptr<const core::Polygraph> model;
+  std::uint64_t version = 0;  // 0 = nothing published yet
+
+  explicit operator bool() const noexcept { return model != nullptr; }
+};
+
+class ModelRegistry {
+ public:
+  ModelRegistry() = default;
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  // Install `model` as the serving snapshot and return its version
+  // (1, 2, 3, ...).  Safe to call concurrently with readers and with
+  // other publishers.  Rejects (returns 0) a null or untrained model —
+  // a bad retrain must never take down serving.
+  std::uint64_t publish(std::shared_ptr<const core::Polygraph> model);
+
+  // Convenience: take ownership of a trained model by value (the usual
+  // hand-off from `core::model_io::load_model` / a retraining job).
+  std::uint64_t publish(core::Polygraph model);
+
+  // The snapshot to score with; `{nullptr, 0}` before the first
+  // publish.  One atomic load — callers should take one snapshot per
+  // batch so a whole batch is scored by a single version.
+  ModelSnapshot current() const;
+
+  // Version of the latest published snapshot (0 before first publish).
+  std::uint64_t version() const noexcept {
+    return published_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const core::Polygraph> model;
+    std::uint64_t version;
+  };
+
+  // Publishes are rare (drift-triggered retrains) and serialized by a
+  // mutex; the read path never takes it.  `history_` owns every entry
+  // ever published so `current_` can be a plain raw-pointer atomic.
+  std::mutex publish_mutex_;
+  std::vector<std::unique_ptr<const Entry>> history_;
+  std::atomic<const Entry*> current_{nullptr};
+  std::atomic<std::uint64_t> published_{0};
+};
+
+}  // namespace bp::serve

@@ -1,0 +1,152 @@
+#include "serve/scoring_engine.h"
+
+#include <span>
+#include <utility>
+
+namespace bp::serve {
+
+namespace {
+
+std::size_t resolve_workers(std::size_t requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace
+
+ScoringEngine::ScoringEngine(const ModelRegistry& registry, EngineConfig config,
+                             ResponseCallback on_response)
+    : registry_(registry),
+      config_([&] {
+        config.workers = resolve_workers(config.workers);
+        if (config.max_batch == 0) config.max_batch = 1;
+        return config;
+      }()),
+      on_response_(std::move(on_response)),
+      queue_(config_.queue_capacity, config_.overflow_policy),
+      metrics_(config_.workers) {
+  workers_.reserve(config_.workers);
+  for (std::uint32_t w = 0; w < config_.workers; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+ScoringEngine::~ScoringEngine() { stop(); }
+
+SubmitResult ScoringEngine::submit(ScoreRequest request) {
+  if (stopping_.load(std::memory_order_acquire)) return SubmitResult::kStopped;
+  request.admitted_at = std::chrono::steady_clock::now();
+  // Count admission before the push: once the request is in the queue a
+  // worker may complete it, and `completed_` must never overtake
+  // `admitted_` or drain() would return early.
+  admitted_.fetch_add(1, std::memory_order_acq_rel);
+  std::optional<ScoreRequest> displaced;
+  switch (queue_.push(std::move(request), displaced)) {
+    case PushResult::kAccepted:
+      return SubmitResult::kAdmitted;
+    case PushResult::kDisplacedOldest:
+      // The new request is admitted; the oldest queued one is completed
+      // here and now as an explicit shed.
+      deliver_shed(std::move(*displaced), 0, /*from_submit=*/true);
+      return SubmitResult::kAdmitted;
+    case PushResult::kRejected:
+      admitted_.fetch_sub(1, std::memory_order_acq_rel);
+      metrics_.record_rejected();
+      return SubmitResult::kRejected;
+    case PushResult::kClosed:
+      admitted_.fetch_sub(1, std::memory_order_acq_rel);
+      return SubmitResult::kStopped;
+  }
+  return SubmitResult::kStopped;  // unreachable
+}
+
+void ScoringEngine::worker_loop(std::uint32_t worker_index) {
+  std::vector<ScoreRequest> batch;
+  core::ScoringScratch scratch;
+  while (queue_.pop_batch(batch, config_.max_batch)) {
+    // One snapshot per batch: the whole batch is attributed to a single
+    // published model version, and a concurrent publish() never tears a
+    // batch across two models.
+    ModelSnapshot snapshot = registry_.current();
+    while (!snapshot) {
+      if (stopping_.load(std::memory_order_acquire)) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      snapshot = registry_.current();
+    }
+    if (!snapshot) {
+      // Stopped before any model was ever published: complete the batch
+      // as shed so no admitted request is left without a response.
+      for (ScoreRequest& request : batch) {
+        deliver_shed(std::move(request), worker_index, /*from_submit=*/false);
+      }
+      continue;
+    }
+    metrics_.record_batch(worker_index);
+    for (ScoreRequest& request : batch) {
+      ScoreResponse response;
+      response.id = request.id;
+      response.status = ResponseStatus::kScored;
+      response.detection = snapshot.model->score(
+          std::span<const std::int32_t>(request.features), request.claimed,
+          scratch);
+      response.model_version = snapshot.version;
+      response.worker = worker_index;
+      response.latency = std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - request.admitted_at);
+      metrics_.record_scored(
+          worker_index, response.detection.flagged,
+          static_cast<std::uint64_t>(response.latency.count()));
+      if (on_response_) on_response_(response);
+    }
+    note_completed(batch.size());
+  }
+}
+
+void ScoringEngine::deliver_shed(ScoreRequest request,
+                                 std::uint32_t worker_index, bool from_submit) {
+  ScoreResponse response;
+  response.id = request.id;
+  response.status = ResponseStatus::kShed;
+  response.worker = worker_index;
+  response.latency = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - request.admitted_at);
+  if (from_submit) {
+    metrics_.record_shed_on_submit();
+  } else {
+    metrics_.record_shed(worker_index);
+  }
+  if (on_response_) on_response_(response);
+  note_completed(1);
+}
+
+void ScoringEngine::note_completed(std::uint64_t n) {
+  completed_.fetch_add(n, std::memory_order_acq_rel);
+  std::lock_guard lock(drain_mutex_);
+  drain_cv_.notify_all();
+}
+
+void ScoringEngine::drain() {
+  std::unique_lock lock(drain_mutex_);
+  drain_cv_.wait(lock, [&] {
+    return completed_.load(std::memory_order_acquire) >=
+           admitted_.load(std::memory_order_acquire);
+  });
+}
+
+void ScoringEngine::stop() {
+  std::lock_guard lock(stop_mutex_);
+  if (!stopping_.exchange(true, std::memory_order_acq_rel)) queue_.close();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+MetricsSnapshot ScoringEngine::metrics() const {
+  MetricsSnapshot snapshot = metrics_.snapshot();
+  snapshot.queue_depth = queue_.size();
+  snapshot.model_version = registry_.version();
+  return snapshot;
+}
+
+}  // namespace bp::serve

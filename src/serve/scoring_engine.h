@@ -1,0 +1,129 @@
+// Concurrent scoring engine: the serving tier of §6.5.
+//
+// A sharded pool of worker threads drains a bounded MPMC queue in
+// batches and scores each session with the registry's current model
+// snapshot:
+//
+//   submit()  ->  BoundedQueue  ->  worker pool  ->  ResponseCallback
+//                                     |  one ModelSnapshot per batch
+//                                     |  one ScoringScratch per worker
+//                                     v
+//                                 ServeMetrics (per-worker counters)
+//
+// Invariants the tests pin down:
+//   * every admitted request produces exactly one response — a score
+//     (kScored) or an explicit shed (kShed) under DropOldest; a
+//     rejected submission produces none and is reported synchronously;
+//   * a batch is scored by exactly one published model version (the
+//     snapshot is taken once per batch), and every response names the
+//     version that produced it;
+//   * the worker hot path performs no per-session allocation: requests
+//     are moved through the queue and scored via the ScoringScratch
+//     overload of Polygraph::score.
+//
+// The callback runs on worker threads (and, for displaced-by-overflow
+// sheds, on the submitting thread); it must be thread-safe and cheap.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "serve/bounded_queue.h"
+#include "serve/model_registry.h"
+#include "serve/serve_metrics.h"
+#include "ua/user_agent.h"
+
+namespace bp::serve {
+
+struct ScoreRequest {
+  std::uint64_t id = 0;                 // caller-chosen correlation id
+  std::vector<std::int32_t> features;   // native session feature storage
+  ua::UserAgent claimed;
+  std::chrono::steady_clock::time_point admitted_at{};  // set by submit()
+};
+
+enum class ResponseStatus : std::uint8_t {
+  kScored,
+  kShed,  // displaced under OverflowPolicy::kDropOldest; detection empty
+};
+
+struct ScoreResponse {
+  std::uint64_t id = 0;
+  ResponseStatus status = ResponseStatus::kScored;
+  core::Detection detection;        // valid iff status == kScored
+  std::uint64_t model_version = 0;  // publishing version that scored it
+  std::uint32_t worker = 0;         // scoring worker (0 for sheds)
+  std::chrono::microseconds latency{0};  // admission -> response
+};
+
+enum class SubmitResult : std::uint8_t {
+  kAdmitted,  // a response will follow
+  kRejected,  // queue full under kReject; no response follows
+  kStopped,   // engine stopped; no response follows
+};
+
+struct EngineConfig {
+  std::size_t workers = 0;  // 0 = std::thread::hardware_concurrency()
+  std::size_t queue_capacity = 4096;
+  std::size_t max_batch = 32;  // requests scored per snapshot load
+  OverflowPolicy overflow_policy = OverflowPolicy::kBlock;
+};
+
+class ScoringEngine {
+ public:
+  using ResponseCallback = std::function<void(const ScoreResponse&)>;
+
+  // Starts the worker pool immediately.  `registry` must outlive the
+  // engine; scoring waits (requests queue up) until the registry has a
+  // published model.
+  ScoringEngine(const ModelRegistry& registry, EngineConfig config,
+                ResponseCallback on_response);
+  ~ScoringEngine();
+
+  ScoringEngine(const ScoringEngine&) = delete;
+  ScoringEngine& operator=(const ScoringEngine&) = delete;
+
+  // Thread-safe admission.  On kAdmitted the engine owns the request
+  // and will deliver exactly one response for it.
+  SubmitResult submit(ScoreRequest request);
+
+  // Blocks until every admitted request has been responded to.
+  // Producers should be quiescent (or the wait is racy by nature).
+  void drain();
+
+  // Closes the queue, scores what was already admitted, joins workers.
+  // Idempotent; the destructor calls it.
+  void stop();
+
+  // Counter fold + engine context (queue depth, registry version).
+  MetricsSnapshot metrics() const;
+
+  const EngineConfig& config() const noexcept { return config_; }
+  std::size_t queue_depth() const { return queue_.size(); }
+
+ private:
+  void worker_loop(std::uint32_t worker_index);
+  void deliver_shed(ScoreRequest request, std::uint32_t worker_index,
+                    bool from_submit);
+  void note_completed(std::uint64_t n);
+
+  const ModelRegistry& registry_;
+  EngineConfig config_;
+  ResponseCallback on_response_;
+  BoundedQueue<ScoreRequest> queue_;
+  ServeMetrics metrics_;
+
+  std::atomic<std::uint64_t> admitted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::mutex drain_mutex_;
+  std::condition_variable drain_cv_;
+
+  std::atomic<bool> stopping_{false};
+  std::mutex stop_mutex_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace bp::serve

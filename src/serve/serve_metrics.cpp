@@ -1,0 +1,104 @@
+#include "serve/serve_metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace bp::serve {
+
+std::size_t latency_bucket(std::uint64_t micros) noexcept {
+  const auto it = std::lower_bound(kLatencyBucketBoundsMicros.begin(),
+                                   kLatencyBucketBoundsMicros.end(), micros);
+  return static_cast<std::size_t>(it - kLatencyBucketBoundsMicros.begin());
+}
+
+double MetricsSnapshot::latency_quantile_micros(double q) const noexcept {
+  std::uint64_t total = 0;
+  for (std::uint64_t c : latency_histogram) total += c;
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < latency_histogram.size(); ++b) {
+    if (latency_histogram[b] == 0) continue;
+    const std::uint64_t next = cumulative + latency_histogram[b];
+    if (rank <= static_cast<double>(next)) {
+      const double lo =
+          b == 0 ? 0.0
+                 : static_cast<double>(kLatencyBucketBoundsMicros[b - 1]);
+      // Open-ended last bucket: report its lower bound.
+      const double hi =
+          b < kLatencyBucketBoundsMicros.size()
+              ? static_cast<double>(kLatencyBucketBoundsMicros[b])
+              : lo;
+      const double fraction =
+          (rank - static_cast<double>(cumulative)) /
+          static_cast<double>(latency_histogram[b]);
+      return lo + (hi - lo) * fraction;
+    }
+    cumulative = next;
+  }
+  return static_cast<double>(kLatencyBucketBoundsMicros.back());
+}
+
+std::string MetricsSnapshot::summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "scored=%llu flagged=%llu (%.2f%%) shed=%llu rejected=%llu "
+                "depth=%llu model=v%llu p50=%.0fus p95=%.0fus p99=%.0fus%s",
+                static_cast<unsigned long long>(scored),
+                static_cast<unsigned long long>(flagged), 100.0 * flag_rate(),
+                static_cast<unsigned long long>(shed),
+                static_cast<unsigned long long>(rejected),
+                static_cast<unsigned long long>(queue_depth),
+                static_cast<unsigned long long>(model_version), p50_micros(),
+                p95_micros(), p99_micros(),
+                within_budget() ? "" : " [OVER 100ms BUDGET]");
+  return buf;
+}
+
+ServeMetrics::ServeMetrics(std::size_t n_workers)
+    : workers_(n_workers == 0 ? 1 : n_workers) {}
+
+void ServeMetrics::record_scored(std::size_t worker, bool flagged,
+                                 std::uint64_t latency_micros) noexcept {
+  WorkerBlock& block = workers_[worker];
+  block.scored.fetch_add(1, std::memory_order_relaxed);
+  if (flagged) block.flagged.fetch_add(1, std::memory_order_relaxed);
+  block.latency[latency_bucket(latency_micros)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+void ServeMetrics::record_shed(std::size_t worker) noexcept {
+  workers_[worker].shed.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServeMetrics::record_batch(std::size_t worker) noexcept {
+  workers_[worker].batches.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServeMetrics::record_rejected() noexcept {
+  rejected_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServeMetrics::record_shed_on_submit() noexcept {
+  shed_on_submit_.fetch_add(1, std::memory_order_relaxed);
+}
+
+MetricsSnapshot ServeMetrics::snapshot() const {
+  MetricsSnapshot out;
+  for (const WorkerBlock& block : workers_) {
+    out.scored += block.scored.load(std::memory_order_relaxed);
+    out.flagged += block.flagged.load(std::memory_order_relaxed);
+    out.shed += block.shed.load(std::memory_order_relaxed);
+    out.batches += block.batches.load(std::memory_order_relaxed);
+    for (std::size_t b = 0; b < out.latency_histogram.size(); ++b) {
+      out.latency_histogram[b] +=
+          block.latency[b].load(std::memory_order_relaxed);
+    }
+  }
+  out.shed += shed_on_submit_.load(std::memory_order_relaxed);
+  out.rejected = rejected_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace bp::serve

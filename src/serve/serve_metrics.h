@@ -1,0 +1,101 @@
+// Lock-cheap serving metrics.
+//
+// Every scored session updates counters; a metrics layer that takes a
+// mutex per session would serialize the worker pool it is measuring.
+// Instead each worker owns a cache-line-aligned block of relaxed
+// atomics (no cross-worker sharing on the hot path); `snapshot()` folds
+// the per-worker blocks into one consistent-enough view for reporting.
+//
+// Latency is recorded as a fixed-bucket histogram over microseconds so
+// p50/p95/p99 can be reported against the paper's 100 ms per-request
+// budget (§3) without storing samples.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bp::serve {
+
+// §3's per-request budget: "around 100 milliseconds".
+inline constexpr std::uint64_t kLatencyBudgetMicros = 100'000;
+
+// Bucket upper bounds in microseconds: a coarse log ladder from 50 µs
+// to 10 s.  The last bucket is open-ended.
+inline constexpr std::array<std::uint64_t, 16> kLatencyBucketBoundsMicros = {
+    50,      100,     250,     500,       1'000,     2'500,
+    5'000,   10'000,  25'000,  50'000,    100'000,   250'000,
+    500'000, 1'000'000, 5'000'000, 10'000'000};
+
+std::size_t latency_bucket(std::uint64_t micros) noexcept;
+
+// Folded view of the engine's counters at one instant.
+struct MetricsSnapshot {
+  std::uint64_t scored = 0;    // responses delivered with a detection
+  std::uint64_t flagged = 0;   // scored responses with detection.flagged
+  std::uint64_t shed = 0;      // responses delivered as shed (DropOldest)
+  std::uint64_t rejected = 0;  // submissions refused at admission (Reject)
+  std::uint64_t batches = 0;   // worker batch iterations
+  std::uint64_t queue_depth = 0;  // instantaneous, at snapshot time
+  std::uint64_t model_version = 0;  // latest published at snapshot time
+  std::array<std::uint64_t, kLatencyBucketBoundsMicros.size() + 1>
+      latency_histogram{};  // queue wait + scoring, per scored session
+
+  double flag_rate() const noexcept {
+    return scored == 0 ? 0.0 : static_cast<double>(flagged) / scored;
+  }
+  // Histogram quantile (linear interpolation inside a bucket);
+  // q in [0, 1].  Returns 0 when nothing was scored.
+  double latency_quantile_micros(double q) const noexcept;
+  double p50_micros() const noexcept { return latency_quantile_micros(0.50); }
+  double p95_micros() const noexcept { return latency_quantile_micros(0.95); }
+  double p99_micros() const noexcept { return latency_quantile_micros(0.99); }
+  bool within_budget() const noexcept {
+    return p99_micros() < static_cast<double>(kLatencyBudgetMicros);
+  }
+
+  // One-line human-readable summary for logs and examples.
+  std::string summary() const;
+};
+
+class ServeMetrics {
+ public:
+  explicit ServeMetrics(std::size_t n_workers);
+
+  // Hot-path recording; `worker` < n_workers, callable concurrently
+  // from distinct workers without contention.
+  void record_scored(std::size_t worker, bool flagged,
+                     std::uint64_t latency_micros) noexcept;
+  void record_shed(std::size_t worker) noexcept;
+  void record_batch(std::size_t worker) noexcept;
+
+  // Admission-side events (any thread).
+  void record_rejected() noexcept;
+  void record_shed_on_submit() noexcept;
+
+  std::size_t n_workers() const noexcept { return workers_.size(); }
+
+  // Fold all per-worker blocks.  Caller fills queue_depth /
+  // model_version (engine-owned context).
+  MetricsSnapshot snapshot() const;
+
+ private:
+  struct alignas(64) WorkerBlock {
+    std::atomic<std::uint64_t> scored{0};
+    std::atomic<std::uint64_t> flagged{0};
+    std::atomic<std::uint64_t> shed{0};
+    std::atomic<std::uint64_t> batches{0};
+    std::array<std::atomic<std::uint64_t>,
+               kLatencyBucketBoundsMicros.size() + 1>
+        latency{};
+  };
+
+  std::vector<WorkerBlock> workers_;
+  alignas(64) std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> shed_on_submit_{0};
+};
+
+}  // namespace bp::serve

@@ -186,9 +186,111 @@ TEST(ModelIo, RoundTripPreservesRiskFactors) {
   }
 }
 
+// A minimal hand-assembled model (identity scaler/PCA over 2 features,
+// 2 centroids) so the structural edge cases below don't pay for a
+// training run.
+Polygraph tiny_model(bool with_table) {
+  PolygraphConfig config;
+  config.feature_indices = {0, 1};
+  config.pca_components = 2;
+  config.k = 2;
+  ml::Matrix centroids(2, 2);
+  centroids(1, 0) = 10.0;
+  centroids(1, 1) = 10.0;
+  ml::KMeansConfig kconfig;
+  kconfig.k = 2;
+  ClusterTable table;
+  if (with_table) {
+    table.assign(chrome(100), 0);
+    table.assign(firefox(100), 1);
+  }
+  return Polygraph::from_parts(
+      config, ml::StandardScaler::from_params({0.0, 0.0}, {1.0, 1.0}),
+      ml::Pca::from_params({0.0, 0.0}, {1.0, 1.0}, ml::Matrix::identity(2)),
+      ml::KMeans::from_centroids(std::move(centroids), kconfig),
+      std::move(table));
+}
+
 TEST(ModelIo, RejectsBadHeader) {
   EXPECT_FALSE(deserialize_model("not-a-model v9\n").has_value());
   EXPECT_FALSE(deserialize_model("").has_value());
+}
+
+TEST(ModelIo, RejectsVersionHeaderMismatch) {
+  // A v2 writer's output must not be half-understood by the v1 reader.
+  std::string text = serialize_model(tiny_model(true));
+  const auto pos = text.find("v1");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 2, "v2");
+  EXPECT_FALSE(deserialize_model(text).has_value());
+}
+
+TEST(ModelIo, EmptyClusterTableRoundTrips) {
+  // A model trained before any UA majority exists (or with every label
+  // filtered) is structurally valid: it scores with expected_cluster ==
+  // nullopt rather than failing to load.
+  const Polygraph original = tiny_model(/*with_table=*/false);
+  const auto restored = deserialize_model(serialize_model(original));
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->cluster_table().size(), 0u);
+  const std::vector<double> features{0.0, 0.0};
+  const Detection detection = restored->score(features, chrome(100));
+  EXPECT_FALSE(detection.expected_cluster.has_value());
+  EXPECT_FALSE(detection.flagged);
+}
+
+TEST(ModelIo, TruncationAtEveryLineReturnsNullopt) {
+  // Cutting the file at *any* line boundary must yield nullopt — never
+  // a partially-constructed model (the serving tier would otherwise hot
+  // swap in a model missing its centroids or half its table).
+  const std::string text = serialize_model(tiny_model(true));
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    const std::size_t end = text.find('\n', start);
+    lines.push_back(text.substr(start, end - start));
+    if (end == std::string::npos) break;
+    start = end + 1;
+  }
+  ASSERT_GT(lines.size(), 10u);
+  std::string prefix;
+  for (std::size_t i = 0; i + 1 < lines.size(); ++i) {
+    prefix += lines[i];
+    prefix += '\n';
+    EXPECT_FALSE(deserialize_model(prefix).has_value())
+        << "prefix of " << i + 1 << " lines parsed as a full model";
+  }
+  prefix += lines.back();
+  prefix += '\n';
+  EXPECT_TRUE(deserialize_model(prefix).has_value());
+}
+
+TEST(ModelIo, RejectsMalformedTableCount) {
+  std::string text = serialize_model(tiny_model(true));
+  const auto pos = text.find("table 2");
+  ASSERT_NE(pos, std::string::npos);
+  std::string negative = text;
+  negative.replace(pos, 7, "table -1");
+  EXPECT_FALSE(deserialize_model(negative).has_value());
+  std::string garbage = text;
+  garbage.replace(pos, 7, "table x");
+  EXPECT_FALSE(deserialize_model(garbage).has_value());
+}
+
+TEST(ModelIo, TinyModelRoundTripPreservesScoring) {
+  const Polygraph original = tiny_model(true);
+  const auto restored = deserialize_model(serialize_model(original));
+  ASSERT_TRUE(restored.has_value());
+  ScoringScratch scratch;
+  const std::vector<std::int32_t> native{9, 11};
+  const Detection a = original.score(std::span<const std::int32_t>(native),
+                                     chrome(100), scratch);
+  const Detection b = restored->score(std::span<const std::int32_t>(native),
+                                      chrome(100), scratch);
+  EXPECT_EQ(a.predicted_cluster, b.predicted_cluster);
+  EXPECT_EQ(a.flagged, b.flagged);
+  EXPECT_EQ(a.risk_factor, b.risk_factor);
+  EXPECT_TRUE(a.flagged);  // (9,11) sits at cluster 1, Chrome expects 0
 }
 
 TEST(ModelIo, RejectsTruncatedBody) {

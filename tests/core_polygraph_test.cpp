@@ -186,6 +186,48 @@ TEST(Prediction, BatchMatchesSingle) {
   }
 }
 
+TEST(Prediction, ScratchPathMatchesAllocatingPath) {
+  // The serving tier's allocation-free overloads must be bit-identical
+  // to the original entry points.
+  const auto& s = shared();
+  const ml::Matrix features =
+      s.data.feature_matrix(s.model.config().feature_indices);
+  ScoringScratch scratch;
+  for (std::size_t i = 0; i < 500; ++i) {
+    const auto& claimed = s.data.records()[i].claimed;
+    const Detection baseline = s.model.score(features.row(i), claimed);
+    const Detection scratch_path =
+        s.model.score(features.row(i), claimed, scratch);
+    EXPECT_EQ(scratch_path.predicted_cluster, baseline.predicted_cluster);
+    EXPECT_EQ(scratch_path.expected_cluster, baseline.expected_cluster);
+    EXPECT_EQ(scratch_path.flagged, baseline.flagged);
+    EXPECT_EQ(scratch_path.risk_factor, baseline.risk_factor);
+  }
+}
+
+TEST(Prediction, NativeIntFeaturesMatchDoublePath) {
+  // Sessions store int32 features; the serving engine scores them
+  // without building a std::vector<double> per call.
+  const auto& s = shared();
+  const ml::Matrix features =
+      s.data.feature_matrix(s.model.config().feature_indices);
+  ScoringScratch scratch;
+  for (std::size_t i = 0; i < 200; ++i) {
+    const auto row = features.row(i);
+    std::vector<std::int32_t> native(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      native[c] = static_cast<std::int32_t>(row[c]);
+    }
+    const auto& claimed = s.data.records()[i].claimed;
+    const Detection baseline = s.model.score(row, claimed);
+    const Detection native_path = s.model.score(
+        std::span<const std::int32_t>(native), claimed, scratch);
+    EXPECT_EQ(native_path.predicted_cluster, baseline.predicted_cluster);
+    EXPECT_EQ(native_path.flagged, baseline.flagged);
+    EXPECT_EQ(native_path.risk_factor, baseline.risk_factor);
+  }
+}
+
 TEST(Config, ProductionDefaults) {
   const PolygraphConfig config = PolygraphConfig::production();
   EXPECT_EQ(config.feature_indices.size(), 28u);
