@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Tier-1 verification: full build + test suite, plus an optional
-# sanitizer pass over the serving concurrency tests.
+# Tier-1 verification: full build + test suite + training-bench smoke
+# run, plus an optional sanitizer pass over the concurrency tests
+# (serving tier and the parallel training substrate).
 #
-#   ./scripts/tier1.sh                  # standard build + ctest
+#   ./scripts/tier1.sh                  # standard build + ctest + smoke
 #   BP_SANITIZE=thread ./scripts/tier1.sh   # ... + TSan concurrency pass
 #   BP_SANITIZE=address ./scripts/tier1.sh  # ... + ASan concurrency pass
 set -euo pipefail
@@ -20,10 +21,14 @@ cmake -B build -S .
 cmake --build build -j
 ctest --test-dir build --output-on-failure -j
 
+echo "== training-throughput bench smoke (determinism gate) =="
+./build/bench/bench_training_throughput --smoke /tmp/bp_bench_training_smoke.json
+
 if [[ -n "${BP_SANITIZE:-}" ]]; then
   san_dir="build-${BP_SANITIZE}"
-  echo "== ${BP_SANITIZE} sanitizer pass over the serving tests =="
+  echo "== ${BP_SANITIZE} sanitizer pass over the concurrency tests =="
   cmake -B "${san_dir}" -S . -DBP_SANITIZE="${BP_SANITIZE}"
   cmake --build "${san_dir}" -j --target bp_tests
-  ctest --test-dir "${san_dir}" -R 'Serve|BoundedQueue' --output-on-failure
+  ctest --test-dir "${san_dir}" \
+    -R 'Serve|BoundedQueue|Parallel|TrainingDeterminism' --output-on-failure
 fi

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cmath>
 #include <limits>
 
@@ -22,18 +23,23 @@ void ClusterTable::assign(const ua::UserAgent& ua, std::size_t cluster) {
   const auto it = ua_to_cluster_.find(key);
   if (it != ua_to_cluster_.end()) {
     if (it->second == cluster) return;
-    // Re-assignment: drop from the old cluster's UA list first.
+    // Re-assignment: swap-remove from the old cluster's list via the
+    // per-UA position index.  (A remove_if scan here made bulk table
+    // rebuilds — every retrain reassigns most UAs — quadratic.)
     auto& old_list = cluster_to_uas_[it->second];
-    old_list.erase(std::remove_if(old_list.begin(), old_list.end(),
-                                  [&](const ua::UserAgent& u) {
-                                    return u.key() == key;
-                                  }),
-                   old_list.end());
+    const std::size_t pos = position_in_cluster_.at(key);
+    old_list[pos] = old_list.back();
+    old_list.pop_back();
+    if (pos < old_list.size()) {
+      position_in_cluster_[old_list[pos].key()] = pos;
+    }
     it->second = cluster;
   } else {
     ua_to_cluster_.emplace(key, cluster);
   }
-  cluster_to_uas_[cluster].push_back(ua);
+  auto& list = cluster_to_uas_[cluster];
+  position_in_cluster_[key] = list.size();
+  list.push_back(ua);
 }
 
 std::optional<std::size_t> ClusterTable::expected_cluster(
@@ -71,6 +77,15 @@ TrainingSummary Polygraph::train(const ml::Matrix& features,
   TrainingSummary summary;
   summary.rows_total = features.rows();
 
+  using Clock = std::chrono::steady_clock;
+  const auto stage_start = Clock::now();
+  auto lap = [last = stage_start]() mutable {
+    const auto now = Clock::now();
+    const double seconds = std::chrono::duration<double>(now - last).count();
+    last = now;
+    return seconds;
+  };
+
   // 1. Scale.  Deviation-based columns are standardized; time-based
   //    presence bits pass through (§6.4.1).
   const auto& catalog = browser::FeatureCatalog::instance();
@@ -82,6 +97,7 @@ TrainingSummary Polygraph::train(const ml::Matrix& features,
   }
   scaler_.fit(features, scale_column);
   const ml::Matrix scaled = scaler_.transform(features);
+  summary.timings.scale = lap();
 
   // 2. Outlier filtering (§6.4.1).
   ml::IsolationForestConfig forest_config;
@@ -98,10 +114,12 @@ TrainingSummary Polygraph::train(const ml::Matrix& features,
   for (std::size_t i = 0; i < user_agents.size(); ++i) {
     if (keep[i]) kept_uas.push_back(user_agents[i]);
   }
+  summary.timings.filter = lap();
 
   // 3. PCA (§6.4.2).
   const ml::Matrix projected =
       pca_.fit_transform(filtered, config_.pca_components);
+  summary.timings.pca = lap();
 
   // 4. k-means (§6.4.3).
   ml::KMeansConfig kconfig;
@@ -111,6 +129,7 @@ TrainingSummary Polygraph::train(const ml::Matrix& features,
   kmeans_ = ml::KMeans(kconfig);
   kmeans_.fit(projected);
   summary.wcss = kmeans_.inertia();
+  summary.timings.kmeans = lap();
 
   // 5. Majority-cluster table + training accuracy (Appendix-4 Formula 1).
   std::vector<std::uint32_t> keys;
@@ -148,6 +167,9 @@ TrainingSummary Polygraph::train(const ml::Matrix& features,
       }
     }
   }
+  summary.timings.table = lap();
+  summary.timings.total =
+      std::chrono::duration<double>(Clock::now() - stage_start).count();
   return summary;
 }
 

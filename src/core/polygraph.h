@@ -79,6 +79,10 @@ class ClusterTable {
  private:
   std::map<std::uint32_t, std::size_t> ua_to_cluster_;
   std::map<std::size_t, std::vector<ua::UserAgent>> cluster_to_uas_;
+  // Position of each UA inside its cluster's list, so a re-assignment is
+  // a swap-remove instead of a remove_if scan (bulk table rebuilds used
+  // to be quadratic in the number of UAs).
+  std::map<std::uint32_t, std::size_t> position_in_cluster_;
   std::vector<ua::UserAgent> empty_;
 };
 
@@ -92,12 +96,24 @@ struct Detection {
   int risk_factor = 0;
 };
 
+// Wall-clock seconds per training stage; bench_training_throughput
+// reports these per thread count to show where a retrain's latency goes.
+struct TrainingTimings {
+  double scale = 0.0;   // scaler fit + transform
+  double filter = 0.0;  // isolation-forest fit + inlier mask + row filter
+  double pca = 0.0;     // covariance + eigenbasis + projection
+  double kmeans = 0.0;  // all k-means++ restarts
+  double table = 0.0;   // majority table + rare-label realignment
+  double total = 0.0;
+};
+
 struct TrainingSummary {
   std::size_t rows_total = 0;
   std::size_t rows_outliers_removed = 0;
   double clustering_accuracy = 0.0;  // Appendix-4 Formula 1 on training data
   std::size_t labels_realigned = 0;  // rare-UA adjustments applied
   double wcss = 0.0;                 // final k-means inertia
+  TrainingTimings timings;
 };
 
 // Reusable buffers for the allocation-free scoring path.  One instance

@@ -5,7 +5,18 @@
 #include <cmath>
 #include <numeric>
 
+#include "util/parallel.h"
+
 namespace bp::ml {
+
+namespace {
+
+// Row-blocking grain for batch scoring; fixed for thread-count-invariant
+// decomposition (per-row scores are independent, so this only bounds
+// dispatch overhead).
+constexpr std::size_t kScoreGrain = 1024;
+
+}  // namespace
 
 double IsolationForest::average_path_length(std::size_t n) noexcept {
   if (n <= 1) return 0.0;
@@ -112,18 +123,25 @@ double IsolationForest::Tree::path_length(
 
 void IsolationForest::fit(const Matrix& data) {
   assert(data.rows() > 0);
-  bp::util::Rng rng(config_.seed);
+  const bp::util::Rng rng(config_.seed);
   const std::size_t sample =
       std::min(config_.max_samples, data.rows());
   c_norm_ = std::max(average_path_length(sample), 1e-9);
 
+  // Trees are embarrassingly parallel: tree t draws from the pre-split
+  // stream rng.split(t), which is a pure function of (seed, t), so the
+  // forest is identical no matter which thread builds which tree.
   trees_.clear();
-  trees_.reserve(config_.n_trees);
-  for (std::size_t t = 0; t < config_.n_trees; ++t) {
-    bp::util::Rng tree_rng = rng.fork(t);
-    auto indices = tree_rng.sample_indices(data.rows(), sample);
-    trees_.push_back(build_tree(data, indices, tree_rng));
-  }
+  trees_.resize(config_.n_trees);
+  bp::util::parallel_for(
+      std::size_t{0}, config_.n_trees, 1,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t t = begin; t < end; ++t) {
+          bp::util::Rng tree_rng = rng.split(t);
+          auto indices = tree_rng.sample_indices(data.rows(), sample);
+          trees_[t] = build_tree(data, indices, tree_rng);
+        }
+      });
 }
 
 double IsolationForest::score_one(std::span<const double> point) const {
@@ -136,9 +154,13 @@ double IsolationForest::score_one(std::span<const double> point) const {
 
 std::vector<double> IsolationForest::score(const Matrix& data) const {
   std::vector<double> out(data.rows());
-  for (std::size_t i = 0; i < data.rows(); ++i) {
-    out[i] = score_one(data.row(i));
-  }
+  bp::util::parallel_for(
+      std::size_t{0}, data.rows(), kScoreGrain,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          out[i] = score_one(data.row(i));
+        }
+      });
   return out;
 }
 

@@ -5,7 +5,99 @@
 #include <cmath>
 #include <limits>
 
+#include "util/parallel.h"
+
 namespace bp::ml {
+
+namespace {
+
+// Row-blocking grain for assignment-style passes.  Fixed so the chunked
+// floating-point merges are a function of the data alone: the same
+// labels, centroids, and inertia fall out at any thread count.
+constexpr std::size_t kAssignGrain = 2048;
+
+// Nearest centroid of `point` with the early-exit distance bound: a
+// centroid is abandoned as soon as its partial sum exceeds the best
+// distance seen so far.  Ties keep the lowest centroid index, exactly
+// like the historical full-distance scan (an abandoned accumulation can
+// only happen on a strictly larger distance).
+std::pair<std::size_t, double> nearest_centroid(
+    std::span<const double> point, const Matrix& centroids) noexcept {
+  double best = std::numeric_limits<double>::max();
+  std::size_t best_c = 0;
+  for (std::size_t c = 0; c < centroids.rows(); ++c) {
+    const double d2 = squared_distance_bounded(point, centroids.row(c), best);
+    if (d2 < best) {
+      best = d2;
+      best_c = c;
+    }
+  }
+  return {best_c, best};
+}
+
+// Per-chunk partial of one assignment sweep: the centroid accumulators
+// for the update step ride along with the labels so the data is walked
+// once per iteration instead of twice.
+struct AssignPartial {
+  std::vector<double> sums;         // k * d, empty when not accumulating
+  std::vector<std::size_t> counts;  // k
+  double inertia = 0.0;
+};
+
+// Assign rows [begin, end) to their nearest centroid, writing labels in
+// place (row-disjoint across chunks) and returning the chunk partial.
+AssignPartial assign_rows(const Matrix& data, const Matrix& centroids,
+                          std::size_t begin, std::size_t end,
+                          std::vector<std::size_t>& labels, bool accumulate) {
+  const std::size_t k = centroids.rows();
+  const std::size_t d = centroids.cols();
+  AssignPartial partial;
+  if (accumulate) {
+    partial.sums.assign(k * d, 0.0);
+    partial.counts.assign(k, 0);
+  }
+  for (std::size_t i = begin; i < end; ++i) {
+    const auto point = data.row(i);
+    const auto [best_c, best] = nearest_centroid(point, centroids);
+    labels[i] = best_c;
+    partial.inertia += best;
+    if (accumulate) {
+      ++partial.counts[best_c];
+      double* s = &partial.sums[best_c * d];
+      for (std::size_t j = 0; j < d; ++j) s[j] += point[j];
+    }
+  }
+  return partial;
+}
+
+// One full assignment sweep as an ordered parallel reduction.
+AssignPartial assign_sweep(const Matrix& data, const Matrix& centroids,
+                           std::vector<std::size_t>& labels,
+                           bool accumulate) {
+  const std::size_t k = centroids.rows();
+  const std::size_t d = centroids.cols();
+  AssignPartial init;
+  if (accumulate) {
+    init.sums.assign(k * d, 0.0);
+    init.counts.assign(k, 0);
+  }
+  return bp::util::parallel_reduce(
+      std::size_t{0}, data.rows(), kAssignGrain, std::move(init),
+      [&](std::size_t begin, std::size_t end) {
+        return assign_rows(data, centroids, begin, end, labels, accumulate);
+      },
+      [](AssignPartial& acc, AssignPartial&& part) {
+        acc.inertia += part.inertia;
+        for (std::size_t i = 0; i < acc.sums.size(); ++i) {
+          acc.sums[i] += part.sums[i];
+        }
+        for (std::size_t i = 0; i < acc.counts.size(); ++i) {
+          acc.counts[i] += part.counts[i];
+        }
+      });
+}
+
+}  // namespace
 
 Matrix KMeans::init_plus_plus(const Matrix& data, bp::util::Rng& rng) const {
   const std::size_t n = data.rows();
@@ -18,14 +110,23 @@ Matrix KMeans::init_plus_plus(const Matrix& data, bp::util::Rng& rng) const {
 
   std::vector<double> min_d2(n, std::numeric_limits<double>::max());
   for (std::size_t c = 1; c < k; ++c) {
-    // Update distances to the nearest chosen centroid.
+    // Update distances to the nearest chosen centroid.  Row-disjoint
+    // min_d2 updates run in parallel; only the total is reduced, in
+    // chunk order, so the k-means++ weights are thread-count invariant.
     const auto prev = centroids.row(c - 1);
-    double total = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      const double d2 = squared_distance(data.row(i), prev);
-      if (d2 < min_d2[i]) min_d2[i] = d2;
-      total += min_d2[i];
-    }
+    const double total = bp::util::parallel_reduce(
+        std::size_t{0}, n, kAssignGrain, 0.0,
+        [&](std::size_t begin, std::size_t end) {
+          double chunk_total = 0.0;
+          for (std::size_t i = begin; i < end; ++i) {
+            const double d2 =
+                squared_distance_bounded(data.row(i), prev, min_d2[i]);
+            if (d2 < min_d2[i]) min_d2[i] = d2;
+            chunk_total += min_d2[i];
+          }
+          return chunk_total;
+        },
+        [](double& acc, double part) { acc += part; });
     std::size_t chosen = 0;
     if (total <= 0.0) {
       chosen = static_cast<std::size_t>(rng.below(n));
@@ -56,62 +157,49 @@ KMeans::RunResult KMeans::run_once(const Matrix& data,
   result.centroids = init_plus_plus(data, rng);
   result.labels.assign(n, 0);
 
-  std::vector<double> sums(k * d, 0.0);
-  std::vector<std::size_t> counts(k, 0);
-
   for (int iter = 0; iter < config_.max_iterations; ++iter) {
-    // Assignment step.
-    double inertia = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      const auto point = data.row(i);
-      double best = std::numeric_limits<double>::max();
-      std::size_t best_c = 0;
-      for (std::size_t c = 0; c < k; ++c) {
-        const double d2 = squared_distance(point, result.centroids.row(c));
-        if (d2 < best) {
-          best = d2;
-          best_c = c;
-        }
-      }
-      result.labels[i] = best_c;
-      inertia += best;
-    }
-    result.inertia = inertia;
+    // Assignment step (fused with the update-step accumulation).
+    AssignPartial assignment =
+        assign_sweep(data, result.centroids, result.labels, true);
+    result.inertia = assignment.inertia;
 
     // Update step.
-    std::fill(sums.begin(), sums.end(), 0.0);
-    std::fill(counts.begin(), counts.end(), 0);
-    for (std::size_t i = 0; i < n; ++i) {
-      const auto point = data.row(i);
-      const std::size_t c = result.labels[i];
-      ++counts[c];
-      double* s = &sums[c * d];
-      for (std::size_t j = 0; j < d; ++j) s[j] += point[j];
-    }
-
     double shift = 0.0;
     for (std::size_t c = 0; c < k; ++c) {
       auto centroid = result.centroids.row(c);
-      if (counts[c] == 0) {
+      if (assignment.counts[c] == 0) {
         // Empty cluster: re-seed from the point farthest from its current
-        // centroid (standard repair; keeps k clusters alive).
-        double worst = -1.0;
-        std::size_t worst_i = 0;
-        for (std::size_t i = 0; i < n; ++i) {
-          const double d2 = squared_distance(
-              data.row(i), result.centroids.row(result.labels[i]));
-          if (d2 > worst) {
-            worst = d2;
-            worst_i = i;
-          }
-        }
-        const auto src = data.row(worst_i);
+        // centroid (standard repair; keeps k clusters alive).  The scan
+        // reduces (worst, index) in chunk order with strict comparisons,
+        // so ties resolve to the lowest row index like the serial scan.
+        struct Farthest {
+          double worst = -1.0;
+          std::size_t index = 0;
+        };
+        const Farthest farthest = bp::util::parallel_reduce(
+            std::size_t{0}, n, kAssignGrain, Farthest{},
+            [&](std::size_t begin, std::size_t end) {
+              Farthest chunk;
+              for (std::size_t i = begin; i < end; ++i) {
+                const double d2 = squared_distance(
+                    data.row(i), result.centroids.row(result.labels[i]));
+                if (d2 > chunk.worst) {
+                  chunk.worst = d2;
+                  chunk.index = i;
+                }
+              }
+              return chunk;
+            },
+            [](Farthest& acc, Farthest&& part) {
+              if (part.worst > acc.worst) acc = part;
+            });
+        const auto src = data.row(farthest.index);
         shift += squared_distance(centroid, src);
         std::copy_n(src.data(), d, centroid.data());
         continue;
       }
-      const double inv = 1.0 / static_cast<double>(counts[c]);
-      double* s = &sums[c * d];
+      const double inv = 1.0 / static_cast<double>(assignment.counts[c]);
+      double* s = &assignment.sums[c * d];
       double cluster_shift = 0.0;
       for (std::size_t j = 0; j < d; ++j) {
         const double updated = s[j] * inv;
@@ -127,41 +215,40 @@ KMeans::RunResult KMeans::run_once(const Matrix& data,
 
   // Final assignment with the converged centroids so labels and inertia
   // are consistent with what predict() would report.
-  double inertia = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto point = data.row(i);
-    double best = std::numeric_limits<double>::max();
-    std::size_t best_c = 0;
-    for (std::size_t c = 0; c < k; ++c) {
-      const double d2 = squared_distance(point, result.centroids.row(c));
-      if (d2 < best) {
-        best = d2;
-        best_c = c;
-      }
-    }
-    result.labels[i] = best_c;
-    inertia += best;
-  }
-  result.inertia = inertia;
+  result.inertia =
+      assign_sweep(data, result.centroids, result.labels, false).inertia;
   return result;
 }
 
 void KMeans::fit(const Matrix& data) {
   assert(data.rows() >= config_.k && config_.k > 0);
-  bp::util::Rng rng(config_.seed);
 
-  RunResult best;
-  best.inertia = std::numeric_limits<double>::max();
-  const int restarts = std::max(config_.n_init, 1);
-  for (int r = 0; r < restarts; ++r) {
-    bp::util::Rng run_rng = rng.fork(static_cast<std::uint64_t>(r));
-    RunResult candidate = run_once(data, run_rng);
-    if (candidate.inertia < best.inertia) best = std::move(candidate);
+  // The n_init restarts are independent jobs: each draws from its own
+  // pre-split RNG stream (split() leaves the parent untouched, so the
+  // streams do not depend on execution order) and the winner is picked
+  // by lowest inertia with lowest restart index breaking ties.
+  const bp::util::Rng root(config_.seed);
+  const std::size_t restarts =
+      static_cast<std::size_t>(std::max(config_.n_init, 1));
+  std::vector<bp::util::Rng> streams;
+  streams.reserve(restarts);
+  for (std::size_t r = 0; r < restarts; ++r) streams.push_back(root.split(r));
+
+  std::vector<RunResult> results(restarts);
+  bp::util::parallel_for(
+      std::size_t{0}, restarts, 1, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t r = begin; r < end; ++r) {
+          results[r] = run_once(data, streams[r]);
+        }
+      });
+
+  std::size_t best = 0;
+  for (std::size_t r = 1; r < restarts; ++r) {
+    if (results[r].inertia < results[best].inertia) best = r;
   }
-
-  centroids_ = std::move(best.centroids);
-  labels_ = std::move(best.labels);
-  inertia_ = best.inertia;
+  centroids_ = std::move(results[best].centroids);
+  labels_ = std::move(results[best].labels);
+  inertia_ = results[best].inertia;
 }
 
 KMeans KMeans::from_centroids(Matrix centroids, KMeansConfig config) {
@@ -173,23 +260,18 @@ KMeans KMeans::from_centroids(Matrix centroids, KMeansConfig config) {
 
 std::size_t KMeans::predict_one(std::span<const double> point) const {
   assert(fitted() && point.size() == centroids_.cols());
-  double best = std::numeric_limits<double>::max();
-  std::size_t best_c = 0;
-  for (std::size_t c = 0; c < centroids_.rows(); ++c) {
-    const double d2 = squared_distance(point, centroids_.row(c));
-    if (d2 < best) {
-      best = d2;
-      best_c = c;
-    }
-  }
-  return best_c;
+  return nearest_centroid(point, centroids_).first;
 }
 
 std::vector<std::size_t> KMeans::predict(const Matrix& data) const {
   std::vector<std::size_t> labels(data.rows());
-  for (std::size_t i = 0; i < data.rows(); ++i) {
-    labels[i] = predict_one(data.row(i));
-  }
+  bp::util::parallel_for(
+      std::size_t{0}, data.rows(), kAssignGrain,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          labels[i] = predict_one(data.row(i));
+        }
+      });
   return labels;
 }
 

@@ -2,7 +2,19 @@
 
 #include <cmath>
 
+#include "util/parallel.h"
+
 namespace bp::ml {
+
+namespace {
+
+// Row-blocking grain for the column-moment reductions.  Fixed (never a
+// function of the thread count) so the chunk-ordered merges produce the
+// same floating-point sums at any parallelism; small matrices take the
+// single-chunk path and match the historical serial results exactly.
+constexpr std::size_t kMomentGrain = 4096;
+
+}  // namespace
 
 Matrix Matrix::from_rows(const std::vector<std::vector<double>>& rows) {
   Matrix m;
@@ -74,10 +86,19 @@ Matrix Matrix::transposed() const {
 std::vector<double> Matrix::column_means() const {
   std::vector<double> means(cols_, 0.0);
   if (rows_ == 0) return means;
-  for (std::size_t r = 0; r < rows_; ++r) {
-    const auto src = row(r);
-    for (std::size_t c = 0; c < cols_; ++c) means[c] += src[c];
-  }
+  means = bp::util::parallel_reduce(
+      std::size_t{0}, rows_, kMomentGrain, std::move(means),
+      [&](std::size_t begin, std::size_t end) {
+        std::vector<double> sums(cols_, 0.0);
+        for (std::size_t r = begin; r < end; ++r) {
+          const auto src = row(r);
+          for (std::size_t c = 0; c < cols_; ++c) sums[c] += src[c];
+        }
+        return sums;
+      },
+      [](std::vector<double>& acc, std::vector<double>&& part) {
+        for (std::size_t c = 0; c < acc.size(); ++c) acc[c] += part[c];
+      });
   for (double& m : means) m /= static_cast<double>(rows_);
   return means;
 }
@@ -87,13 +108,22 @@ std::vector<double> Matrix::column_stddevs(
   assert(means.size() == cols_);
   std::vector<double> var(cols_, 0.0);
   if (rows_ == 0) return var;
-  for (std::size_t r = 0; r < rows_; ++r) {
-    const auto src = row(r);
-    for (std::size_t c = 0; c < cols_; ++c) {
-      const double d = src[c] - means[c];
-      var[c] += d * d;
-    }
-  }
+  var = bp::util::parallel_reduce(
+      std::size_t{0}, rows_, kMomentGrain, std::move(var),
+      [&](std::size_t begin, std::size_t end) {
+        std::vector<double> sums(cols_, 0.0);
+        for (std::size_t r = begin; r < end; ++r) {
+          const auto src = row(r);
+          for (std::size_t c = 0; c < cols_; ++c) {
+            const double d = src[c] - means[c];
+            sums[c] += d * d;
+          }
+        }
+        return sums;
+      },
+      [](std::vector<double>& acc, std::vector<double>&& part) {
+        for (std::size_t c = 0; c < acc.size(); ++c) acc[c] += part[c];
+      });
   for (double& v : var) v = std::sqrt(v / static_cast<double>(rows_));
   return var;
 }
@@ -105,6 +135,19 @@ double squared_distance(std::span<const double> a,
   for (std::size_t i = 0; i < a.size(); ++i) {
     const double d = a[i] - b[i];
     sum += d * d;
+  }
+  return sum;
+}
+
+double squared_distance_bounded(std::span<const double> a,
+                                std::span<const double> b,
+                                double bound) noexcept {
+  assert(a.size() == b.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+    if (sum > bound) return sum;  // abandoned: caller only needs >= bound
   }
   return sum;
 }

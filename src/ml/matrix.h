@@ -82,4 +82,17 @@ class Matrix {
 double squared_distance(std::span<const double> a,
                         std::span<const double> b) noexcept;
 
+// Squared Euclidean distance with an early-exit bound: accumulation is
+// abandoned as soon as the partial sum exceeds `bound`, returning that
+// partial (> bound).  Callers comparing `result < bound` get exactly the
+// same decision as with the full distance — if the partial already
+// exceeds the bound, the full sum can only be larger — which is what
+// the k-means assignment loops exploit (a nearest-centroid search only
+// needs distances below the best seen so far).  When the distance is
+// not abandoned the returned value is bit-identical to
+// squared_distance(), so results stay deterministic.
+double squared_distance_bounded(std::span<const double> a,
+                                std::span<const double> b,
+                                double bound) noexcept;
+
 }  // namespace bp::ml

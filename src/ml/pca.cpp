@@ -5,9 +5,16 @@
 #include <cmath>
 #include <numeric>
 
+#include "util/parallel.h"
+
 namespace bp::ml {
 
 namespace {
+
+// Row-blocking grain for the covariance reduction and the projection
+// sweep; fixed so the chunk-ordered covariance sums (and therefore the
+// eigenbasis) are identical at any thread count.
+constexpr std::size_t kRowGrain = 2048;
 
 double off_diagonal_norm(const Matrix& a) {
   double sum = 0.0;
@@ -88,19 +95,33 @@ void Pca::fit(const Matrix& data, std::size_t n_components) {
   n_components_ = std::min(n_components, d);
   mean_ = data.column_means();
 
-  // Covariance (sample, divisor n-1, matching sklearn).
-  Matrix cov(d, d);
+  // Covariance (sample, divisor n-1, matching sklearn) as a blocked
+  // parallel reduction over rows: each chunk accumulates its own upper
+  // triangle, merged in chunk order.
   const double denom = static_cast<double>(data.rows() - 1);
-  for (std::size_t r = 0; r < data.rows(); ++r) {
-    const auto row = data.row(r);
-    for (std::size_t i = 0; i < d; ++i) {
-      const double di = row[i] - mean_[i];
-      if (di == 0.0) continue;
-      for (std::size_t j = i; j < d; ++j) {
-        cov(i, j) += di * (row[j] - mean_[j]);
-      }
-    }
-  }
+  Matrix cov = bp::util::parallel_reduce(
+      std::size_t{0}, data.rows(), kRowGrain, Matrix(d, d),
+      [&](std::size_t begin, std::size_t end) {
+        Matrix partial(d, d);
+        for (std::size_t r = begin; r < end; ++r) {
+          const auto row = data.row(r);
+          for (std::size_t i = 0; i < d; ++i) {
+            const double di = row[i] - mean_[i];
+            if (di == 0.0) continue;
+            for (std::size_t j = i; j < d; ++j) {
+              partial(i, j) += di * (row[j] - mean_[j]);
+            }
+          }
+        }
+        return partial;
+      },
+      [d](Matrix& acc, Matrix&& part) {
+        for (std::size_t i = 0; i < d; ++i) {
+          for (std::size_t j = i; j < d; ++j) {
+            acc(i, j) += part(i, j);
+          }
+        }
+      });
   for (std::size_t i = 0; i < d; ++i) {
     for (std::size_t j = i; j < d; ++j) {
       cov(i, j) /= denom;
@@ -121,15 +142,18 @@ void Pca::fit(const Matrix& data, std::size_t n_components) {
 
 Matrix Pca::transform(const Matrix& data) const {
   assert(fitted() && data.cols() == mean_.size());
-  Matrix centered(data.rows(), data.cols());
-  for (std::size_t r = 0; r < data.rows(); ++r) {
-    const auto src = data.row(r);
-    const auto dst = centered.row(r);
-    for (std::size_t c = 0; c < data.cols(); ++c) {
-      dst[c] = src[c] - mean_[c];
-    }
-  }
-  return centered.multiply(components_);
+  // Row-parallel projection through transform_row, which performs the
+  // same center-then-accumulate arithmetic (in the same order) as the
+  // historical centered.multiply(components_) path.
+  Matrix out(data.rows(), n_components_);
+  bp::util::parallel_for(
+      std::size_t{0}, data.rows(), kRowGrain,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t r = begin; r < end; ++r) {
+          transform_row(data.row(r), out.row(r));
+        }
+      });
+  return out;
 }
 
 void Pca::transform_row(std::span<const double> in,

@@ -2,7 +2,15 @@
 
 #include <cassert>
 
+#include "util/parallel.h"
+
 namespace bp::ml {
+
+namespace {
+
+constexpr std::size_t kRowGrain = 4096;
+
+}  // namespace
 
 void StandardScaler::fit(const Matrix& data) {
   fit(data, std::vector<bool>(data.cols(), true));
@@ -26,13 +34,13 @@ void StandardScaler::fit(const Matrix& data,
 Matrix StandardScaler::transform(const Matrix& data) const {
   assert(fitted() && data.cols() == means_.size());
   Matrix out(data.rows(), data.cols());
-  for (std::size_t r = 0; r < data.rows(); ++r) {
-    const auto src = data.row(r);
-    const auto dst = out.row(r);
-    for (std::size_t c = 0; c < data.cols(); ++c) {
-      dst[c] = (src[c] - means_[c]) / stddevs_[c];
-    }
-  }
+  bp::util::parallel_for(
+      std::size_t{0}, data.rows(), kRowGrain,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t r = begin; r < end; ++r) {
+          transform_row(data.row(r), out.row(r));
+        }
+      });
   return out;
 }
 

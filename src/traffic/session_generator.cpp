@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "browser/engine_timelines.h"
+#include "util/parallel.h"
 #include "util/strings.h"
 
 namespace bp::traffic {
@@ -42,19 +43,20 @@ std::vector<std::size_t> experiment_feature_indices() {
 SessionGenerator::SessionGenerator(TrafficConfig config)
     : config_(config), rng_(config.seed) {}
 
-std::string SessionGenerator::fresh_session_id() {
-  // Opaque and randomized (Appendix A): hash of a counter and the seed,
-  // never derived from any session attribute.
+std::string SessionGenerator::session_id_for(
+    std::uint64_t session_index) const {
+  // Opaque and randomized (Appendix A): hash of the row index and the
+  // seed, never derived from any session attribute.  Index-keyed so the
+  // sharded batch path and the streaming path agree.
   const std::uint64_t raw =
-      bp::util::mix64(config_.seed ^ (0x5E551D00ULL + session_counter_));
-  ++session_counter_;
+      bp::util::mix64(config_.seed ^ (0x5E551D00ULL + session_index));
   return bp::util::to_hex(raw);
 }
 
-ua::Vendor SessionGenerator::sample_vendor() {
+ua::Vendor SessionGenerator::sample_vendor(bp::util::Rng& rng) {
   const double weights[4] = {config_.chrome_share, config_.edge_share,
                              config_.firefox_share, config_.edge_legacy_share};
-  switch (rng_.weighted(std::span<const double>(weights, 4))) {
+  switch (rng.weighted(std::span<const double>(weights, 4))) {
     case 1:
       return ua::Vendor::kEdge;
     case 2:
@@ -67,7 +69,8 @@ ua::Vendor SessionGenerator::sample_vendor() {
 }
 
 const browser::BrowserRelease* SessionGenerator::sample_release(
-    ua::Vendor vendor, Date date, double tau_days, double straggler_tail) {
+    ua::Vendor vendor, Date date, double tau_days, double straggler_tail,
+    bp::util::Rng& rng) {
   const auto& db = browser::ReleaseDatabase::instance();
   std::vector<const browser::BrowserRelease*> candidates;
   for (const auto& r : db.releases()) {
@@ -77,10 +80,10 @@ const browser::BrowserRelease* SessionGenerator::sample_release(
   }
   if (candidates.empty()) return nullptr;
 
-  if (rng_.chance(straggler_tail)) {
+  if (rng.chance(straggler_tail)) {
     // Straggler: any historical release, uniformly — this is what keeps
     // Chrome 81-era UAs alive at double-digit row counts.
-    return candidates[rng_.below(candidates.size())];
+    return candidates[rng.below(candidates.size())];
   }
 
   std::vector<double> weights;
@@ -89,11 +92,11 @@ const browser::BrowserRelease* SessionGenerator::sample_release(
     const double age_days = static_cast<double>(date - r->release_date);
     weights.push_back(std::exp(-age_days / tau_days));
   }
-  const std::size_t pick = rng_.weighted(weights);
+  const std::size_t pick = rng.weighted(weights);
   return candidates[pick < candidates.size() ? pick : candidates.size() - 1];
 }
 
-void SessionGenerator::assign_tags(SessionRecord& record) {
+void SessionGenerator::assign_tags(SessionRecord& record, bp::util::Rng& rng) {
   const TagRates* rates = &config_.benign_rates;
   switch (record.kind) {
     case SessionKind::kBenign:
@@ -107,44 +110,45 @@ void SessionGenerator::assign_tags(SessionRecord& record) {
       rates = &config_.fraud_rates;
       break;
   }
-  record.untrusted_ip = rng_.chance(rates->untrusted_ip);
-  record.untrusted_cookie = rng_.chance(rates->untrusted_cookie);
-  record.ato = rng_.chance(rates->ato);
+  record.untrusted_ip = rng.chance(rates->untrusted_ip);
+  record.untrusted_cookie = rng.chance(rates->untrusted_cookie);
+  record.ato = rng.chance(rates->ato);
 }
 
 SessionRecord SessionGenerator::make_benign(
-    const std::vector<std::size_t>& stored_indices, Date date) {
+    const std::vector<std::size_t>& stored_indices, Date date,
+    bp::util::Rng& rng, std::uint64_t session_index) {
   SessionRecord record;
   record.date = date;
-  record.session_id = fresh_session_id();
+  record.session_id = session_id_for(session_index);
 
-  const ua::Vendor vendor = sample_vendor();
+  const ua::Vendor vendor = sample_vendor(rng);
   const auto* release = sample_release(vendor, date,
                                        config_.release_age_tau_days,
-                                       config_.straggler_tail);
+                                       config_.straggler_tail, rng);
   assert(release != nullptr);
 
   Environment env;
   env.release = release;
-  env.os = rng_.chance(0.78) ? ua::Os::kWindows10 : ua::Os::kMacSonoma;
-  env.session_salt = rng_.next();
+  env.os = rng.chance(0.78) ? ua::Os::kWindows10 : ua::Os::kMacSonoma;
+  env.session_salt = rng.next();
 
   record.kind = SessionKind::kBenign;
   if (release->engine == browser::Engine::kBlink) {
-    if (rng_.chance(config_.p_duckduckgo)) {
+    if (rng.chance(config_.p_duckduckgo)) {
       env.modifiers = env.modifiers | Modifier::kDuckDuckGoExtension;
       record.kind = SessionKind::kBenignModified;
     }
-    if (rng_.chance(config_.p_generic_extension)) {
+    if (rng.chance(config_.p_generic_extension)) {
       env.modifiers = env.modifiers | Modifier::kGenericExtension;
       record.kind = SessionKind::kBenignModified;
     }
   } else if (release->engine == browser::Engine::kGecko) {
-    if (rng_.chance(config_.p_ff_no_service_workers)) {
+    if (rng.chance(config_.p_ff_no_service_workers)) {
       env.modifiers = env.modifiers | Modifier::kFirefoxNoServiceWorkers;
       record.kind = SessionKind::kBenignModified;
     }
-    if (rng_.chance(config_.p_ff_transform_getters)) {
+    if (rng.chance(config_.p_ff_transform_getters)) {
       env.modifiers = env.modifiers | Modifier::kFirefoxTransformGetters;
       record.kind = SessionKind::kBenignModified;
     }
@@ -156,7 +160,7 @@ SessionRecord SessionGenerator::make_benign(
   // engine still runs this build (staged rollout windows).  Only applies
   // when the next major exists.
   bool mid_update = false;
-  if (rng_.chance(config_.p_update_inconsistency)) {
+  if (rng.chance(config_.p_update_inconsistency)) {
     const auto* next = browser::ReleaseDatabase::instance().find(
         claimed.vendor, claimed.major_version + 1);
     if (next != nullptr && next->release_date <= date) {
@@ -172,28 +176,30 @@ SessionRecord SessionGenerator::make_benign(
   record.origin = release->label();
   if (mid_update) {
     record.origin += " (mid-update)";
-    record.untrusted_ip = rng_.chance(config_.update_inconsistency_rates.untrusted_ip);
+    record.untrusted_ip =
+        rng.chance(config_.update_inconsistency_rates.untrusted_ip);
     record.untrusted_cookie =
-        rng_.chance(config_.update_inconsistency_rates.untrusted_cookie);
-    record.ato = rng_.chance(config_.update_inconsistency_rates.ato);
+        rng.chance(config_.update_inconsistency_rates.untrusted_cookie);
+    record.ato = rng.chance(config_.update_inconsistency_rates.ato);
   } else {
-    assign_tags(record);
+    assign_tags(record, rng);
   }
   return record;
 }
 
 SessionRecord SessionGenerator::make_privacy(
     const std::vector<std::size_t>& stored_indices, Date date,
-    bool aggressive_brave, bool tor) {
+    bool aggressive_brave, bool tor, bp::util::Rng& rng,
+    std::uint64_t session_index) {
   SessionRecord record;
   record.date = date;
-  record.session_id = fresh_session_id();
+  record.session_id = session_id_for(session_index);
   record.kind = SessionKind::kPrivacyBrowser;
 
   const auto& db = browser::ReleaseDatabase::instance();
   Environment env;
-  env.os = rng_.chance(0.7) ? ua::Os::kWindows10 : ua::Os::kMacSonoma;
-  env.session_salt = rng_.next();
+  env.os = rng.chance(0.7) ? ua::Os::kWindows10 : ua::Os::kMacSonoma;
+  env.session_salt = rng.next();
 
   if (tor) {
     // Tor Browser tracks Firefox ESR, roughly a year behind current
@@ -218,15 +224,16 @@ SessionRecord SessionGenerator::make_privacy(
   record.user_agent = ua::format_user_agent(claimed);
   record.features =
       store_features(browser::extract_candidates(env), stored_indices);
-  assign_tags(record);
+  assign_tags(record, rng);
   return record;
 }
 
 SessionRecord SessionGenerator::make_fraud(
-    const std::vector<std::size_t>& stored_indices, Date date) {
+    const std::vector<std::size_t>& stored_indices, Date date,
+    bp::util::Rng& rng, std::uint64_t session_index) {
   SessionRecord record;
   record.date = date;
-  record.session_id = fresh_session_id();
+  record.session_id = session_id_for(session_index);
   record.kind = SessionKind::kFraudBrowser;
 
   // Pick a tool: categories 1/2 with weight fraud_cat12_weight, the
@@ -244,67 +251,89 @@ SessionRecord SessionGenerator::make_fraud(
     }
   }
   const bool use_cat12 =
-      !cat12.empty() && (cat34.empty() || rng_.chance(config_.fraud_cat12_weight));
+      !cat12.empty() && (cat34.empty() || rng.chance(config_.fraud_cat12_weight));
   const auto& pool = use_cat12 ? cat12 : cat34;
-  const auto* model = pool[rng_.below(pool.size())];
+  const auto* model = pool[rng.below(pool.size())];
 
   // The victim's user-agent: drawn from the population's popularity model
   // but skewed older — marketplace profiles were harvested weeks to
   // months before the fraudster loads them.
-  const ua::Vendor vendor = sample_vendor();
+  const ua::Vendor vendor = sample_vendor(rng);
   const auto* victim_release = sample_release(
       vendor, date,
       config_.release_age_tau_days * config_.victim_staleness_multiplier,
-      config_.victim_straggler_tail);
+      config_.victim_straggler_tail, rng);
   assert(victim_release != nullptr);
   const ua::UserAgent victim_ua = victim_release->user_agent(
-      rng_.chance(0.78) ? ua::Os::kWindows10 : ua::Os::kMacSonoma);
+      rng.chance(0.78) ? ua::Os::kWindows10 : ua::Os::kMacSonoma);
 
   const fraudsim::FraudProfile profile =
-      fraudsim::make_profile(*model, victim_ua, rng_);
+      fraudsim::make_profile(*model, victim_ua, rng);
 
   record.claimed = profile.claimed_ua;
   record.user_agent = ua::format_user_agent(profile.claimed_ua);
   record.features = store_features(profile.candidate_values, stored_indices);
   record.origin = model->name;
-  assign_tags(record);
+  assign_tags(record, rng);
   if (model->category == fraudsim::FraudCategory::kCategory1) {
-    record.ato = rng_.chance(config_.fraud_category1_ato);
+    record.ato = rng.chance(config_.fraud_category1_ato);
   }
   return record;
 }
 
-SessionRecord SessionGenerator::next_session(
-    const std::vector<std::size_t>& stored_indices) {
+SessionRecord SessionGenerator::synthesize(
+    const std::vector<std::size_t>& stored_indices, bp::util::Rng& rng,
+    std::uint64_t session_index) {
   const int span_days =
       std::max(config_.end_date - config_.start_date, 0);
   const Date date =
-      config_.start_date + static_cast<int>(rng_.below(
+      config_.start_date + static_cast<int>(rng.below(
                                static_cast<std::uint64_t>(span_days + 1)));
 
   const double p_privacy = config_.p_brave_standard +
                            config_.p_brave_aggressive + config_.p_tor;
-  const double roll = rng_.uniform();
+  const double roll = rng.uniform();
   if (roll < config_.p_fraud) {
-    return make_fraud(stored_indices, date);
+    return make_fraud(stored_indices, date, rng, session_index);
   }
   if (roll < config_.p_fraud + p_privacy) {
-    const double r = rng_.uniform() * p_privacy;
+    const double r = rng.uniform() * p_privacy;
     if (r < config_.p_tor) {
-      return make_privacy(stored_indices, date, false, true);
+      return make_privacy(stored_indices, date, false, true, rng,
+                          session_index);
     }
     return make_privacy(stored_indices, date,
-                        r < config_.p_tor + config_.p_brave_aggressive, false);
+                        r < config_.p_tor + config_.p_brave_aggressive, false,
+                        rng, session_index);
   }
-  return make_benign(stored_indices, date);
+  return make_benign(stored_indices, date, rng, session_index);
+}
+
+SessionRecord SessionGenerator::next_session(
+    const std::vector<std::size_t>& stored_indices) {
+  return synthesize(stored_indices, rng_, session_counter_++);
 }
 
 Dataset SessionGenerator::generate(std::vector<std::size_t> stored_indices) {
-  Dataset dataset(stored_indices);
-  dataset.records().reserve(config_.n_sessions);
-  for (std::size_t i = 0; i < config_.n_sessions; ++i) {
-    dataset.add(next_session(stored_indices));
-  }
+  Dataset dataset(std::move(stored_indices));
+  std::vector<SessionRecord>& records = dataset.records();
+  records.resize(config_.n_sessions);
+
+  // Fixed-size shards, each with an RNG stream split off the seed: the
+  // decomposition never depends on the thread count, so the synthetic
+  // corpus — and every model trained from it — is reproducible at any
+  // BP_THREADS setting.
+  const bp::util::Rng root(config_.seed);
+  bp::util::parallel_for(
+      std::size_t{0}, config_.n_sessions, kGenerateShard,
+      [&](std::size_t begin, std::size_t end) {
+        const std::size_t shard = begin / kGenerateShard;
+        bp::util::Rng shard_rng = root.split(shard);
+        for (std::size_t i = begin; i < end; ++i) {
+          records[i] =
+              synthesize(dataset.stored_indices(), shard_rng, i);
+        }
+      });
   return dataset;
 }
 

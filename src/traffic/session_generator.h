@@ -95,6 +95,15 @@ class SessionGenerator {
   // Generate a full dataset.  `stored_indices` defaults to every
   // candidate feature; pass a subset (e.g. the production 28 plus the
   // Appendix-4 extras) to keep large runs memory-lean.
+  //
+  // Batch generation is sharded: sessions are produced in fixed-size
+  // blocks of kGenerateShard, each drawing from its own RNG stream
+  // split off the config seed, and the shards run in parallel on the
+  // bp::util thread pool.  Because the shard decomposition and streams
+  // depend only on the seed, the dataset is byte-identical at any
+  // BP_THREADS setting.  (The shard streams differ from the streaming
+  // next_session() stream; session ids, which are a pure function of
+  // the row index, coincide between the two paths.)
   Dataset generate();
   Dataset generate(std::vector<std::size_t> stored_indices);
 
@@ -103,22 +112,31 @@ class SessionGenerator {
 
   const TrafficConfig& config() const noexcept { return config_; }
 
+  // Fixed batch shard size (sessions per RNG stream).
+  static constexpr std::size_t kGenerateShard = 1024;
+
  private:
+  SessionRecord synthesize(const std::vector<std::size_t>& stored_indices,
+                           bp::util::Rng& rng, std::uint64_t session_index);
   SessionRecord make_benign(const std::vector<std::size_t>& stored_indices,
-                            bp::util::Date date);
+                            bp::util::Date date, bp::util::Rng& rng,
+                            std::uint64_t session_index);
   SessionRecord make_privacy(const std::vector<std::size_t>& stored_indices,
                              bp::util::Date date, bool aggressive_brave,
-                             bool tor);
+                             bool tor, bp::util::Rng& rng,
+                             std::uint64_t session_index);
   SessionRecord make_fraud(const std::vector<std::size_t>& stored_indices,
-                           bp::util::Date date);
+                           bp::util::Date date, bp::util::Rng& rng,
+                           std::uint64_t session_index);
 
   const browser::BrowserRelease* sample_release(ua::Vendor vendor,
                                                 bp::util::Date date,
                                                 double tau_days,
-                                                double straggler_tail);
-  ua::Vendor sample_vendor();
-  void assign_tags(SessionRecord& record);
-  std::string fresh_session_id();
+                                                double straggler_tail,
+                                                bp::util::Rng& rng);
+  ua::Vendor sample_vendor(bp::util::Rng& rng);
+  void assign_tags(SessionRecord& record, bp::util::Rng& rng);
+  std::string session_id_for(std::uint64_t session_index) const;
 
   TrafficConfig config_;
   bp::util::Rng rng_;

@@ -1,0 +1,173 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <exception>
+
+namespace bp::util {
+
+// One blocking parallel region (a run_chunks call).  Lives on the
+// caller's stack; the protocol below guarantees no lane touches it
+// after the caller's completion wait returns:
+//   * chunk indices are handed out under the pool mutex while the
+//     region sits in `active_`, and the region is de-listed the moment
+//     its last chunk is claimed, so no new lane can reach it;
+//   * completion counting and the final notify happen under the
+//     region's own mutex, which the waiting caller also holds to check
+//     the predicate — a lane finishing the last chunk cannot signal
+//     between the caller's predicate check and its wait.
+struct ThreadPool::Region {
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::size_t n_chunks = 0;
+  std::size_t next = 0;  // guarded by the pool mutex
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  std::size_t done = 0;  // guarded by `mutex`
+  std::exception_ptr error;
+  bool failed = false;  // guarded by `mutex`; set once, then chunks skip
+};
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  threads_ = threads == 0 ? default_thread_count() : threads;
+  start_workers();
+}
+
+ThreadPool::~ThreadPool() { stop_workers(); }
+
+ThreadPool& ThreadPool::instance() {
+  static ThreadPool pool;
+  return pool;
+}
+
+std::size_t ThreadPool::default_thread_count() {
+  if (const char* env = std::getenv("BP_THREADS")) {
+    char* end = nullptr;
+    const unsigned long parsed = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0) {
+      return std::min<std::size_t>(parsed, 256);
+    }
+  }
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware > 0 ? hardware : 1;
+}
+
+void ThreadPool::resize(std::size_t threads) {
+  const std::size_t target = threads == 0 ? default_thread_count() : threads;
+  if (target == threads_) return;
+  stop_workers();
+  threads_ = target;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = false;
+  }
+  start_workers();
+}
+
+void ThreadPool::start_workers() {
+  workers_.reserve(threads_ > 0 ? threads_ - 1 : 0);
+  for (std::size_t i = 1; i < threads_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void ThreadPool::stop_workers() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+}
+
+void ThreadPool::execute_chunk(Region& region, std::size_t chunk) {
+  {
+    std::lock_guard<std::mutex> lock(region.mutex);
+    if (region.failed) {
+      // A prior chunk threw: count this one done without running it.
+      if (++region.done == region.n_chunks) region.done_cv.notify_all();
+      return;
+    }
+  }
+  std::exception_ptr error;
+  try {
+    (*region.fn)(chunk);
+  } catch (...) {
+    error = std::current_exception();
+  }
+  std::lock_guard<std::mutex> lock(region.mutex);
+  if (error && !region.failed) {
+    region.failed = true;
+    region.error = error;
+  }
+  if (++region.done == region.n_chunks) region.done_cv.notify_all();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Region* region = nullptr;
+    std::size_t chunk = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] { return stop_ || !active_.empty(); });
+      // On shutdown, leave immediately: every region's caller is a lane
+      // of its own and will finish the remaining chunks itself.
+      if (stop_) return;
+      region = active_.back();  // innermost region first
+      chunk = region->next++;
+      if (region->next >= region->n_chunks) {
+        active_.erase(std::find(active_.begin(), active_.end(), region));
+      }
+    }
+    execute_chunk(*region, chunk);
+  }
+}
+
+void ThreadPool::run_chunks(std::size_t n_chunks,
+                            const std::function<void(std::size_t)>& fn) {
+  if (n_chunks == 0) return;
+  if (n_chunks == 1 || threads_ == 1) {
+    for (std::size_t c = 0; c < n_chunks; ++c) fn(c);
+    return;
+  }
+
+  Region region;
+  region.fn = &fn;
+  region.n_chunks = n_chunks;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    active_.push_back(&region);
+  }
+  work_cv_.notify_all();
+
+  // The caller is a dispatch lane too: claim chunks until none remain.
+  for (;;) {
+    std::size_t chunk = 0;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (region.next >= region.n_chunks) {
+        const auto it = std::find(active_.begin(), active_.end(), &region);
+        if (it != active_.end()) active_.erase(it);
+        break;
+      }
+      chunk = region.next++;
+      if (region.next >= region.n_chunks) {
+        active_.erase(std::find(active_.begin(), active_.end(), &region));
+      }
+    }
+    execute_chunk(region, chunk);
+  }
+
+  std::unique_lock<std::mutex> lock(region.mutex);
+  region.done_cv.wait(lock,
+                      [&region] { return region.done == region.n_chunks; });
+  if (region.error) std::rethrow_exception(region.error);
+}
+
+std::size_t parallel_threads() { return ThreadPool::instance().thread_count(); }
+
+void set_parallel_threads(std::size_t threads) {
+  ThreadPool::instance().resize(threads);
+}
+
+}  // namespace bp::util

@@ -1,0 +1,145 @@
+// Deterministic data-parallel substrate for the training pipeline.
+//
+// Every training hot path (k-means assignment, isolation-forest tree
+// building, PCA covariance, scaler moments, traffic synthesis) runs
+// through `parallel_for` / `parallel_reduce` over a process-wide pool.
+// The design rule that makes retrains reproducible is that *work
+// decomposition never depends on the thread count*: a range is split
+// into chunks by a fixed `grain`, each chunk computes an independent
+// partial, and partials are merged in ascending chunk order.  The
+// thread count only decides which lane executes a chunk, so a model
+// trained under BP_THREADS=1 and BP_THREADS=8 serializes to identical
+// bytes (asserted by tests/training_determinism_test.cpp).
+//
+// Pool sizing: BP_THREADS env var if set, else hardware_concurrency.
+// `set_parallel_threads` reconfigures at runtime (benches sweep it).
+//
+// Execution model: the caller of a parallel region is itself a lane —
+// it dispatches chunks alongside the workers and only sleeps once the
+// region has no chunks left.  That makes nested submission (a parallel
+// restart whose assignment step is itself parallel) deadlock-free:
+// progress never depends on a free worker.  Exceptions thrown by a
+// chunk cancel the remaining chunks and rethrow in the caller.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace bp::util {
+
+class ThreadPool {
+ public:
+  // threads == 0 means default_thread_count().  The pool spawns
+  // threads-1 workers; the caller of each region is the final lane.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // The process-wide pool used by parallel_for / parallel_reduce.
+  static ThreadPool& instance();
+
+  // BP_THREADS env var (clamped to [1, 256]) or hardware_concurrency.
+  static std::size_t default_thread_count();
+
+  std::size_t thread_count() const noexcept { return threads_; }
+
+  // Re-size the pool (0 = default).  Must not race with active regions;
+  // callers (benches, determinism tests) reconfigure between runs.
+  void resize(std::size_t threads);
+
+  // Run fn(chunk_index) for every chunk_index in [0, n_chunks), blocking
+  // until all complete.  Reentrant: chunks may themselves call
+  // run_chunks.  The first exception thrown by a chunk cancels the
+  // not-yet-started chunks and is rethrown here.
+  void run_chunks(std::size_t n_chunks,
+                  const std::function<void(std::size_t)>& fn);
+
+ private:
+  struct Region;
+
+  void worker_loop();
+  void start_workers();
+  void stop_workers();
+  // Executes one chunk of `region`, recording completion/failure.
+  static void execute_chunk(Region& region, std::size_t chunk);
+
+  std::size_t threads_ = 1;
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;                  // guards active_ and stop_
+  std::condition_variable work_cv_;   // workers wait for regions
+  std::vector<Region*> active_;       // LIFO: innermost regions first
+  bool stop_ = false;
+};
+
+// Process-wide parallelism controls (forward to ThreadPool::instance()).
+std::size_t parallel_threads();
+void set_parallel_threads(std::size_t threads);
+
+// Run fn(begin, end) over [begin, end) split into chunks of `grain`
+// elements (grain is clamped to >= 1).  Chunks run concurrently; the
+// decomposition depends only on `grain`, never on the thread count.
+template <typename Fn>
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                  Fn&& fn) {
+  if (end <= begin) return;
+  if (grain == 0) grain = 1;
+  const std::size_t n = end - begin;
+  const std::size_t chunks = (n + grain - 1) / grain;
+  auto run = [&](std::size_t c) {
+    const std::size_t b = begin + c * grain;
+    const std::size_t e = b + grain < end ? b + grain : end;
+    fn(b, e);
+  };
+  ThreadPool& pool = ThreadPool::instance();
+  if (chunks == 1 || pool.thread_count() == 1) {
+    for (std::size_t c = 0; c < chunks; ++c) run(c);
+    return;
+  }
+  pool.run_chunks(chunks, run);
+}
+
+// Ordered parallel reduction.  `map(begin, end)` produces one Partial
+// per chunk; `merge(acc, partial)` folds them into `init` in ascending
+// chunk order, so the floating-point result is a function of the grain
+// alone and is bit-identical at any thread count.  The serial fast path
+// performs the same chunked merge to keep 1-thread results aligned.
+template <typename Partial, typename Map, typename Merge>
+Partial parallel_reduce(std::size_t begin, std::size_t end, std::size_t grain,
+                        Partial init, Map&& map, Merge&& merge) {
+  if (end <= begin) return init;
+  if (grain == 0) grain = 1;
+  const std::size_t n = end - begin;
+  const std::size_t chunks = (n + grain - 1) / grain;
+  auto chunk_range = [&](std::size_t c) {
+    const std::size_t b = begin + c * grain;
+    const std::size_t e = b + grain < end ? b + grain : end;
+    return std::pair<std::size_t, std::size_t>{b, e};
+  };
+
+  ThreadPool& pool = ThreadPool::instance();
+  if (chunks == 1 || pool.thread_count() == 1) {
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const auto [b, e] = chunk_range(c);
+      merge(init, map(b, e));
+    }
+    return init;
+  }
+
+  std::vector<Partial> partials(chunks);
+  pool.run_chunks(chunks, [&](std::size_t c) {
+    const auto [b, e] = chunk_range(c);
+    partials[c] = map(b, e);
+  });
+  for (std::size_t c = 0; c < chunks; ++c) {
+    merge(init, std::move(partials[c]));
+  }
+  return init;
+}
+
+}  // namespace bp::util

@@ -135,6 +135,21 @@ class Rng {
     return Rng{mix64(next() ^ mix64(salt))};
   }
 
+  // Derive the `stream_id`-th independent child stream as a pure
+  // function of the current state — unlike fork(), the parent does not
+  // advance, so split(0..n-1) yields the same n streams no matter which
+  // order (or on which thread) they are materialized.  This is what the
+  // parallel training paths use: one pre-split stream per k-means
+  // restart, per isolation-forest tree, and per traffic-synthesis
+  // shard, making results independent of the thread count.
+  Rng split(std::uint64_t stream_id) const noexcept {
+    const std::uint64_t state_digest =
+        state_[0] ^ rotl(state_[1], 17) ^ rotl(state_[2], 29) ^
+        rotl(state_[3], 43);
+    return Rng{mix64(mix64(state_digest) ^
+                     mix64(stream_id + 0x9e3779b97f4a7c15ULL))};
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));
