@@ -71,16 +71,23 @@ int main() {
     return 1;
   }
 
-  // ---- online: load, publish, serve ----
-  auto loaded = core::load_model(model_path);
-  if (!loaded.has_value()) {
-    std::fprintf(stderr, "failed to load model\n");
+  // ---- online: load, validate, publish, serve ----
+  // publish_from_file is fail-closed: the file is checksummed and
+  // validated end to end before any swap, and a bad artifact is
+  // quarantined aside with a typed reason (try it:
+  // BP_FAULTS=model_io.read:1 makes this load fail deterministically).
+  serve::ModelRegistry registry;
+  const serve::PublishReport publish_report =
+      registry.publish_from_file(model_path);
+  if (!publish_report) {
+    std::fprintf(stderr, "refusing to serve: %s%s%s\n",
+                 publish_report.error->message().c_str(),
+                 publish_report.quarantined_to.empty() ? "" : "; quarantined to ",
+                 publish_report.quarantined_to.c_str());
     return 1;
   }
-
-  serve::ModelRegistry registry;
-  const std::uint64_t v1 = registry.publish(std::move(*loaded));
-  std::printf("model persisted to %s and published as v%llu\n\n",
+  const std::uint64_t v1 = publish_report.version;
+  std::printf("model persisted to %s, validated and published as v%llu\n\n",
               model_path.c_str(), static_cast<unsigned long long>(v1));
 
   constexpr std::size_t kPhaseA = 25'000;   // pre-drift era traffic

@@ -29,6 +29,10 @@ if [[ -n "${BP_SANITIZE:-}" ]]; then
   echo "== ${BP_SANITIZE} sanitizer pass over the concurrency tests =="
   cmake -B "${san_dir}" -S . -DBP_SANITIZE="${BP_SANITIZE}"
   cmake --build "${san_dir}" -j --target bp_tests
+  # Covers the serving tier, the parallel training substrate, and the
+  # whole fault-tolerance layer — including the chaos soak, which must
+  # run clean under both TSan and ASan.
   ctest --test-dir "${san_dir}" \
-    -R 'Serve|BoundedQueue|Parallel|TrainingDeterminism' --output-on-failure
+    -R 'Serve|BoundedQueue|Parallel|TrainingDeterminism|Fault|RetrainSupervisor|ModelIntegrity|ChaosSoak' \
+    --output-on-failure
 fi

@@ -46,7 +46,10 @@ DriftReport DriftDetector::check(const traffic::Dataset& data,
       ++tally[clusters[i]];
       ++total;
     }
-    if (total == 0) continue;
+    if (total == 0) {
+      report.skipped.push_back(release);
+      continue;
+    }
 
     DriftEntry entry;
     entry.release = release;

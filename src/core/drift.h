@@ -40,7 +40,15 @@ struct DriftEntry {
 
 struct DriftReport {
   std::vector<DriftEntry> entries;
+  // Releases that could not be evaluated because the dataset held zero
+  // sessions for them.  Kept separate so an operator can tell "checked,
+  // no drift" from "no data to check" — a silently skipped release
+  // looks exactly like a healthy one otherwise.
+  std::vector<ua::UserAgent> skipped;
   bool retraining_required = false;
+
+  std::size_t checked() const noexcept { return entries.size(); }
+  std::size_t skipped_count() const noexcept { return skipped.size(); }
 };
 
 class DriftDetector {
@@ -50,7 +58,7 @@ class DriftDetector {
 
   // Score the sessions of `new_releases` found in `data` (feature columns
   // must match the model's feature set).  Releases with no sessions are
-  // skipped.
+  // recorded in DriftReport::skipped rather than evaluated.
   DriftReport check(const traffic::Dataset& data,
                     const std::vector<ua::UserAgent>& new_releases,
                     bp::util::Date check_date) const;

@@ -3,27 +3,98 @@
 // Training runs offline (§6.5); the serving tier loads a frozen model.
 // The format is a line-oriented text file — human-diffable, so model
 // updates can be code-reviewed the way FinOrg's risk team reviews rule
-// changes — with a version header for forward compatibility.
+// changes — with a version header for forward compatibility and an
+// FNV-1a checksum footer so a torn or bit-flipped file is detected
+// before it can reach the serving registry.
+//
+// Failure reporting is typed: a load that fails says *what* broke
+// (missing file, bad header, checksum mismatch, truncated or malformed
+// section) and *where* (1-based line), so an operator can distinguish
+// "wrong file" from "corrupt file" from "new format" at a glance.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "core/polygraph.h"
 
 namespace bp::core {
 
+enum class LoadErrorCode : std::uint8_t {
+  kFileMissing,       // file absent or unreadable
+  kBadHeader,         // first line is not the expected format/version
+  kTruncated,         // ran out of lines inside a section
+  kBadSection,        // a section is malformed (bad numbers, wrong dims)
+  kChecksumMissing,   // no checksum footer (torn write lost the tail)
+  kChecksumMismatch,  // payload does not hash to the footer value
+  kInjectedFault,     // a FAULT_POINT fired (chaos testing only)
+};
+
+std::string_view load_error_code_name(LoadErrorCode code) noexcept;
+
+struct LoadError {
+  LoadErrorCode code = LoadErrorCode::kBadSection;
+  std::size_t line = 0;  // 1-based line of the failure; 0 = whole file
+  std::string section;   // e.g. "header", "scaler_means", "pca_matrix"
+
+  // "checksum_mismatch at line 12 (pca_matrix)" — for logs.
+  std::string message() const;
+};
+
+// Result of deserialize_model / load_model: either a Polygraph or a
+// LoadError.  Mirrors the std::optional surface (has_value, operator*,
+// operator->) so call sites that only care about success read the same
+// as before; failure paths can now ask error() why.
+class LoadResult {
+ public:
+  LoadResult(Polygraph model) : model_(std::move(model)) {}
+  LoadResult(LoadError error) : error_(std::move(error)) {}
+
+  bool has_value() const noexcept { return model_.has_value(); }
+  explicit operator bool() const noexcept { return has_value(); }
+
+  Polygraph& operator*() noexcept { return *model_; }
+  const Polygraph& operator*() const noexcept { return *model_; }
+  Polygraph* operator->() noexcept { return &*model_; }
+  const Polygraph* operator->() const noexcept { return &*model_; }
+  Polygraph& value() noexcept { return *model_; }
+  const Polygraph& value() const noexcept { return *model_; }
+
+  // Valid only when !has_value().
+  const LoadError& error() const noexcept { return error_; }
+
+ private:
+  std::optional<Polygraph> model_;
+  LoadError error_{};
+};
+
+// Checksum of the serialized payload (everything before the footer
+// line).  Exposed so tests and tooling can re-seal a hand-edited model.
+std::uint64_t model_checksum(std::string_view payload) noexcept;
+
+// Strip any existing checksum footer from `payload` and append a
+// freshly computed one.
+std::string with_model_checksum(std::string payload);
+
 // Serialize a trained model.  The result is self-contained: config,
-// scaler parameters, PCA projection, k-means centroids and the
-// UA <-> cluster table.
+// scaler parameters, PCA projection, k-means centroids, the
+// UA <-> cluster table, and a trailing checksum footer.
 std::string serialize_model(const Polygraph& model);
 
-// Parse a serialized model; nullopt on any structural error (bad header,
-// truncated matrix, malformed numbers).
-std::optional<Polygraph> deserialize_model(const std::string& text);
+// Parse a serialized model; a typed LoadError on any structural or
+// integrity failure (bad header, truncated matrix, malformed numbers,
+// checksum mismatch).
+LoadResult deserialize_model(const std::string& text);
 
-// File helpers; false on IO or parse failure.
+// Persist atomically: write to `path + ".tmp"`, fsync, then rename over
+// `path`, so a crash mid-write leaves either the old file or the new
+// one — never a torn hybrid.  False on IO failure (the tmp file is
+// removed).
 bool save_model(const Polygraph& model, const std::string& path);
-std::optional<Polygraph> load_model(const std::string& path);
+
+// Read + deserialize; LoadErrorCode::kFileMissing when unreadable.
+LoadResult load_model(const std::string& path);
 
 }  // namespace bp::core

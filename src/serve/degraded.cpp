@@ -1,0 +1,35 @@
+#include "serve/degraded.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "browser/release_db.h"
+
+namespace bp::serve {
+
+core::Detection degraded_score(const ua::UserAgent& claimed,
+                               int vendor_distance, int version_divisor) {
+  const auto& db = browser::ReleaseDatabase::instance();
+  core::Detection detection;  // expected_cluster stays nullopt: no model
+
+  if (db.find(claimed) != nullptr) return detection;  // plausible UA
+
+  // Version unknown for this vendor: distance to the nearest shipped
+  // version, scaled like Algorithm 1's version term.
+  int best_gap = -1;
+  for (const auto& release : db.releases()) {
+    if (!ua::same_vendor(release.vendor, claimed.vendor)) continue;
+    const int gap = std::abs(release.version - claimed.major_version);
+    if (best_gap < 0 || gap < best_gap) best_gap = gap;
+  }
+  detection.flagged = true;
+  if (best_gap < 0) {
+    detection.risk_factor = vendor_distance;  // vendor never shipped at all
+  } else {
+    detection.risk_factor =
+        std::max(1, best_gap / std::max(1, version_divisor));
+  }
+  return detection;
+}
+
+}  // namespace bp::serve

@@ -1,0 +1,26 @@
+// UA-prior fallback scoring for degraded mode.
+//
+// When no fingerprint model is published (first boot before a model
+// lands, or every candidate failed validation and the registry is
+// empty), the engine can still answer something better than nothing:
+// judge the *claimed* user-agent alone against the release database.
+// A UA that names a version that never shipped is fraudulent no matter
+// what its fingerprint would have said; a plausible UA passes, un-
+// flagged, with the caveat carried in ResponseStatus::kDegraded so the
+// caller knows the verdict used no fingerprint evidence.
+//
+// The risk factor mirrors Algorithm 1's shape: vendor mismatch costs
+// `vendor_distance`, a version gap costs gap / `version_divisor`
+// (defaults match PolygraphConfig).
+#pragma once
+
+#include "core/polygraph.h"
+#include "ua/user_agent.h"
+
+namespace bp::serve {
+
+core::Detection degraded_score(const ua::UserAgent& claimed,
+                               int vendor_distance = 20,
+                               int version_divisor = 4);
+
+}  // namespace bp::serve

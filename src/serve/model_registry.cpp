@@ -1,13 +1,24 @@
 #include "serve/model_registry.h"
 
+#include <cstdio>
 #include <utility>
+
+#include "util/fault.h"
 
 namespace bp::serve {
 
 std::uint64_t ModelRegistry::publish(
     std::shared_ptr<const core::Polygraph> model) {
-  if (model == nullptr || !model->trained()) return 0;
+  if (model == nullptr || !model->trained()) {
+    publish_failures_.fetch_add(1, std::memory_order_relaxed);
+    return 0;
+  }
   std::lock_guard lock(publish_mutex_);
+  return publish_locked(std::move(model));
+}
+
+std::uint64_t ModelRegistry::publish_locked(
+    std::shared_ptr<const core::Polygraph> model) {
   const std::uint64_t version = published_.load(std::memory_order_relaxed) + 1;
   history_.push_back(
       std::make_unique<const Entry>(Entry{std::move(model), version}));
@@ -18,6 +29,51 @@ std::uint64_t ModelRegistry::publish(
 
 std::uint64_t ModelRegistry::publish(core::Polygraph model) {
   return publish(std::make_shared<const core::Polygraph>(std::move(model)));
+}
+
+PublishReport ModelRegistry::publish_from_file(const std::string& path,
+                                               bool quarantine_on_failure) {
+  PublishReport report;
+  auto loaded = core::load_model(path);
+  std::optional<core::LoadError> error;
+  if (!loaded.has_value()) {
+    error = loaded.error();
+  } else if (!loaded->trained()) {
+    // Structurally valid but unservable (e.g. zero centroids).
+    error = core::LoadError{core::LoadErrorCode::kBadSection, 0, "untrained"};
+  } else if (FAULT_POINT("registry.publish_validate")) {
+    error = core::LoadError{core::LoadErrorCode::kInjectedFault, 0,
+                            "registry.publish_validate"};
+  }
+
+  if (error) {
+    publish_failures_.fetch_add(1, std::memory_order_relaxed);
+    report.error = std::move(*error);
+    // Quarantine only artifacts that exist but failed validation; a
+    // missing file has nothing to move aside.
+    if (quarantine_on_failure &&
+        report.error->code != core::LoadErrorCode::kFileMissing) {
+      const std::string quarantine = path + ".quarantined";
+      if (std::rename(path.c_str(), quarantine.c_str()) == 0) {
+        report.quarantined_to = quarantine;
+        quarantined_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    return report;
+  }
+
+  report.version =
+      publish(std::make_shared<const core::Polygraph>(std::move(*loaded)));
+  return report;
+}
+
+std::uint64_t ModelRegistry::rollback() {
+  std::lock_guard lock(publish_mutex_);
+  if (history_.size() < 2) return 0;
+  // The entry before the current head; republished as a new version so
+  // detections stay attributable to exactly one publish event.
+  const Entry& previous = *history_[history_.size() - 2];
+  return publish_locked(previous.model);
 }
 
 ModelSnapshot ModelRegistry::current() const {

@@ -24,14 +24,23 @@
 // Every snapshot carries a monotonically increasing version so each
 // detection can be attributed to exactly one published model — the
 // audit requirement when a risk team reviews why a session was flagged.
+// Publishing is fail-closed: a model file is fully loaded, integrity-
+// checked and validated *before* the swap, a bad file is quarantined
+// aside (so a crash-looping retrain job cannot re-publish the same
+// corrupt artifact forever), and `rollback()` re-installs the snapshot
+// that preceded the current one.  Publishing a corrupt model can never
+// evict a serving one.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <string>
 #include <vector>
 
+#include "core/model_io.h"
 #include "core/polygraph.h"
 
 namespace bp::serve {
@@ -41,6 +50,16 @@ struct ModelSnapshot {
   std::uint64_t version = 0;  // 0 = nothing published yet
 
   explicit operator bool() const noexcept { return model != nullptr; }
+};
+
+// Outcome of a file-driven publish.  On failure the serving snapshot is
+// untouched and `error` says why the candidate was refused.
+struct PublishReport {
+  std::uint64_t version = 0;  // 0 = refused; serving model unchanged
+  std::optional<core::LoadError> error;
+  std::string quarantined_to;  // non-empty when the bad file was moved aside
+
+  explicit operator bool() const noexcept { return version != 0; }
 };
 
 class ModelRegistry {
@@ -59,6 +78,20 @@ class ModelRegistry {
   // hand-off from `core::model_io::load_model` / a retraining job).
   std::uint64_t publish(core::Polygraph model);
 
+  // Load `path`, validate it end to end (checksum, structure, trained
+  // state) and publish only if everything holds.  On failure the
+  // serving snapshot is untouched and — when `quarantine_on_failure` —
+  // the bad file is renamed to `path + ".quarantined"` so the next
+  // publish attempt cannot trip over the same artifact.
+  PublishReport publish_from_file(const std::string& path,
+                                  bool quarantine_on_failure = true);
+
+  // Re-install the snapshot that preceded the current one, as a *new*
+  // version (the version counter stays monotonic so audit attribution
+  // never aliases).  Returns the new version, or 0 when there is no
+  // earlier snapshot to roll back to.
+  std::uint64_t rollback();
+
   // The snapshot to score with; `{nullptr, 0}` before the first
   // publish.  One atomic load — callers should take one snapshot per
   // batch so a whole batch is scored by a single version.
@@ -67,6 +100,16 @@ class ModelRegistry {
   // Version of the latest published snapshot (0 before first publish).
   std::uint64_t version() const noexcept {
     return published_.load(std::memory_order_acquire);
+  }
+
+  // Publishes refused (null/untrained model, failed file validation).
+  std::uint64_t publish_failures() const noexcept {
+    return publish_failures_.load(std::memory_order_relaxed);
+  }
+
+  // Files moved aside by publish_from_file.
+  std::uint64_t quarantined() const noexcept {
+    return quarantined_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -78,10 +121,14 @@ class ModelRegistry {
   // Publishes are rare (drift-triggered retrains) and serialized by a
   // mutex; the read path never takes it.  `history_` owns every entry
   // ever published so `current_` can be a plain raw-pointer atomic.
+  std::uint64_t publish_locked(std::shared_ptr<const core::Polygraph> model);
+
   std::mutex publish_mutex_;
   std::vector<std::unique_ptr<const Entry>> history_;
   std::atomic<const Entry*> current_{nullptr};
   std::atomic<std::uint64_t> published_{0};
+  std::atomic<std::uint64_t> publish_failures_{0};
+  std::atomic<std::uint64_t> quarantined_{0};
 };
 
 }  // namespace bp::serve

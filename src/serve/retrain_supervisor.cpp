@@ -1,0 +1,152 @@
+#include "serve/retrain_supervisor.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/rng.h"
+
+namespace bp::serve {
+
+std::string_view cycle_result_name(CycleResult r) noexcept {
+  switch (r) {
+    case CycleResult::kNoDrift: return "no_drift";
+    case CycleResult::kPublished: return "published";
+    case CycleResult::kFailed: return "failed";
+    case CycleResult::kBreakerOpen: return "breaker_open";
+  }
+  return "unknown";
+}
+
+RetrainSupervisor::RetrainSupervisor(ModelRegistry& registry,
+                                     RetrainConfig config,
+                                     DriftCheck drift_check, TrainFn train,
+                                     ValidateFn validate, SleepFn sleep)
+    : registry_(registry),
+      config_(config),
+      drift_check_(std::move(drift_check)),
+      train_(std::move(train)),
+      validate_(std::move(validate)),
+      sleep_(std::move(sleep)),
+      jitter_state_(config.jitter_seed) {
+  if (!sleep_) {
+    sleep_ = [](std::chrono::milliseconds d) {
+      std::this_thread::sleep_for(d);
+    };
+  }
+}
+
+RetrainSupervisor::~RetrainSupervisor() { stop(); }
+
+std::chrono::milliseconds RetrainSupervisor::backoff_before_attempt(
+    int attempt) {
+  double backoff = static_cast<double>(config_.initial_backoff.count());
+  for (int i = 0; i < attempt; ++i) backoff *= config_.backoff_multiplier;
+  backoff = std::min(backoff, static_cast<double>(config_.max_backoff.count()));
+  // Deterministic jitter in [0.5, 1.0): splitmix64 is a pure function
+  // of the advancing state, so the same jitter_seed replays the same
+  // backoff schedule — chaos runs stay reproducible.
+  const double u =
+      static_cast<double>(bp::util::splitmix64(jitter_state_) >> 11) *
+      0x1.0p-53;
+  backoff *= 0.5 + 0.5 * u;
+  return std::chrono::milliseconds(static_cast<std::int64_t>(backoff));
+}
+
+CycleResult RetrainSupervisor::run_cycle() {
+  std::unique_lock lock(mutex_);
+  ++status_.cycles;
+
+  if (status_.breaker_open) {
+    if (breaker_cooldown_remaining_ > 0) {
+      --breaker_cooldown_remaining_;
+      ++status_.staleness_cycles;
+      return CycleResult::kBreakerOpen;
+    }
+    // Cooldown elapsed: half-open — let one probe cycle through.  A
+    // success below closes the breaker; a failure re-opens the cooldown.
+  }
+
+  if (!drift_check_()) {
+    // The frozen model still holds; a healthy pipeline also clears any
+    // half-open breaker (nothing to probe until drift returns).
+    ++status_.staleness_cycles;
+    return CycleResult::kNoDrift;
+  }
+
+  for (int attempt = 0; attempt < std::max(1, config_.max_attempts);
+       ++attempt) {
+    if (attempt > 0) {
+      const auto backoff = backoff_before_attempt(attempt - 1);
+      status_.last_backoff = backoff;
+      // Sleep outside the lock so status() stays readable mid-backoff.
+      lock.unlock();
+      sleep_(backoff);
+      lock.lock();
+    }
+    ++status_.attempts;
+
+    std::optional<core::Polygraph> candidate = train_();
+    if (!candidate.has_value()) continue;  // retrain crashed / no data
+    if (validate_ && !validate_(*candidate)) continue;  // failed holdout
+
+    const std::uint64_t version = registry_.publish(std::move(*candidate));
+    if (version == 0) continue;  // registry refused (untrained model)
+
+    status_.last_published_version = version;
+    ++status_.published;
+    status_.consecutive_failures = 0;
+    status_.breaker_open = false;
+    breaker_cooldown_remaining_ = 0;
+    status_.staleness_cycles = 0;
+    return CycleResult::kPublished;
+  }
+
+  ++status_.failed_cycles;
+  ++status_.consecutive_failures;
+  ++status_.staleness_cycles;
+  if (status_.consecutive_failures >= config_.breaker_threshold) {
+    status_.breaker_open = true;
+    breaker_cooldown_remaining_ = config_.breaker_cooldown_cycles;
+  }
+  return CycleResult::kFailed;
+}
+
+void RetrainSupervisor::reset_breaker() {
+  std::lock_guard lock(mutex_);
+  status_.breaker_open = false;
+  status_.consecutive_failures = 0;
+  breaker_cooldown_remaining_ = 0;
+}
+
+SupervisorStatus RetrainSupervisor::status() const {
+  std::lock_guard lock(mutex_);
+  return status_;
+}
+
+void RetrainSupervisor::start(std::chrono::milliseconds period) {
+  stop();  // at most one loop
+  {
+    std::lock_guard lock(loop_mutex_);
+    loop_stop_ = false;
+  }
+  loop_ = std::thread([this, period] {
+    std::unique_lock lock(loop_mutex_);
+    while (!loop_stop_) {
+      lock.unlock();
+      run_cycle();
+      lock.lock();
+      loop_cv_.wait_for(lock, period, [&] { return loop_stop_; });
+    }
+  });
+}
+
+void RetrainSupervisor::stop() {
+  {
+    std::lock_guard lock(loop_mutex_);
+    loop_stop_ = true;
+  }
+  loop_cv_.notify_all();
+  if (loop_.joinable()) loop_.join();
+}
+
+}  // namespace bp::serve

@@ -1,0 +1,126 @@
+// Retraining supervisor: the paper's §6.6 drift loop, made survivable.
+//
+// The paper assumes retraining always succeeds; at FinOrg volumes a
+// retrain can crash, produce an untrainable dataset, or emit a model
+// that fails validation.  The supervisor drives
+//
+//   drift check  ->  retrain  ->  validate  ->  hot-swap (publish)
+//
+// with per-cycle retry: failed attempts back off exponentially with
+// deterministic jitter (seeded, so chaos runs replay exactly), and a
+// circuit breaker opens after N consecutive failed *cycles* so a
+// persistently broken training pipeline cannot hammer the data tier
+// forever — it cools down while serving continues on the last-good
+// model.  A model-staleness gauge (cycles since the last successful
+// publish) is what an operator alarms on: staleness rising while the
+// breaker is open is the "we are serving an old model" signal.
+//
+// The three stages are injected as callables so the supervisor is
+// test-drivable without a real training pipeline, and so callers
+// decide what "validate" means (e.g. score a holdout within budget).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "core/polygraph.h"
+#include "serve/model_registry.h"
+
+namespace bp::serve {
+
+enum class CycleResult : std::uint8_t {
+  kNoDrift,      // drift check says the frozen model still holds
+  kPublished,    // retrained, validated and hot-swapped
+  kFailed,       // every attempt failed; breaker may now be open
+  kBreakerOpen,  // skipped: breaker cooling down, staleness grows
+};
+
+std::string_view cycle_result_name(CycleResult r) noexcept;
+
+struct RetrainConfig {
+  // Attempts per cycle before the cycle counts as failed.
+  int max_attempts = 3;
+  // Backoff between attempts: initial * multiplier^attempt, capped,
+  // then scaled by a jitter factor in [0.5, 1.0) drawn from jitter_seed.
+  std::chrono::milliseconds initial_backoff{100};
+  double backoff_multiplier = 2.0;
+  std::chrono::milliseconds max_backoff{5'000};
+  std::uint64_t jitter_seed = 0x9d2c5680;
+  // Consecutive failed cycles before the breaker opens, and how many
+  // cycles it stays open before one probe cycle is allowed through.
+  int breaker_threshold = 3;
+  int breaker_cooldown_cycles = 2;
+};
+
+struct SupervisorStatus {
+  std::uint64_t cycles = 0;
+  std::uint64_t published = 0;      // successful hot-swaps
+  std::uint64_t failed_cycles = 0;  // cycles that exhausted all attempts
+  std::uint64_t attempts = 0;       // train attempts across all cycles
+  int consecutive_failures = 0;
+  bool breaker_open = false;
+  // Model-staleness gauge: cycles since the last successful publish
+  // (or since startup when nothing was ever published).
+  std::uint64_t staleness_cycles = 0;
+  std::uint64_t last_published_version = 0;
+  std::chrono::milliseconds last_backoff{0};
+};
+
+class RetrainSupervisor {
+ public:
+  using DriftCheck = std::function<bool()>;  // true = retraining required
+  using TrainFn = std::function<std::optional<core::Polygraph>()>;
+  using ValidateFn = std::function<bool(const core::Polygraph&)>;
+  using SleepFn = std::function<void(std::chrono::milliseconds)>;
+
+  // `sleep` defaults to std::this_thread::sleep_for; tests inject a
+  // recorder so backoff schedules are asserted without waiting.
+  RetrainSupervisor(ModelRegistry& registry, RetrainConfig config,
+                    DriftCheck drift_check, TrainFn train, ValidateFn validate,
+                    SleepFn sleep = {});
+  ~RetrainSupervisor();
+
+  RetrainSupervisor(const RetrainSupervisor&) = delete;
+  RetrainSupervisor& operator=(const RetrainSupervisor&) = delete;
+
+  // One synchronous supervision cycle.  Thread-safe (serialized).
+  CycleResult run_cycle();
+
+  // Close the breaker and forget the failure streak (operator action
+  // after fixing the pipeline).
+  void reset_breaker();
+
+  SupervisorStatus status() const;
+
+  // Background mode: run_cycle() every `period` until stop().  The
+  // destructor stops the loop.
+  void start(std::chrono::milliseconds period);
+  void stop();
+
+ private:
+  std::chrono::milliseconds backoff_before_attempt(int attempt);
+
+  ModelRegistry& registry_;
+  const RetrainConfig config_;
+  DriftCheck drift_check_;
+  TrainFn train_;
+  ValidateFn validate_;
+  SleepFn sleep_;
+
+  mutable std::mutex mutex_;  // guards status_, rng state, run_cycle
+  SupervisorStatus status_;
+  std::uint64_t jitter_state_;
+  int breaker_cooldown_remaining_ = 0;
+
+  std::mutex loop_mutex_;
+  std::condition_variable loop_cv_;
+  bool loop_stop_ = false;
+  std::thread loop_;
+};
+
+}  // namespace bp::serve

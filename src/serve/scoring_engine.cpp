@@ -3,6 +3,9 @@
 #include <span>
 #include <utility>
 
+#include "serve/degraded.h"
+#include "util/fault.h"
+
 namespace bp::serve {
 
 namespace {
@@ -11,6 +14,12 @@ std::size_t resolve_workers(std::size_t requested) {
   if (requested > 0) return requested;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;
+}
+
+std::int64_t steady_now_us() noexcept {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
 }  // namespace
@@ -25,10 +34,14 @@ ScoringEngine::ScoringEngine(const ModelRegistry& registry, EngineConfig config,
       }()),
       on_response_(std::move(on_response)),
       queue_(config_.queue_capacity, config_.overflow_policy),
-      metrics_(config_.workers) {
+      metrics_(config_.workers),
+      heartbeats_(config_.workers) {
   workers_.reserve(config_.workers);
   for (std::uint32_t w = 0; w < config_.workers; ++w) {
     workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+  if (config_.watchdog_interval.count() > 0) {
+    watchdog_ = std::thread([this] { watchdog_loop(); });
   }
 }
 
@@ -51,11 +64,11 @@ SubmitResult ScoringEngine::submit(ScoreRequest request) {
       deliver_shed(std::move(*displaced), 0, /*from_submit=*/true);
       return SubmitResult::kAdmitted;
     case PushResult::kRejected:
-      admitted_.fetch_sub(1, std::memory_order_acq_rel);
+      retract_admission();
       metrics_.record_rejected();
       return SubmitResult::kRejected;
     case PushResult::kClosed:
-      admitted_.fetch_sub(1, std::memory_order_acq_rel);
+      retract_admission();
       return SubmitResult::kStopped;
   }
   return SubmitResult::kStopped;  // unreachable
@@ -64,11 +77,47 @@ SubmitResult ScoringEngine::submit(ScoreRequest request) {
 void ScoringEngine::worker_loop(std::uint32_t worker_index) {
   std::vector<ScoreRequest> batch;
   core::ScoringScratch scratch;
+  Heartbeat& heartbeat = heartbeats_[worker_index];
   while (queue_.pop_batch(batch, config_.max_batch)) {
+    heartbeat.busy_since_us.store(steady_now_us(), std::memory_order_relaxed);
+    if (FAULT_POINT("engine.worker_stall")) {
+      // Chaos hook: freeze this worker long enough for the watchdog to
+      // notice (2x the stall threshold).
+      std::this_thread::sleep_for(config_.stall_threshold * 2);
+    }
     // One snapshot per batch: the whole batch is attributed to a single
     // published model version, and a concurrent publish() never tears a
     // batch across two models.
     ModelSnapshot snapshot = registry_.current();
+    if (!snapshot && config_.degrade_without_model) {
+      // Degraded mode: no model, but the engine still answers — the
+      // UA-prior fallback judges the claimed UA alone, and the status
+      // tells the caller no fingerprint evidence was used.
+      std::uint64_t answered_in_batch = 0;
+      for (ScoreRequest& request : batch) {
+        const auto now = std::chrono::steady_clock::now();
+        if (past_deadline(request, now)) {
+          deliver_deadline_exceeded(std::move(request), worker_index);
+          continue;
+        }
+        ScoreResponse response;
+        response.id = request.id;
+        response.status = ResponseStatus::kDegraded;
+        response.detection = degraded_score(request.claimed);
+        response.worker = worker_index;
+        response.latency =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                now - request.admitted_at);
+        metrics_.record_degraded(
+            worker_index, response.detection.flagged,
+            static_cast<std::uint64_t>(response.latency.count()));
+        if (on_response_) on_response_(response);
+        ++answered_in_batch;
+      }
+      if (answered_in_batch > 0) note_completed(answered_in_batch);
+      heartbeat.busy_since_us.store(0, std::memory_order_relaxed);
+      continue;
+    }
     while (!snapshot) {
       if (stopping_.load(std::memory_order_acquire)) break;
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
@@ -80,10 +129,16 @@ void ScoringEngine::worker_loop(std::uint32_t worker_index) {
       for (ScoreRequest& request : batch) {
         deliver_shed(std::move(request), worker_index, /*from_submit=*/false);
       }
+      heartbeat.busy_since_us.store(0, std::memory_order_relaxed);
       continue;
     }
     metrics_.record_batch(worker_index);
+    std::uint64_t scored_in_batch = 0;
     for (ScoreRequest& request : batch) {
+      if (past_deadline(request, std::chrono::steady_clock::now())) {
+        deliver_deadline_exceeded(std::move(request), worker_index);
+        continue;
+      }
       ScoreResponse response;
       response.id = request.id;
       response.status = ResponseStatus::kScored;
@@ -98,8 +153,32 @@ void ScoringEngine::worker_loop(std::uint32_t worker_index) {
           worker_index, response.detection.flagged,
           static_cast<std::uint64_t>(response.latency.count()));
       if (on_response_) on_response_(response);
+      ++scored_in_batch;
     }
-    note_completed(batch.size());
+    if (scored_in_batch > 0) note_completed(scored_in_batch);
+    heartbeat.busy_since_us.store(0, std::memory_order_relaxed);
+  }
+}
+
+void ScoringEngine::watchdog_loop() {
+  std::unique_lock lock(watchdog_mutex_);
+  while (!stopping_.load(std::memory_order_acquire)) {
+    watchdog_cv_.wait_for(lock, config_.watchdog_interval, [&] {
+      return stopping_.load(std::memory_order_acquire);
+    });
+    if (stopping_.load(std::memory_order_acquire)) break;
+    const std::int64_t now_us = steady_now_us();
+    const std::int64_t threshold_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            config_.stall_threshold)
+            .count();
+    std::uint64_t stalled = 0;
+    for (const Heartbeat& heartbeat : heartbeats_) {
+      const std::int64_t busy_since =
+          heartbeat.busy_since_us.load(std::memory_order_relaxed);
+      if (busy_since != 0 && now_us - busy_since > threshold_us) ++stalled;
+    }
+    metrics_.set_stalled_workers(stalled);
   }
 }
 
@@ -120,8 +199,31 @@ void ScoringEngine::deliver_shed(ScoreRequest request,
   note_completed(1);
 }
 
+void ScoringEngine::deliver_deadline_exceeded(ScoreRequest request,
+                                              std::uint32_t worker_index) {
+  ScoreResponse response;
+  response.id = request.id;
+  response.status = ResponseStatus::kDeadlineExceeded;
+  response.worker = worker_index;
+  response.latency = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - request.admitted_at);
+  metrics_.record_deadline_exceeded(worker_index);
+  if (on_response_) on_response_(response);
+  note_completed(1);
+}
+
 void ScoringEngine::note_completed(std::uint64_t n) {
   completed_.fetch_add(n, std::memory_order_acq_rel);
+  std::lock_guard lock(drain_mutex_);
+  drain_cv_.notify_all();
+}
+
+void ScoringEngine::retract_admission() {
+  // Undo a provisional admission (the push was refused).  Must notify:
+  // a drain() that raced the submit may be waiting on the transiently
+  // inflated admitted_ count, and no completion will ever arrive for
+  // a request that was never queued.
+  admitted_.fetch_sub(1, std::memory_order_acq_rel);
   std::lock_guard lock(drain_mutex_);
   drain_cv_.notify_all();
 }
@@ -136,10 +238,17 @@ void ScoringEngine::drain() {
 
 void ScoringEngine::stop() {
   std::lock_guard lock(stop_mutex_);
-  if (!stopping_.exchange(true, std::memory_order_acq_rel)) queue_.close();
+  if (!stopping_.exchange(true, std::memory_order_acq_rel)) {
+    queue_.close();
+    {
+      std::lock_guard watchdog_lock(watchdog_mutex_);
+      watchdog_cv_.notify_all();
+    }
+  }
   for (std::thread& t : workers_) {
     if (t.joinable()) t.join();
   }
+  if (watchdog_.joinable()) watchdog_.join();
 }
 
 MetricsSnapshot ScoringEngine::metrics() const {

@@ -12,20 +12,34 @@
 //
 // Invariants the tests pin down:
 //   * every admitted request produces exactly one response — a score
-//     (kScored) or an explicit shed (kShed) under DropOldest; a
-//     rejected submission produces none and is reported synchronously;
+//     (kScored), an explicit shed (kShed), a deadline miss
+//     (kDeadlineExceeded) or a model-less fallback verdict (kDegraded);
+//     a rejected submission produces none and is reported synchronously;
 //   * a batch is scored by exactly one published model version (the
 //     snapshot is taken once per batch), and every response names the
-//     version that produced it;
+//     version that produced it (0 for sheds/deadline/degraded);
 //   * the worker hot path performs no per-session allocation: requests
 //     are moved through the queue and scored via the ScoringScratch
 //     overload of Polygraph::score.
+//
+// Failure posture (the robustness layer):
+//   * `deadline` bounds how stale an answer may be: a request that
+//     waited past its deadline is answered kDeadlineExceeded instead of
+//     being scored late (§3's ~100 ms budget made explicit);
+//   * `degrade_without_model` keeps the engine answering when nothing
+//     is published: the UA-prior fallback (serve/degraded.h) scores the
+//     claimed UA alone and the response is marked kDegraded, instead of
+//     requests queueing unboundedly behind a model that may never come;
+//   * a watchdog thread (armed via `watchdog_interval`) detects workers
+//     stuck inside one batch longer than `stall_threshold` and surfaces
+//     the count as MetricsSnapshot::stalled_workers.
 //
 // The callback runs on worker threads (and, for displaced-by-overflow
 // sheds, on the submitting thread); it must be thread-safe and cheap.
 #pragma once
 
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <thread>
@@ -48,12 +62,14 @@ struct ScoreRequest {
 enum class ResponseStatus : std::uint8_t {
   kScored,
   kShed,  // displaced under OverflowPolicy::kDropOldest; detection empty
+  kDeadlineExceeded,  // answered past EngineConfig::deadline; not scored
+  kDegraded,  // no model published; UA-prior fallback verdict in detection
 };
 
 struct ScoreResponse {
   std::uint64_t id = 0;
   ResponseStatus status = ResponseStatus::kScored;
-  core::Detection detection;        // valid iff status == kScored
+  core::Detection detection;        // valid iff kScored or kDegraded
   std::uint64_t model_version = 0;  // publishing version that scored it
   std::uint32_t worker = 0;         // scoring worker (0 for sheds)
   std::chrono::microseconds latency{0};  // admission -> response
@@ -70,6 +86,19 @@ struct EngineConfig {
   std::size_t queue_capacity = 4096;
   std::size_t max_batch = 32;  // requests scored per snapshot load
   OverflowPolicy overflow_policy = OverflowPolicy::kBlock;
+
+  // Per-request deadline, measured from admission.  Zero disables: a
+  // request is then scored no matter how long it queued.
+  std::chrono::milliseconds deadline{0};
+
+  // Answer with the UA-prior fallback (kDegraded) when no model is
+  // published, instead of parking requests until one appears.
+  bool degrade_without_model = false;
+
+  // Watchdog cadence; zero disables the watchdog thread.
+  std::chrono::milliseconds watchdog_interval{0};
+  // A worker inside one batch for longer than this is counted stalled.
+  std::chrono::milliseconds stall_threshold{250};
 };
 
 class ScoringEngine {
@@ -78,7 +107,7 @@ class ScoringEngine {
 
   // Starts the worker pool immediately.  `registry` must outlive the
   // engine; scoring waits (requests queue up) until the registry has a
-  // published model.
+  // published model, unless degrade_without_model answers them first.
   ScoringEngine(const ModelRegistry& registry, EngineConfig config,
                 ResponseCallback on_response);
   ~ScoringEngine();
@@ -105,10 +134,27 @@ class ScoringEngine {
   std::size_t queue_depth() const { return queue_.size(); }
 
  private:
+  // Per-worker liveness beacon for the watchdog.  Microseconds since
+  // steady_clock epoch when the worker entered its current batch; 0
+  // while idle (waiting in pop_batch).
+  struct alignas(64) Heartbeat {
+    std::atomic<std::int64_t> busy_since_us{0};
+  };
+
   void worker_loop(std::uint32_t worker_index);
+  void watchdog_loop();
   void deliver_shed(ScoreRequest request, std::uint32_t worker_index,
                     bool from_submit);
+  void deliver_deadline_exceeded(ScoreRequest request,
+                                 std::uint32_t worker_index);
   void note_completed(std::uint64_t n);
+  void retract_admission();
+  bool past_deadline(
+      const ScoreRequest& request,
+      std::chrono::steady_clock::time_point now) const noexcept {
+    return config_.deadline.count() > 0 &&
+           now - request.admitted_at > config_.deadline;
+  }
 
   const ModelRegistry& registry_;
   EngineConfig config_;
@@ -124,6 +170,11 @@ class ScoringEngine {
   std::atomic<bool> stopping_{false};
   std::mutex stop_mutex_;
   std::vector<std::thread> workers_;
+
+  std::vector<Heartbeat> heartbeats_;
+  std::mutex watchdog_mutex_;
+  std::condition_variable watchdog_cv_;
+  std::thread watchdog_;
 };
 
 }  // namespace bp::serve

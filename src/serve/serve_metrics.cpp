@@ -41,18 +41,23 @@ double MetricsSnapshot::latency_quantile_micros(double q) const noexcept {
 }
 
 std::string MetricsSnapshot::summary() const {
-  char buf[256];
-  std::snprintf(buf, sizeof(buf),
-                "scored=%llu flagged=%llu (%.2f%%) shed=%llu rejected=%llu "
-                "depth=%llu model=v%llu p50=%.0fus p95=%.0fus p99=%.0fus%s",
-                static_cast<unsigned long long>(scored),
-                static_cast<unsigned long long>(flagged), 100.0 * flag_rate(),
-                static_cast<unsigned long long>(shed),
-                static_cast<unsigned long long>(rejected),
-                static_cast<unsigned long long>(queue_depth),
-                static_cast<unsigned long long>(model_version), p50_micros(),
-                p95_micros(), p99_micros(),
-                within_budget() ? "" : " [OVER 100ms BUDGET]");
+  char buf[320];
+  std::snprintf(
+      buf, sizeof(buf),
+      "scored=%llu flagged=%llu (%.2f%%) shed=%llu rejected=%llu "
+      "deadline=%llu degraded=%llu stalled=%llu depth=%llu model=v%llu "
+      "p50=%.0fus p95=%.0fus p99=%.0fus%s",
+      static_cast<unsigned long long>(scored),
+      static_cast<unsigned long long>(flagged), 100.0 * flag_rate(),
+      static_cast<unsigned long long>(shed),
+      static_cast<unsigned long long>(rejected),
+      static_cast<unsigned long long>(deadline_exceeded),
+      static_cast<unsigned long long>(degraded),
+      static_cast<unsigned long long>(stalled_workers),
+      static_cast<unsigned long long>(queue_depth),
+      static_cast<unsigned long long>(model_version), p50_micros(),
+      p95_micros(), p99_micros(),
+      within_budget() ? "" : " [OVER 100ms BUDGET]");
   return buf;
 }
 
@@ -70,6 +75,19 @@ void ServeMetrics::record_scored(std::size_t worker, bool flagged,
 
 void ServeMetrics::record_shed(std::size_t worker) noexcept {
   workers_[worker].shed.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServeMetrics::record_deadline_exceeded(std::size_t worker) noexcept {
+  workers_[worker].deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServeMetrics::record_degraded(std::size_t worker, bool flagged,
+                                   std::uint64_t latency_micros) noexcept {
+  WorkerBlock& block = workers_[worker];
+  block.degraded.fetch_add(1, std::memory_order_relaxed);
+  if (flagged) block.flagged.fetch_add(1, std::memory_order_relaxed);
+  block.latency[latency_bucket(latency_micros)].fetch_add(
+      1, std::memory_order_relaxed);
 }
 
 void ServeMetrics::record_batch(std::size_t worker) noexcept {
@@ -91,6 +109,9 @@ MetricsSnapshot ServeMetrics::snapshot() const {
     out.flagged += block.flagged.load(std::memory_order_relaxed);
     out.shed += block.shed.load(std::memory_order_relaxed);
     out.batches += block.batches.load(std::memory_order_relaxed);
+    out.deadline_exceeded +=
+        block.deadline_exceeded.load(std::memory_order_relaxed);
+    out.degraded += block.degraded.load(std::memory_order_relaxed);
     for (std::size_t b = 0; b < out.latency_histogram.size(); ++b) {
       out.latency_histogram[b] +=
           block.latency[b].load(std::memory_order_relaxed);
@@ -98,6 +119,7 @@ MetricsSnapshot ServeMetrics::snapshot() const {
   }
   out.shed += shed_on_submit_.load(std::memory_order_relaxed);
   out.rejected = rejected_.load(std::memory_order_relaxed);
+  out.stalled_workers = stalled_workers_.load(std::memory_order_relaxed);
   return out;
 }
 

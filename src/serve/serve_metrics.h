@@ -39,13 +39,18 @@ struct MetricsSnapshot {
   std::uint64_t shed = 0;      // responses delivered as shed (DropOldest)
   std::uint64_t rejected = 0;  // submissions refused at admission (Reject)
   std::uint64_t batches = 0;   // worker batch iterations
+  std::uint64_t deadline_exceeded = 0;  // answered past their deadline
+  std::uint64_t degraded = 0;  // answered by the UA-prior fallback scorer
+  std::uint64_t stalled_workers = 0;  // watchdog gauge, at snapshot time
   std::uint64_t queue_depth = 0;  // instantaneous, at snapshot time
   std::uint64_t model_version = 0;  // latest published at snapshot time
   std::array<std::uint64_t, kLatencyBucketBoundsMicros.size() + 1>
-      latency_histogram{};  // queue wait + scoring, per scored session
+      latency_histogram{};  // queue wait + scoring, per answered session
+                            // (model-scored and degraded)
 
   double flag_rate() const noexcept {
-    return scored == 0 ? 0.0 : static_cast<double>(flagged) / scored;
+    const std::uint64_t answered = scored + degraded;
+    return answered == 0 ? 0.0 : static_cast<double>(flagged) / answered;
   }
   // Histogram quantile (linear interpolation inside a bucket);
   // q in [0, 1].  Returns 0 when nothing was scored.
@@ -71,10 +76,18 @@ class ServeMetrics {
                      std::uint64_t latency_micros) noexcept;
   void record_shed(std::size_t worker) noexcept;
   void record_batch(std::size_t worker) noexcept;
+  void record_deadline_exceeded(std::size_t worker) noexcept;
+  void record_degraded(std::size_t worker, bool flagged,
+                       std::uint64_t latency_micros) noexcept;
 
   // Admission-side events (any thread).
   void record_rejected() noexcept;
   void record_shed_on_submit() noexcept;
+
+  // Watchdog gauge (single writer: the watchdog thread).
+  void set_stalled_workers(std::uint64_t n) noexcept {
+    stalled_workers_.store(n, std::memory_order_relaxed);
+  }
 
   std::size_t n_workers() const noexcept { return workers_.size(); }
 
@@ -88,6 +101,8 @@ class ServeMetrics {
     std::atomic<std::uint64_t> flagged{0};
     std::atomic<std::uint64_t> shed{0};
     std::atomic<std::uint64_t> batches{0};
+    std::atomic<std::uint64_t> deadline_exceeded{0};
+    std::atomic<std::uint64_t> degraded{0};
     std::array<std::atomic<std::uint64_t>,
                kLatencyBucketBoundsMicros.size() + 1>
         latency{};
@@ -96,6 +111,7 @@ class ServeMetrics {
   std::vector<WorkerBlock> workers_;
   alignas(64) std::atomic<std::uint64_t> rejected_{0};
   std::atomic<std::uint64_t> shed_on_submit_{0};
+  std::atomic<std::uint64_t> stalled_workers_{0};
 };
 
 }  // namespace bp::serve

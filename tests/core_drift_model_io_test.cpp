@@ -112,12 +112,19 @@ TEST(Drift, Edge119StaysHealthy) {
 }
 
 TEST(Drift, ReleasesWithoutSessionsAreSkipped) {
+  // A release with zero sessions must be *recorded* as skipped, not
+  // silently dropped — "checked, healthy" and "no data to check" are
+  // different operational states.
   const DriftDetector detector(fixture().model, 0.98);
   const DriftReport report =
-      detector.check(fixture().drift_data, {chrome(200)},
+      detector.check(fixture().drift_data, {chrome(200), chrome(117)},
                      bp::util::Date::from_ymd(2023, 11, 2));
-  EXPECT_TRUE(report.entries.empty());
   EXPECT_FALSE(report.retraining_required);
+  ASSERT_EQ(report.skipped_count(), 1u);
+  EXPECT_EQ(report.skipped[0].key(), chrome(200).key());
+  // The release that does have sessions is still evaluated normally.
+  ASSERT_EQ(report.checked(), 1u);
+  EXPECT_EQ(report.entries[0].release.key(), chrome(117).key());
 }
 
 TEST(Drift, ClosestKnownReleaseFindsPredecessor) {
