@@ -23,12 +23,13 @@ traffic::Dataset make_drift_dataset(std::size_t n_sessions) {
 }
 
 TrainedPolygraph train_production(const traffic::Dataset& data,
-                                  core::PolygraphConfig config) {
+                                  core::PolygraphConfig config,
+                                  const obs::ObsContext* obs) {
   core::Polygraph model(config);
   const ml::Matrix features =
       data.feature_matrix(model.config().feature_indices);
   const core::TrainingSummary summary =
-      model.train(features, claimed_uas(data));
+      model.train(features, claimed_uas(data), obs);
   return TrainedPolygraph{std::move(model), summary};
 }
 

@@ -23,13 +23,16 @@ traffic::Dataset make_training_dataset(std::size_t n_sessions = 205'000);
 traffic::Dataset make_drift_dataset(std::size_t n_sessions = 60'000);
 
 // Train the production model (28 features, PCA 7, k=11) on a dataset.
+// `obs` (optional) exports per-stage telemetry and spans the run — see
+// Polygraph::train.
 struct TrainedPolygraph {
   core::Polygraph model;
   core::TrainingSummary summary;
 };
 TrainedPolygraph train_production(const traffic::Dataset& data,
                                   core::PolygraphConfig config =
-                                      core::PolygraphConfig::production());
+                                      core::PolygraphConfig::production(),
+                                  const obs::ObsContext* obs = nullptr);
 
 // Per-row parsed user-agents of a dataset.
 std::vector<ua::UserAgent> claimed_uas(const traffic::Dataset& data);

@@ -19,6 +19,9 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "obs/audit.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 #include "serve/model_registry.h"
 #include "serve/scoring_engine.h"
 #include "traffic/session_generator.h"
@@ -36,14 +39,27 @@ struct RunResult {
   bp::serve::MetricsSnapshot metrics;
 };
 
+// The full observability plane, as a production deployment would run it.
+struct ObsPlanes {
+  bp::obs::MetricsRegistry* registry = nullptr;
+  bp::obs::TraceSink* trace = nullptr;
+  bp::obs::AuditTrail* audit = nullptr;
+};
+
 RunResult run_configuration(const bp::serve::ModelRegistry& registry,
                             const std::vector<bp::serve::ScoreRequest>& stream,
-                            std::size_t workers, std::size_t max_batch) {
+                            std::size_t workers, std::size_t max_batch,
+                            const ObsPlanes* planes = nullptr) {
   bp::serve::EngineConfig config;
   config.workers = workers;
   config.max_batch = max_batch;
   config.queue_capacity = 4096;
   config.overflow_policy = bp::serve::OverflowPolicy::kBlock;
+  if (planes != nullptr) {
+    config.registry = planes->registry;
+    config.trace = planes->trace;
+    config.audit = planes->audit;
+  }
   bp::serve::ScoringEngine engine(registry, config, nullptr);
 
   const auto begin = std::chrono::steady_clock::now();
@@ -148,11 +164,64 @@ int main(int argc, char** argv) {
               "per run):\n%s",
               hardware, n_sessions, table.render().c_str());
 
+  // ---- observability overhead gate ----
+  //
+  // The same fixed configuration with the full observability plane off
+  // vs on (shared registry, 1% trace sampling, 1% unflagged audit
+  // sampling — production posture).  Best-of-3 per arm dampens
+  // scheduler noise; instrumentation must cost < 3% throughput.
+  constexpr double kObsOverheadGate = 0.03;
+  const std::size_t gate_workers =
+      std::min<std::size_t>(hardware == 0 ? 1 : hardware, 4);
+  constexpr std::size_t kGateBatch = 16;
+  std::printf("\nmeasuring observability overhead (workers=%zu batch=%zu, "
+              "best of 3 per arm)...\n",
+              gate_workers, kGateBatch);
+  double baseline_sps = 0.0;
+  double instrumented_sps = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    baseline_sps = std::max(
+        baseline_sps,
+        run_configuration(registry, stream, gate_workers, kGateBatch)
+            .sessions_per_second);
+  }
+  for (int rep = 0; rep < 3; ++rep) {
+    obs::MetricsRegistry obs_registry;
+    obs::TraceSinkConfig trace_config;
+    trace_config.sample_rate = 0.01;
+    obs::TraceSink trace(trace_config);
+    obs::AuditTrail audit;  // default 1% unflagged sampling
+    const ObsPlanes planes{&obs_registry, &trace, &audit};
+    instrumented_sps = std::max(
+        instrumented_sps,
+        run_configuration(registry, stream, gate_workers, kGateBatch, &planes)
+            .sessions_per_second);
+  }
+  const double obs_overhead = 1.0 - instrumented_sps / baseline_sps;
+  const bool obs_within_gate = obs_overhead < kObsOverheadGate;
+  std::printf("  disabled:  %10.0f sessions/s\n"
+              "  enabled:   %10.0f sessions/s\n"
+              "  overhead:  %+.2f%% (gate < %.0f%%) -> %s\n",
+              baseline_sps, instrumented_sps, 100.0 * obs_overhead,
+              100.0 * kObsOverheadGate, obs_within_gate ? "ok" : "FAIL");
+
   std::string json = "{\n";
   json += "  \"hardware_threads\": " + std::to_string(hardware) + ",\n";
   json += "  \"sessions_per_run\": " + std::to_string(n_sessions) + ",\n";
   json += "  \"latency_budget_micros\": " +
           std::to_string(serve::kLatencyBudgetMicros) + ",\n";
+  {
+    char obs_entry[320];
+    std::snprintf(
+        obs_entry, sizeof(obs_entry),
+        "  \"observability\": {\"baseline_sessions_per_second\": %.1f, "
+        "\"instrumented_sessions_per_second\": %.1f, "
+        "\"overhead_fraction\": %.4f, \"gate_fraction\": %.2f, "
+        "\"within_gate\": %s},\n",
+        baseline_sps, instrumented_sps, obs_overhead, kObsOverheadGate,
+        obs_within_gate ? "true" : "false");
+    json += obs_entry;
+  }
   json += "  \"runs\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const RunResult& r = results[i];
@@ -190,6 +259,13 @@ int main(int argc, char** argv) {
                                 : "SOME RUNS OVER the 100 ms p99 budget");
   if (hardware >= 4 && best_speedup < 3.0) {
     std::fprintf(stderr, "expected >= 3x speedup on %u threads\n", hardware);
+    return 1;
+  }
+  if (!obs_within_gate) {
+    std::fprintf(stderr,
+                 "FAIL: observability overhead %.2f%% exceeds the %.0f%% "
+                 "gate\n",
+                 100.0 * obs_overhead, 100.0 * kObsOverheadGate);
     return 1;
   }
   return all_within_budget ? 0 : 1;

@@ -30,6 +30,8 @@
 #include "bench_common.h"
 #include "core/model_io.h"
 #include "core/polygraph.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 #include "serve/model_registry.h"
 #include "traffic/session_generator.h"
 #include "util/csv.h"
@@ -58,7 +60,8 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
 RunResult run_configuration(std::size_t rows, std::size_t threads,
                             bp::serve::ModelRegistry& registry,
                             const std::string& reference_bytes,
-                            std::string& bytes_out) {
+                            std::string& bytes_out,
+                            const bp::obs::ObsContext* obs) {
   using Clock = std::chrono::steady_clock;
   bp::util::set_parallel_threads(threads);
 
@@ -71,7 +74,8 @@ RunResult run_configuration(std::size_t rows, std::size_t threads,
       bp::benchmark_support::make_training_dataset(rows);
   result.generate_seconds = seconds_since(gen_start);
 
-  const auto trained = bp::benchmark_support::train_production(data);
+  const auto trained = bp::benchmark_support::train_production(
+      data, bp::core::PolygraphConfig::production(), obs);
   result.timings = trained.summary.timings;
 
   const auto publish_start = Clock::now();
@@ -117,13 +121,21 @@ int main(int argc, char** argv) {
   bool all_identical = true;
   double best_speedup_200k = 1.0;
 
+  // Every run exports into one registry / trace sink, so the bench also
+  // exercises the training pipeline's observability wiring end to end.
+  obs::MetricsRegistry training_metrics;
+  obs::TraceSink training_trace;
+
   for (std::size_t rows : sizes) {
     std::string reference_bytes;
     double baseline_total = 0.0;
     for (std::size_t threads : thread_counts) {
       std::string bytes;
-      RunResult result =
-          run_configuration(rows, threads, registry, reference_bytes, bytes);
+      const obs::ObsContext obs_context{&training_metrics, &training_trace,
+                                        results.size() + 1};
+      RunResult result = run_configuration(rows, threads, registry,
+                                           reference_bytes, bytes,
+                                           &obs_context);
       if (reference_bytes.empty()) {
         reference_bytes = std::move(bytes);
         baseline_total = result.timings.total;
@@ -164,6 +176,10 @@ int main(int argc, char** argv) {
   }
   std::printf("\ntraining throughput (%u hardware threads%s):\n%s", hardware,
               smoke ? ", smoke mode" : "", table.render().c_str());
+  std::printf("\ntraining telemetry (one render over all runs):\n%s",
+              training_metrics.render_prometheus().c_str());
+  std::printf("\nstage spans (trace id = run number):\n%s",
+              training_trace.render(/*include_timing=*/true).c_str());
 
   std::string json = "{\n";
   json += "  \"hardware_threads\": " + std::to_string(hardware) + ",\n";

@@ -12,6 +12,7 @@
 //     new model mid-stream with zero downtime — in-flight batches
 //     finish on the version they hold; every response names the model
 //     version that produced it.
+#include <chrono>
 #include <cstdio>
 #include <map>
 #include <mutex>
@@ -20,6 +21,10 @@
 
 #include "core/drift.h"
 #include "core/model_io.h"
+#include "obs/audit.h"
+#include "obs/export.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 #include "serve/model_registry.h"
 #include "serve/scoring_engine.h"
 #include "traffic/session_generator.h"
@@ -38,7 +43,8 @@ struct Dashboard {
   std::size_t flagged_ato = 0;
 };
 
-bp::core::Polygraph train_model(const bp::traffic::TrafficConfig& config) {
+bp::core::Polygraph train_model(const bp::traffic::TrafficConfig& config,
+                                const bp::obs::ObsContext* obs = nullptr) {
   bp::traffic::SessionGenerator generator(config);
   const bp::traffic::Dataset history =
       generator.generate(bp::traffic::experiment_feature_indices());
@@ -48,7 +54,7 @@ bp::core::Polygraph train_model(const bp::traffic::TrafficConfig& config) {
   std::vector<bp::ua::UserAgent> uas;
   uas.reserve(history.size());
   for (const auto& r : history.records()) uas.push_back(r.claimed);
-  const auto summary = model.train(features, uas);
+  const auto summary = model.train(features, uas, obs);
   std::printf("  trained: %.2f%% accuracy on %zu sessions\n",
               100.0 * summary.clustering_accuracy, summary.rows_total);
   return model;
@@ -59,11 +65,28 @@ bp::core::Polygraph train_model(const bp::traffic::TrafficConfig& config) {
 int main() {
   using namespace bp;
 
+  // ---- the observability plane (src/obs), production posture ----
+  // One process-wide registry shared by training, serving, drift and
+  // the fault layer; a 1%-sampled request trace; a full-rate sink for
+  // the two offline training runs; an audit trail holding Algorithm-1
+  // evidence for every flagged verdict (1% of clean ones).  A periodic
+  // dumper snapshots the registry for scrape-by-file collection.
+  obs::MetricsRegistry metrics;
+  obs::register_fault_metrics(metrics);
+  obs::TraceSinkConfig request_trace_config;
+  request_trace_config.sample_rate = 0.01;
+  obs::TraceSink request_trace(request_trace_config);
+  obs::TraceSink training_trace;
+  obs::AuditTrail audit;
+  obs::PeriodicDumper dumper(metrics, "/tmp/browser_polygraph_metrics.prom",
+                             std::chrono::seconds(1));
+
   // ---- offline: train and persist (§6.5's offline/online split) ----
   std::printf("offline training (Mar-Jul 2023 window):\n");
   traffic::TrafficConfig train_config;
   train_config.n_sessions = 40'000;
-  const core::Polygraph trained = train_model(train_config);
+  const obs::ObsContext train_obs{&metrics, &training_trace, 1};
+  const core::Polygraph trained = train_model(train_config, &train_obs);
 
   const std::string model_path = "/tmp/browser_polygraph.model";
   if (!core::save_model(trained, model_path)) {
@@ -103,6 +126,9 @@ int main() {
   engine_config.queue_capacity = 1024;
   engine_config.max_batch = 32;
   engine_config.overflow_policy = serve::OverflowPolicy::kBlock;
+  engine_config.registry = &metrics;
+  engine_config.trace = &request_trace;
+  engine_config.audit = &audit;
   serve::ScoringEngine engine(
       registry, engine_config, [&](const serve::ScoreResponse& response) {
         if (response.status != serve::ResponseStatus::kScored) return;
@@ -152,7 +178,7 @@ int main() {
   const traffic::Dataset drift_data =
       drift_generator.generate(traffic::experiment_feature_indices());
 
-  const core::DriftDetector detector(trained, 0.98);
+  const core::DriftDetector detector(trained, 0.98, &metrics);
   const core::DriftReport report = detector.check(
       drift_data,
       {{ua::Vendor::kFirefox, 119, ua::Os::kWindows10},
@@ -185,7 +211,8 @@ int main() {
     retrain_config.seed = 20231104;
     retrain_config.n_sessions = 20'000;
     retrain_config.end_date = util::Date::from_ymd(2023, 11, 3);
-    core::Polygraph fresh = train_model(retrain_config);
+    const obs::ObsContext retrain_obs{&metrics, &training_trace, 2};
+    core::Polygraph fresh = train_model(retrain_config, &retrain_obs);
     v2 = registry.publish(std::move(fresh));  // zero-downtime hot swap
   });
 
@@ -196,8 +223,8 @@ int main() {
   stream_sessions(live_b, kPhaseB2);  // served by the fresh model
   engine.drain();
 
-  const serve::MetricsSnapshot metrics = engine.metrics();
-  std::printf("phase B (drift era):  %s\n", metrics.summary().c_str());
+  const serve::MetricsSnapshot snapshot = engine.metrics();
+  std::printf("phase B (drift era):  %s\n", snapshot.summary().c_str());
   engine.stop();
 
   // ---- the risk team's view ----
@@ -226,7 +253,24 @@ int main() {
       "signal among many: risk 0-1 near-misses are soft signals, vendor\n"
       "mismatches (risk %d) warrant step-up authentication.\n",
       trained.config().vendor_distance);
-  if (!metrics.within_budget()) {
+
+  // ---- the SRE's view: one registry over the whole deployment ----
+  dumper.dump_now();  // final flush of the scrape file
+  std::printf("\ntraces: %llu request-path records in the ring "
+              "(%llu displaced), 1%% deterministic sampling\n",
+              static_cast<unsigned long long>(request_trace.recorded()),
+              static_cast<unsigned long long>(request_trace.overwritten()));
+  std::printf("audit: %llu verdicts recorded (%llu flagged), each "
+              "replayable offline against its model version\n",
+              static_cast<unsigned long long>(audit.recorded()),
+              static_cast<unsigned long long>(audit.flagged_recorded()));
+  std::printf("\ntraining stage spans (trace 1 = initial, 2 = retrain):\n%s",
+              training_trace.render(/*include_timing=*/true).c_str());
+  std::printf("\ntelemetry (Prometheus exposition, dumped every second to "
+              "/tmp/browser_polygraph_metrics.prom):\n%s",
+              metrics.render_prometheus().c_str());
+
+  if (!snapshot.within_budget()) {
     std::fprintf(stderr, "p99 latency exceeded the 100 ms budget\n");
     return 1;
   }

@@ -29,10 +29,12 @@ if [[ -n "${BP_SANITIZE:-}" ]]; then
   echo "== ${BP_SANITIZE} sanitizer pass over the concurrency tests =="
   cmake -B "${san_dir}" -S . -DBP_SANITIZE="${BP_SANITIZE}"
   cmake --build "${san_dir}" -j --target bp_tests
-  # Covers the serving tier, the parallel training substrate, and the
-  # whole fault-tolerance layer — including the chaos soak, which must
-  # run clean under both TSan and ASan.
+  # Covers the serving tier, the parallel training substrate, the whole
+  # fault-tolerance layer — including the chaos soak, which must run
+  # clean under both TSan and ASan — and the observability plane
+  # (striped counters, trace ring, audit trail) whose lock-free hot
+  # paths are exactly what the sanitizers exist to vet.
   ctest --test-dir "${san_dir}" \
-    -R 'Serve|BoundedQueue|Parallel|TrainingDeterminism|Fault|RetrainSupervisor|ModelIntegrity|ChaosSoak' \
+    -R 'Serve|BoundedQueue|Parallel|TrainingDeterminism|Fault|RetrainSupervisor|ModelIntegrity|ChaosSoak|Obs|Audit' \
     --output-on-failure
 fi

@@ -77,6 +77,34 @@ DriftReport DriftDetector::check(const traffic::Dataset& data,
     report.retraining_required |= entry.triggers_retraining();
     report.entries.push_back(entry);
   }
+
+  if (registry_ != nullptr) {
+    obs::MetricsRegistry& r = *registry_;
+    r.counter("bp_drift_checks_total", "drift checks run").increment();
+    r.counter("bp_drift_releases_checked_total", "releases evaluated")
+        .add(report.entries.size());
+    // Zero-session releases previously surfaced only via the bespoke
+    // DriftReport::skipped accessor; the counter makes a silently
+    // unmonitored release visible to any scrape.
+    r.counter("bp_drift_releases_skipped_total",
+              "releases skipped for lack of sessions")
+        .add(report.skipped.size());
+    r.counter("bp_drift_retraining_signals_total",
+              "checks that raised the retraining signal")
+        .add(report.retraining_required ? 1 : 0);
+    double min_accuracy = 1.0;
+    for (const DriftEntry& entry : report.entries) {
+      min_accuracy = std::min(min_accuracy, entry.accuracy);
+    }
+    r.gauge("bp_drift_last_min_accuracy",
+            "lowest per-release accuracy of the latest check")
+        .set(min_accuracy);
+    r.gauge("bp_drift_last_skipped", "releases skipped in the latest check")
+        .set(static_cast<double>(report.skipped.size()));
+    r.gauge("bp_drift_last_retraining_required",
+            "latest check raised the retraining signal")
+        .set(report.retraining_required ? 1.0 : 0.0);
+  }
   return report;
 }
 

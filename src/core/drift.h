@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/polygraph.h"
+#include "obs/metrics_registry.h"
 #include "traffic/dataset.h"
 #include "util/date.h"
 
@@ -53,8 +54,17 @@ struct DriftReport {
 
 class DriftDetector {
  public:
-  explicit DriftDetector(const Polygraph& model, double accuracy_threshold = 0.98)
-      : model_(&model), threshold_(accuracy_threshold) {}
+  // When `registry` is supplied, every check() exports machine-readable
+  // telemetry: counters bp_drift_checks_total,
+  // bp_drift_releases_checked_total, bp_drift_releases_skipped_total
+  // (the "no data to check" releases that previously had no export
+  // path), bp_drift_retraining_signals_total, and gauges
+  // bp_drift_last_min_accuracy / bp_drift_last_skipped /
+  // bp_drift_last_retraining_required describing the latest check.
+  explicit DriftDetector(const Polygraph& model,
+                         double accuracy_threshold = 0.98,
+                         obs::MetricsRegistry* registry = nullptr)
+      : model_(&model), threshold_(accuracy_threshold), registry_(registry) {}
 
   // Score the sessions of `new_releases` found in `data` (feature columns
   // must match the model's feature set).  Releases with no sessions are
@@ -81,6 +91,7 @@ class DriftDetector {
  private:
   const Polygraph* model_;
   double threshold_;
+  obs::MetricsRegistry* registry_;
 };
 
 }  // namespace bp::core

@@ -8,6 +8,7 @@
 
 #include "browser/engine_timelines.h"
 #include "browser/release_db.h"
+#include "obs/metrics_registry.h"
 
 namespace bp::core {
 
@@ -71,7 +72,8 @@ Polygraph::Polygraph(PolygraphConfig config) : config_(std::move(config)) {
 }
 
 TrainingSummary Polygraph::train(const ml::Matrix& features,
-                                 const std::vector<ua::UserAgent>& user_agents) {
+                                 const std::vector<ua::UserAgent>& user_agents,
+                                 const obs::ObsContext* obs) {
   assert(features.rows() == user_agents.size());
   assert(features.cols() == config_.feature_indices.size());
   TrainingSummary summary;
@@ -86,6 +88,22 @@ TrainingSummary Polygraph::train(const ml::Matrix& features,
     return seconds;
   };
 
+  // Optional tracing: one span per stage under the caller's trace id.
+  // Span ids are fixed (root 1, stages 2..6) so retrain traces render
+  // deterministically; see obs/trace.h.
+  obs::TraceSink* trace = obs != nullptr ? obs->trace : nullptr;
+  const std::uint64_t trace_id = obs != nullptr ? obs->trace_id : 0;
+  const std::int64_t train_begin_us = obs::steady_now_us();
+  std::int64_t stage_begin_us = train_begin_us;
+  auto emit_span = [&](const char* name, std::uint32_t span_id) {
+    const std::int64_t now_us = obs::steady_now_us();
+    if (trace != nullptr) {
+      trace->record({trace_id, span_id, /*parent_id=*/1, name,
+                     stage_begin_us, now_us});
+    }
+    stage_begin_us = now_us;
+  };
+
   // 1. Scale.  Deviation-based columns are standardized; time-based
   //    presence bits pass through (§6.4.1).
   const auto& catalog = browser::FeatureCatalog::instance();
@@ -98,6 +116,7 @@ TrainingSummary Polygraph::train(const ml::Matrix& features,
   scaler_.fit(features, scale_column);
   const ml::Matrix scaled = scaler_.transform(features);
   summary.timings.scale = lap();
+  emit_span("scale", 2);
 
   // 2. Outlier filtering (§6.4.1).
   ml::IsolationForestConfig forest_config;
@@ -115,11 +134,13 @@ TrainingSummary Polygraph::train(const ml::Matrix& features,
     if (keep[i]) kept_uas.push_back(user_agents[i]);
   }
   summary.timings.filter = lap();
+  emit_span("filter", 3);
 
   // 3. PCA (§6.4.2).
   const ml::Matrix projected =
       pca_.fit_transform(filtered, config_.pca_components);
   summary.timings.pca = lap();
+  emit_span("pca", 4);
 
   // 4. k-means (§6.4.3).
   ml::KMeansConfig kconfig;
@@ -130,6 +151,7 @@ TrainingSummary Polygraph::train(const ml::Matrix& features,
   kmeans_.fit(projected);
   summary.wcss = kmeans_.inertia();
   summary.timings.kmeans = lap();
+  emit_span("kmeans", 5);
 
   // 5. Majority-cluster table + training accuracy (Appendix-4 Formula 1).
   std::vector<std::uint32_t> keys;
@@ -168,8 +190,43 @@ TrainingSummary Polygraph::train(const ml::Matrix& features,
     }
   }
   summary.timings.table = lap();
+  emit_span("table", 6);
   summary.timings.total =
       std::chrono::duration<double>(Clock::now() - stage_start).count();
+
+  if (trace != nullptr) {
+    trace->record({trace_id, /*span_id=*/1, /*parent_id=*/0, "train",
+                   train_begin_us, stage_begin_us});
+  }
+  if (obs != nullptr && obs->registry != nullptr) {
+    obs::MetricsRegistry& r = *obs->registry;
+    r.counter("bp_training_runs_total", "training pipeline runs").increment();
+    r.counter("bp_training_rows_total", "training rows consumed")
+        .add(summary.rows_total);
+    r.counter("bp_training_outliers_removed_total",
+              "rows discarded by the isolation-forest filter")
+        .add(summary.rows_outliers_removed);
+    r.counter("bp_training_labels_realigned_total",
+              "rare-UA labels re-aligned to baseline fingerprints")
+        .add(summary.labels_realigned);
+    r.gauge("bp_training_last_accuracy",
+            "clustering accuracy of the last training run")
+        .set(summary.clustering_accuracy);
+    r.gauge("bp_training_last_wcss", "k-means inertia of the last run")
+        .set(summary.wcss);
+    r.gauge("bp_training_scale_seconds", "scaler fit+transform, last run")
+        .set(summary.timings.scale);
+    r.gauge("bp_training_filter_seconds", "outlier filter, last run")
+        .set(summary.timings.filter);
+    r.gauge("bp_training_pca_seconds", "PCA, last run")
+        .set(summary.timings.pca);
+    r.gauge("bp_training_kmeans_seconds", "k-means restarts, last run")
+        .set(summary.timings.kmeans);
+    r.gauge("bp_training_table_seconds", "cluster table, last run")
+        .set(summary.timings.table);
+    r.gauge("bp_training_total_seconds", "whole pipeline, last run")
+        .set(summary.timings.total);
+  }
   return summary;
 }
 
@@ -180,13 +237,19 @@ std::size_t Polygraph::predict_cluster(std::span<const double> features) const {
 
 std::size_t Polygraph::predict_cluster(std::span<const double> features,
                                        ScoringScratch& scratch) const {
+  return predict_cluster(features, scratch, nullptr);
+}
+
+std::size_t Polygraph::predict_cluster(std::span<const double> features,
+                                       ScoringScratch& scratch,
+                                       double* distance2) const {
   assert(trained());
   assert(features.size() == config_.feature_indices.size());
   scratch.scaled_.resize(features.size());
   scratch.projected_.resize(pca_.n_components());
   scaler_.transform_row(features, scratch.scaled_);
   pca_.transform_row(scratch.scaled_, scratch.projected_);
-  return kmeans_.predict_one(scratch.projected_);
+  return kmeans_.predict_one(scratch.projected_, distance2);
 }
 
 std::vector<std::size_t> Polygraph::predict_clusters(
@@ -234,7 +297,8 @@ Detection Polygraph::score(std::span<const double> features,
                            const ua::UserAgent& claimed,
                            ScoringScratch& scratch) const {
   Detection detection;
-  detection.predicted_cluster = predict_cluster(features, scratch);
+  detection.predicted_cluster =
+      predict_cluster(features, scratch, &detection.centroid_distance2);
   detection.expected_cluster = table_.expected_cluster(claimed);
   if (detection.expected_cluster.has_value() &&
       *detection.expected_cluster != detection.predicted_cluster) {

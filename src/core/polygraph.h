@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "browser/extractor.h"
+#include "obs/trace.h"
 #include "ml/isolation_forest.h"
 #include "ml/kmeans.h"
 #include "ml/metrics.h"
@@ -86,7 +87,11 @@ class ClusterTable {
   std::vector<ua::UserAgent> empty_;
 };
 
-// Outcome of scoring one session.
+// Outcome of scoring one session.  Besides the verdict it carries the
+// Algorithm-1 *evidence* (all fixed-size fields — the scoring path
+// stays allocation-free) so the audit trail can reconstruct any flag
+// offline: predicted vs expected cluster, the distance to the winning
+// centroid, and the risk factor.
 struct Detection {
   std::size_t predicted_cluster = 0;
   std::optional<std::size_t> expected_cluster;  // nullopt: UA not in table
@@ -94,6 +99,10 @@ struct Detection {
   // Algorithm 1's output; 0 when not flagged.  A predicted cluster with
   // no known UA (a noise cluster) yields the maximum (vendor) distance.
   int risk_factor = 0;
+  // Squared distance (in PCA space) between the session's projection
+  // and the predicted centroid — how deep inside its cluster the
+  // fingerprint sits.  0 for the degraded UA-prior scorer.
+  double centroid_distance2 = 0.0;
 };
 
 // Wall-clock seconds per training stage; bench_training_throughput
@@ -136,9 +145,13 @@ class Polygraph {
   explicit Polygraph(PolygraphConfig config = PolygraphConfig::production());
 
   // Train on feature rows (columns in config.feature_indices order) and
-  // the per-row claimed user-agents.
+  // the per-row claimed user-agents.  When `obs` is supplied, each
+  // training stage is reported into its registry (per-stage seconds,
+  // row/outlier counters) and traced as a span under obs->trace_id
+  // (span ids: 1 = train root, 2..6 = scale/filter/pca/kmeans/table).
   TrainingSummary train(const ml::Matrix& features,
-                        const std::vector<ua::UserAgent>& user_agents);
+                        const std::vector<ua::UserAgent>& user_agents,
+                        const obs::ObsContext* obs = nullptr);
 
   bool trained() const noexcept { return kmeans_.fitted(); }
 
@@ -157,6 +170,11 @@ class Polygraph {
   // between threads.
   std::size_t predict_cluster(std::span<const double> features,
                               ScoringScratch& scratch) const;
+  // As above, also reporting the squared distance to the winning
+  // centroid (Detection::centroid_distance2); `distance2` may be null.
+  std::size_t predict_cluster(std::span<const double> features,
+                              ScoringScratch& scratch,
+                              double* distance2) const;
   Detection score(std::span<const double> features,
                   const ua::UserAgent& claimed, ScoringScratch& scratch) const;
   // Scores a session's native integer feature storage directly

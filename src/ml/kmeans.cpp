@@ -259,8 +259,15 @@ KMeans KMeans::from_centroids(Matrix centroids, KMeansConfig config) {
 }
 
 std::size_t KMeans::predict_one(std::span<const double> point) const {
+  return predict_one(point, nullptr);
+}
+
+std::size_t KMeans::predict_one(std::span<const double> point,
+                                double* distance2) const {
   assert(fitted() && point.size() == centroids_.cols());
-  return nearest_centroid(point, centroids_).first;
+  const auto [cluster, d2] = nearest_centroid(point, centroids_);
+  if (distance2 != nullptr) *distance2 = d2;
+  return cluster;
 }
 
 std::vector<std::size_t> KMeans::predict(const Matrix& data) const {

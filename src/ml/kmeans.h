@@ -36,6 +36,10 @@ class KMeans {
   // Nearest-centroid assignment for each row.
   std::vector<std::size_t> predict(const Matrix& data) const;
   std::size_t predict_one(std::span<const double> point) const;
+  // Assignment plus the squared distance to the winning centroid (the
+  // audit trail's per-decision evidence); `distance2` may be null.
+  std::size_t predict_one(std::span<const double> point,
+                          double* distance2) const;
 
   bool fitted() const noexcept { return !centroids_.empty(); }
   const Matrix& centroids() const noexcept { return centroids_; }

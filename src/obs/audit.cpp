@@ -1,0 +1,80 @@
+#include "obs/audit.h"
+
+#include <cstdio>
+
+#include "util/rng.h"
+
+namespace bp::obs {
+
+AuditTrail::AuditTrail(AuditConfig config) : config_(config) {
+  if (config_.capacity == 0) config_.capacity = 1;
+  ring_.resize(config_.capacity);
+}
+
+bool AuditTrail::sample_unflagged(std::uint64_t session_id) const noexcept {
+  if (config_.unflagged_sample_rate >= 1.0) return true;
+  if (config_.unflagged_sample_rate <= 0.0) return false;
+  return bp::util::Rng(config_.seed).split(session_id).uniform() <
+         config_.unflagged_sample_rate;
+}
+
+void AuditTrail::record(const AuditRecord& record) {
+  std::lock_guard lock(mutex_);
+  if (size_ == ring_.size()) {
+    overwritten_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    ++size_;
+  }
+  ring_[next_] = record;
+  next_ = (next_ + 1) % ring_.size();
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+  if (record.flagged()) flagged_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<AuditRecord> AuditTrail::records() const {
+  std::lock_guard lock(mutex_);
+  std::vector<AuditRecord> out;
+  out.reserve(size_);
+  const std::size_t begin = size_ == ring_.size() ? next_ : 0;
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(begin + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::string AuditTrail::render_jsonl(bool include_timing) const {
+  std::string out;
+  for (const AuditRecord& r : records()) {
+    char line[384];
+    char timing[48] = "";
+    if (include_timing) {
+      std::snprintf(timing, sizeof(timing), ", \"recorded_at_us\": %lld",
+                    static_cast<long long>(r.recorded_at_us));
+    }
+    std::snprintf(
+        line, sizeof(line),
+        "{\"session_id\": %llu, \"model_version\": %llu, "
+        "\"claimed\": \"%s\", \"predicted_cluster\": %u, "
+        "\"expected_cluster\": %d, \"risk_factor\": %d, "
+        "\"centroid_distance2\": %.17g, \"flagged\": %s, "
+        "\"degraded\": %s%s}\n",
+        static_cast<unsigned long long>(r.session_id),
+        static_cast<unsigned long long>(r.model_version),
+        r.claimed.label().c_str(), r.predicted_cluster, r.expected_cluster,
+        r.risk_factor, r.centroid_distance2, r.flagged() ? "true" : "false",
+        r.degraded() ? "true" : "false", timing);
+    out += line;
+  }
+  return out;
+}
+
+void AuditTrail::clear() {
+  std::lock_guard lock(mutex_);
+  next_ = 0;
+  size_ = 0;
+  recorded_.store(0, std::memory_order_relaxed);
+  flagged_.store(0, std::memory_order_relaxed);
+  overwritten_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace bp::obs

@@ -1,0 +1,105 @@
+// Decision audit trail: the Algorithm-1 evidence behind every flag.
+//
+// Real-traffic fingerprinting studies stress that a detection system is
+// only trustworthy when per-decision evidence is inspectable.  The
+// trail records, for every flagged session (and a deterministic sample
+// of unflagged ones), everything needed to reconstruct the verdict
+// offline: the predicted cluster, the claimed UA's table cluster, the
+// centroid distance, the risk factor, the tag bits, and — crucially —
+// the version of the model that scored it, so a flag raised just
+// before a hot swap replays against the right model.
+//
+// Replay contract (pinned by AuditReplay tests): given a record and the
+// model at `record.model_version` (ModelRegistry::at_version keeps
+// every published snapshot alive), re-scoring the session's features
+// reproduces predicted_cluster, risk_factor and the flag bit exactly —
+// scoring is deterministic and every input is either in the record or
+// in the versioned snapshot.
+//
+// The trail is a bounded mutex-protected ring.  It sits on the response
+// path, not the scoring hot loop: flagged sessions are rare and the
+// unflagged sample rate is small, so the common case is one pure
+// sampling decision (no lock).  Like trace sampling, the unflagged
+// sample is deterministic in (seed, session id) via Rng::split.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "ua/user_agent.h"
+
+namespace bp::obs {
+
+struct AuditRecord {
+  // Tag bits.
+  static constexpr std::uint8_t kFlagged = 1u << 0;
+  static constexpr std::uint8_t kDegraded = 1u << 1;  // UA-prior fallback
+  static constexpr std::uint8_t kSampledUnflagged = 1u << 2;
+
+  std::uint64_t session_id = 0;
+  std::uint64_t model_version = 0;  // 0 = degraded (no model involved)
+  ua::UserAgent claimed{};
+  std::uint32_t predicted_cluster = 0;
+  std::int32_t expected_cluster = -1;  // -1 = claimed UA absent from table
+  std::int32_t risk_factor = 0;
+  double centroid_distance2 = 0.0;  // squared distance to winning centroid
+  std::uint8_t tags = 0;
+  std::int64_t recorded_at_us = 0;  // steady clock; diagnostic only
+
+  bool flagged() const noexcept { return (tags & kFlagged) != 0; }
+  bool degraded() const noexcept { return (tags & kDegraded) != 0; }
+};
+
+struct AuditConfig {
+  std::size_t capacity = 16384;        // ring slots
+  double unflagged_sample_rate = 0.01; // fraction of clean sessions kept
+  std::uint64_t seed = 0x9d2c5680;
+};
+
+class AuditTrail {
+ public:
+  explicit AuditTrail(AuditConfig config = {});
+
+  // Deterministic decision: should this *unflagged* session be recorded?
+  // Pure in (seed, session_id); flagged sessions are always recorded.
+  bool sample_unflagged(std::uint64_t session_id) const noexcept;
+
+  void record(const AuditRecord& record);
+
+  // Ring snapshot, oldest first.
+  std::vector<AuditRecord> records() const;
+
+  std::uint64_t recorded() const noexcept {
+    return recorded_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t flagged_recorded() const noexcept {
+    return flagged_.load(std::memory_order_relaxed);
+  }
+  // Records displaced by ring wrap-around.
+  std::uint64_t overwritten() const noexcept {
+    return overwritten_.load(std::memory_order_relaxed);
+  }
+
+  // One JSON object per line (JSONL), oldest first.  Timing is opt-in
+  // so the output stays deterministic for replay tooling.
+  std::string render_jsonl(bool include_timing = false) const;
+
+  const AuditConfig& config() const noexcept { return config_; }
+
+  void clear();
+
+ private:
+  AuditConfig config_;
+  mutable std::mutex mutex_;
+  std::vector<AuditRecord> ring_;
+  std::size_t next_ = 0;
+  std::size_t size_ = 0;
+  std::atomic<std::uint64_t> recorded_{0};
+  std::atomic<std::uint64_t> flagged_{0};
+  std::atomic<std::uint64_t> overwritten_{0};
+};
+
+}  // namespace bp::obs

@@ -1,0 +1,85 @@
+#include "obs/export.h"
+
+#include <cstdio>
+
+#include "util/fault.h"
+
+namespace bp::obs {
+
+PeriodicDumper::PeriodicDumper(const MetricsRegistry& registry,
+                               std::string path,
+                               std::chrono::milliseconds period,
+                               DumpFormat format)
+    : registry_(registry),
+      path_(std::move(path)),
+      period_(period),
+      format_(format) {
+  thread_ = std::thread([this] { loop(); });
+}
+
+PeriodicDumper::~PeriodicDumper() { stop(); }
+
+bool PeriodicDumper::dump_now() const {
+  const std::string body = format_ == DumpFormat::kPrometheus
+                               ? registry_.render_prometheus()
+                               : registry_.render_json();
+  // Write-to-temp + rename so a concurrent reader never sees a torn
+  // dump; the rename is atomic within one filesystem.
+  const std::string tmp = path_ + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) {
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  const bool wrote =
+      std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !closed || std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  dumps_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void PeriodicDumper::loop() {
+  std::unique_lock lock(mutex_);
+  while (true) {
+    lock.unlock();
+    dump_now();
+    lock.lock();
+    if (cv_.wait_for(lock, period_, [&] { return stop_; })) return;
+  }
+}
+
+void PeriodicDumper::stop() {
+  {
+    std::lock_guard lock(mutex_);
+    if (stop_) {
+      // Already stopped; just make sure the thread is gone.
+    }
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void register_fault_metrics(MetricsRegistry& registry) {
+  registry.gauge_callback(
+      "bp_fault_points_armed",
+      [] {
+        return static_cast<double>(
+            bp::util::FaultRegistry::instance().armed_points());
+      },
+      "fault-injection points currently armed");
+  registry.gauge_callback(
+      "bp_fault_fires_total",
+      [] {
+        return static_cast<double>(
+            bp::util::FaultRegistry::instance().total_fires());
+      },
+      "injected faults fired across all points");
+}
+
+}  // namespace bp::obs

@@ -1,0 +1,81 @@
+// Exporters for the observability plane.
+//
+// Rendering is pull-based — `MetricsRegistry::render_prometheus()` /
+// `render_json()` are plain functions an HTTP handler (or a test, or a
+// bench) calls on demand.  For deployments without a scrape endpoint,
+// PeriodicDumper runs one background thread that renders the registry
+// to a file on a fixed cadence (write-to-temp + atomic rename, so a
+// scraper never reads a torn file).  All file I/O happens on the dumper
+// thread; nothing here touches a scoring hot path.
+//
+// register_fault_metrics bridges the fault-injection registry
+// (util/fault.h) into a MetricsRegistry as callback gauges, so chaos
+// posture — how many points are armed, how often they fired — shows up
+// in the same exposition as serving and training telemetry.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics_registry.h"
+
+namespace bp::obs {
+
+enum class DumpFormat : std::uint8_t { kPrometheus, kJson };
+
+class PeriodicDumper {
+ public:
+  // Starts dumping immediately and then every `period`.  `registry`
+  // must outlive the dumper.
+  PeriodicDumper(const MetricsRegistry& registry, std::string path,
+                 std::chrono::milliseconds period,
+                 DumpFormat format = DumpFormat::kPrometheus);
+  ~PeriodicDumper();
+
+  PeriodicDumper(const PeriodicDumper&) = delete;
+  PeriodicDumper& operator=(const PeriodicDumper&) = delete;
+
+  // Render and write one dump synchronously; returns false on I/O
+  // failure.  Also usable standalone for a final flush before exit.
+  bool dump_now() const;
+
+  std::uint64_t dumps() const noexcept {
+    return dumps_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t failures() const noexcept {
+    return failures_.load(std::memory_order_relaxed);
+  }
+
+  // Stops the background thread; idempotent (destructor calls it).
+  void stop();
+
+ private:
+  void loop();
+
+  const MetricsRegistry& registry_;
+  const std::string path_;
+  const std::chrono::milliseconds period_;
+  const DumpFormat format_;
+
+  // Mutated by the logically-const dump_now(): dump bookkeeping, not
+  // observable registry state.
+  mutable std::atomic<std::uint64_t> dumps_{0};
+  mutable std::atomic<std::uint64_t> failures_{0};
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+// Export the process-wide FaultRegistry through `registry` as callback
+// gauges: bp_fault_points_armed and bp_fault_fires_total.  Values are
+// read live at render time.
+void register_fault_metrics(MetricsRegistry& registry);
+
+}  // namespace bp::obs

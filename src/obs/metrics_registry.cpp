@@ -1,0 +1,232 @@
+#include "obs/metrics_registry.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace bp::obs {
+
+namespace {
+
+// Format a gauge/callback value: integral values print without a
+// fractional part so counters-exported-as-gauges stay readable.
+std::string format_value(double v) {
+  char buf[64];
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      v >= -9.2e18 && v <= 9.2e18) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::size_t Histogram::bucket_index(std::uint64_t value) const noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  return static_cast<std::size_t>(it - bounds_.begin());
+}
+
+Histogram::Histogram(std::vector<std::uint64_t> bounds)
+    : bounds_(std::move(bounds)) {
+  for (Stripe& stripe : stripes_) {
+    stripe.buckets =
+        std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+    for (std::size_t b = 0; b <= bounds_.size(); ++b) {
+      stripe.buckets[b].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(n_buckets(), 0);
+  for (const Stripe& stripe : stripes_) {
+    for (std::size_t b = 0; b < out.size(); ++b) {
+      out[b] += stripe.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (std::uint64_t c : bucket_counts()) total += c;
+  return total;
+}
+
+std::uint64_t Histogram::sum() const {
+  std::uint64_t total = 0;
+  for (const Stripe& stripe : stripes_) {
+    total += stripe.sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name,
+                                  std::string_view help) {
+  std::lock_guard lock(mutex_);
+  auto it = instruments_.find(name);
+  if (it != instruments_.end()) {
+    if (it->second.kind == Kind::kCounter) return *it->second.counter;
+    assert(false && "metric name re-registered as a different kind");
+    static Counter scrap;
+    return scrap;
+  }
+  Instrument instrument;
+  instrument.kind = Kind::kCounter;
+  instrument.help = std::string(help);
+  instrument.counter = std::unique_ptr<Counter>(new Counter());
+  return *instruments_.emplace(std::string(name), std::move(instrument))
+              .first->second.counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, std::string_view help) {
+  std::lock_guard lock(mutex_);
+  auto it = instruments_.find(name);
+  if (it != instruments_.end()) {
+    if (it->second.kind == Kind::kGauge) return *it->second.gauge;
+    assert(false && "metric name re-registered as a different kind");
+    static Gauge scrap;
+    return scrap;
+  }
+  Instrument instrument;
+  instrument.kind = Kind::kGauge;
+  instrument.help = std::string(help);
+  instrument.gauge = std::unique_ptr<Gauge>(new Gauge());
+  return *instruments_.emplace(std::string(name), std::move(instrument))
+              .first->second.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::span<const std::uint64_t> bounds,
+                                      std::string_view help) {
+  std::lock_guard lock(mutex_);
+  auto it = instruments_.find(name);
+  if (it != instruments_.end()) {
+    if (it->second.kind == Kind::kHistogram) return *it->second.histogram;
+    assert(false && "metric name re-registered as a different kind");
+    static Histogram scrap{std::vector<std::uint64_t>{}};
+    return scrap;
+  }
+  Instrument instrument;
+  instrument.kind = Kind::kHistogram;
+  instrument.help = std::string(help);
+  instrument.histogram = std::unique_ptr<Histogram>(
+      new Histogram(std::vector<std::uint64_t>(bounds.begin(), bounds.end())));
+  return *instruments_.emplace(std::string(name), std::move(instrument))
+              .first->second.histogram;
+}
+
+void MetricsRegistry::gauge_callback(std::string_view name,
+                                     std::function<double()> fn,
+                                     std::string_view help) {
+  std::lock_guard lock(mutex_);
+  Instrument instrument;
+  instrument.kind = Kind::kCallback;
+  instrument.help = std::string(help);
+  instrument.callback = std::move(fn);
+  instruments_.insert_or_assign(std::string(name), std::move(instrument));
+}
+
+void MetricsRegistry::remove(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  const auto it = instruments_.find(name);
+  if (it != instruments_.end()) instruments_.erase(it);
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard lock(mutex_);
+  return instruments_.size();
+}
+
+std::string MetricsRegistry::render_prometheus() const {
+  std::lock_guard lock(mutex_);
+  std::string out;
+  out.reserve(instruments_.size() * 96);
+  for (const auto& [name, instrument] : instruments_) {
+    if (!instrument.help.empty()) {
+      out += "# HELP " + name + " " + instrument.help + "\n";
+    }
+    switch (instrument.kind) {
+      case Kind::kCounter:
+        out += "# TYPE " + name + " counter\n";
+        out += name + " " + std::to_string(instrument.counter->value()) + "\n";
+        break;
+      case Kind::kGauge:
+        out += "# TYPE " + name + " gauge\n";
+        out += name + " " + format_value(instrument.gauge->value()) + "\n";
+        break;
+      case Kind::kCallback:
+        out += "# TYPE " + name + " gauge\n";
+        out += name + " " + format_value(instrument.callback()) + "\n";
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *instrument.histogram;
+        out += "# TYPE " + name + " histogram\n";
+        const std::vector<std::uint64_t> counts = h.bucket_counts();
+        std::uint64_t cumulative = 0;
+        for (std::size_t b = 0; b < counts.size(); ++b) {
+          cumulative += counts[b];
+          const std::string le =
+              b < h.bounds().size() ? std::to_string(h.bounds()[b]) : "+Inf";
+          out += name + "_bucket{le=\"" + le + "\"} " +
+                 std::to_string(cumulative) + "\n";
+        }
+        out += name + "_sum " + std::to_string(h.sum()) + "\n";
+        out += name + "_count " + std::to_string(cumulative) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::render_json() const {
+  std::lock_guard lock(mutex_);
+  std::string counters, gauges, histograms;
+  for (const auto& [name, instrument] : instruments_) {
+    switch (instrument.kind) {
+      case Kind::kCounter:
+        if (!counters.empty()) counters += ", ";
+        counters +=
+            "\"" + name + "\": " + std::to_string(instrument.counter->value());
+        break;
+      case Kind::kGauge:
+        if (!gauges.empty()) gauges += ", ";
+        gauges += "\"" + name + "\": " + format_value(instrument.gauge->value());
+        break;
+      case Kind::kCallback:
+        if (!gauges.empty()) gauges += ", ";
+        gauges += "\"" + name + "\": " + format_value(instrument.callback());
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *instrument.histogram;
+        if (!histograms.empty()) histograms += ", ";
+        std::string bounds, counts;
+        for (std::uint64_t b : h.bounds()) {
+          if (!bounds.empty()) bounds += ", ";
+          bounds += std::to_string(b);
+        }
+        for (std::uint64_t c : h.bucket_counts()) {
+          if (!counts.empty()) counts += ", ";
+          counts += std::to_string(c);
+        }
+        histograms += "\"" + name + "\": {\"bounds\": [" + bounds +
+                      "], \"counts\": [" + counts +
+                      "], \"sum\": " + std::to_string(h.sum()) +
+                      ", \"count\": " + std::to_string(h.count()) + "}";
+        break;
+      }
+    }
+  }
+  return "{\"counters\": {" + counters + "}, \"gauges\": {" + gauges +
+         "}, \"histograms\": {" + histograms + "}}";
+}
+
+}  // namespace bp::obs

@@ -1,0 +1,193 @@
+// Process-wide metrics registry: the one place every subsystem's
+// telemetry lands.
+//
+// The serving tier, the drift module, the retrain supervisor, the fault
+// registry and the training pipeline each used to expose bespoke status
+// structs with no common export path.  The registry unifies them behind
+// three instrument types — Counter, Gauge, Histogram — that any layer
+// registers by name and any exporter renders in one call
+// (`render_prometheus()` / `render_json()`).
+//
+// Hot-path design (same as the original ServeMetrics, which is now
+// re-based onto these instruments): counters and histograms are sharded
+// over cache-line-aligned stripes of relaxed atomics.  A recording
+// thread passes a stripe hint (its worker index); distinct workers
+// touch distinct cache lines, so a metrics layer never serializes the
+// pool it is measuring.  Reads fold the stripes into one
+// consistent-enough view — see "Consistency model" below.
+//
+// Consistency model:
+//   * Counter/Histogram reads fold per-stripe relaxed atomics.  The
+//     fold is not a point-in-time snapshot across *instruments*: two
+//     counters read back-to-back may each be internally exact yet
+//     mutually torn (a concurrent event may land between the reads).
+//     Every individual value is exact once writers are quiescent.
+//   * Gauges are single instantaneous values (last set wins).  Callback
+//     gauges are evaluated at render time, so an exported gauge is
+//     always as fresh as the render, never staler.
+//
+// Instrument references returned by counter()/gauge()/histogram() stay
+// valid for the registry's lifetime (instruments are never destroyed;
+// remove() applies to callback gauges only, whose referents may die
+// before the registry does).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bp::obs {
+
+// Monotonically increasing event count, sharded to keep concurrent
+// writers off each other's cache lines.
+class Counter {
+ public:
+  static constexpr std::size_t kStripes = 16;
+
+  void add(std::uint64_t n, std::size_t stripe_hint = 0) noexcept {
+    stripes_[stripe_hint & (kStripes - 1)].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  void increment(std::size_t stripe_hint = 0) noexcept { add(1, stripe_hint); }
+
+  std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const Stripe& stripe : stripes_) {
+      total += stripe.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  Counter() = default;
+
+  struct alignas(64) Stripe {
+    std::atomic<std::uint64_t> value{0};
+  };
+  std::array<Stripe, kStripes> stripes_{};
+};
+
+// A single instantaneous value; last set wins.  Writers need no stripe:
+// gauges are low-rate (watchdogs, supervisors, render-time callbacks).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(double v) noexcept {
+    // Low-rate CAS loop; gauges are not hot-path instruments.
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + v,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+  std::atomic<double> value_{0.0};
+};
+
+// Fixed-bucket histogram over unsigned sample values (microseconds,
+// bytes, ...).  Bucket b counts samples <= bounds[b] (lower_bound
+// semantics, matching serve::latency_bucket); the last bucket is
+// open-ended.  Bounds are frozen at registration.
+class Histogram {
+ public:
+  void observe(std::uint64_t value, std::size_t stripe_hint = 0) noexcept {
+    Stripe& stripe = stripes_[stripe_hint & (Counter::kStripes - 1)];
+    stripe.buckets[bucket_index(value)].fetch_add(1,
+                                                  std::memory_order_relaxed);
+    stripe.sum.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  std::size_t bucket_index(std::uint64_t value) const noexcept;
+  std::span<const std::uint64_t> bounds() const noexcept { return bounds_; }
+  std::size_t n_buckets() const noexcept { return bounds_.size() + 1; }
+
+  // Folded per-bucket counts (size n_buckets()).
+  std::vector<std::uint64_t> bucket_counts() const;
+  std::uint64_t count() const;
+  std::uint64_t sum() const;
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::vector<std::uint64_t> bounds);
+
+  struct alignas(64) Stripe {
+    std::unique_ptr<std::atomic<std::uint64_t>[]> buckets;
+    std::atomic<std::uint64_t> sum{0};
+  };
+
+  std::vector<std::uint64_t> bounds_;
+  std::array<Stripe, Counter::kStripes> stripes_;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // The process-wide registry most subsystems register into by default.
+  static MetricsRegistry& global();
+
+  // Find-or-create by name.  Re-registering an existing name of the
+  // same kind returns the same instrument (so e.g. two components can
+  // share a counter); registering an existing name as a different kind
+  // is a programming error and returns a dedicated scrap instrument
+  // that is never exported.
+  Counter& counter(std::string_view name, std::string_view help = "");
+  Gauge& gauge(std::string_view name, std::string_view help = "");
+  Histogram& histogram(std::string_view name,
+                       std::span<const std::uint64_t> bounds,
+                       std::string_view help = "");
+
+  // A gauge whose value is computed at render time (always fresh).
+  // Re-registering replaces the callback.  The callback must stay
+  // callable until remove()d — remove it before its referent dies.
+  void gauge_callback(std::string_view name, std::function<double()> fn,
+                      std::string_view help = "");
+
+  // Remove an instrument by name (primarily for callback gauges whose
+  // referent is being destroyed).  Invalidates references to it.
+  void remove(std::string_view name);
+
+  // Prometheus text exposition format, instruments in name order.
+  std::string render_prometheus() const;
+
+  // One JSON object: {"counters": {...}, "gauges": {...},
+  // "histograms": {name: {"bounds": [...], "counts": [...], "sum": n,
+  // "count": n}}}.  Name-ordered, hence deterministic given quiescent
+  // writers.
+  std::string render_json() const;
+
+  std::size_t size() const;
+
+ private:
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram, kCallback };
+
+  struct Instrument {
+    Kind kind = Kind::kCounter;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+    std::function<double()> callback;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Instrument, std::less<>> instruments_;
+};
+
+}  // namespace bp::obs

@@ -1,0 +1,88 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/rng.h"
+
+namespace bp::obs {
+
+TraceSink::TraceSink(TraceSinkConfig config) : config_(config) {
+  if (config_.capacity == 0) config_.capacity = 1;
+  ring_.resize(config_.capacity);
+}
+
+bool TraceSink::sampled(std::uint64_t trace_id) const noexcept {
+  if (config_.sample_rate >= 1.0) return true;
+  if (config_.sample_rate <= 0.0) return false;
+  // Rng::split is pure in (state, stream id): seeding a generator with
+  // the sink seed and splitting on the trace id yields the same
+  // decision on every thread and every run.
+  return bp::util::Rng(config_.seed).split(trace_id).uniform() <
+         config_.sample_rate;
+}
+
+void TraceSink::record(const TraceEvent& event) {
+  if (!sampled(event.trace_id)) return;
+  std::lock_guard lock(mutex_);
+  if (size_ == ring_.size()) {
+    overwritten_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    ++size_;
+  }
+  ring_[next_] = event;
+  next_ = (next_ + 1) % ring_.size();
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<TraceEvent> TraceSink::events() const {
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard lock(mutex_);
+    out.reserve(size_);
+    // Oldest-first ring walk; sorted below, so start position only
+    // matters for stability.
+    const std::size_t begin = size_ == ring_.size() ? next_ : 0;
+    for (std::size_t i = 0; i < size_; ++i) {
+      out.push_back(ring_[(begin + i) % ring_.size()]);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.trace_id != b.trace_id) return a.trace_id < b.trace_id;
+              return a.span_id < b.span_id;
+            });
+  return out;
+}
+
+std::string TraceSink::render(bool include_timing) const {
+  std::string out;
+  for (const TraceEvent& e : events()) {
+    char line[256];
+    if (include_timing) {
+      std::snprintf(line, sizeof(line),
+                    "trace=%llu span=%u parent=%u name=%s start=%lld "
+                    "end=%lld dur_us=%lld\n",
+                    static_cast<unsigned long long>(e.trace_id), e.span_id,
+                    e.parent_id, e.name, static_cast<long long>(e.start_us),
+                    static_cast<long long>(e.end_us),
+                    static_cast<long long>(e.end_us - e.start_us));
+    } else {
+      std::snprintf(line, sizeof(line), "trace=%llu span=%u parent=%u name=%s\n",
+                    static_cast<unsigned long long>(e.trace_id), e.span_id,
+                    e.parent_id, e.name);
+    }
+    out += line;
+  }
+  return out;
+}
+
+void TraceSink::clear() {
+  std::lock_guard lock(mutex_);
+  next_ = 0;
+  size_ = 0;
+  recorded_.store(0, std::memory_order_relaxed);
+  overwritten_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace bp::obs

@@ -1,0 +1,146 @@
+// Lightweight structured tracing: spans with monotonic timestamps and
+// explicit parent ids, recorded into a bounded in-memory ring — no I/O
+// and no allocation on the hot path.
+//
+// Sampling is deterministic and replayable: whether a trace id is kept
+// is a pure function of (sink seed, trace id) via Rng::split, the same
+// pre-split-stream construction the parallel training paths use.  The
+// same seed therefore samples the same trace ids no matter how many
+// threads record, in what order, or how often the workload is re-run —
+// a sampled-away trace can always be recovered by re-running with the
+// same seed and a higher rate.
+//
+// Determinism contract (pinned by ObsTrace tests): with quiescent
+// writers, `render(/*include_timing=*/false)` is byte-identical across
+// runs and thread counts provided the same spans were recorded and the
+// ring did not overflow — events are keyed by (trace_id, span_id),
+// both of which callers assign deterministically, and rendering sorts
+// by that key.  Timestamps are real monotonic-clock readings and are
+// only emitted when include_timing is requested.
+//
+// Span-id convention: ids are unique within one trace and assigned by
+// the instrumented code (the request path uses 1 = root "request",
+// 2 = "queue_wait", 3 = terminal stage; the retrain cycle and training
+// pipeline document theirs alongside their instrumentation).  parent_id
+// 0 marks a root span.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace bp::obs {
+
+// Microseconds on the steady clock — the timestamp base of every span.
+inline std::int64_t steady_now_us() noexcept {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct TraceEvent {
+  std::uint64_t trace_id = 0;
+  std::uint32_t span_id = 0;    // unique within the trace, caller-assigned
+  std::uint32_t parent_id = 0;  // 0 = root span
+  const char* name = "";        // must have static storage duration
+  std::int64_t start_us = 0;    // steady_now_us() at span start
+  std::int64_t end_us = 0;      // steady_now_us() at span end
+};
+
+struct TraceSinkConfig {
+  std::size_t capacity = 8192;  // ring slots; oldest events overwritten
+  double sample_rate = 1.0;     // fraction of trace ids kept, in [0, 1]
+  std::uint64_t seed = 0x9d2c5680;
+};
+
+class TraceSink {
+ public:
+  explicit TraceSink(TraceSinkConfig config = {});
+
+  // Deterministic head-sampling decision for a trace id: pure in
+  // (seed, trace_id), identical on every thread and every run.
+  bool sampled(std::uint64_t trace_id) const noexcept;
+
+  // Record one finished span.  Drops (cheaply, before the lock) events
+  // of unsampled traces; overwrites the oldest event when full.
+  void record(const TraceEvent& event);
+
+  // Snapshot of the ring in (trace_id, span_id) order.
+  std::vector<TraceEvent> events() const;
+
+  // One line per event, sorted by (trace_id, span_id):
+  //   trace=<id> span=<id> parent=<id> name=<name> [start=<us> end=<us>]
+  // With include_timing=false the output is a pure function of the
+  // recorded (trace, span, parent, name) tuples — the determinism
+  // surface the tests byte-compare.
+  std::string render(bool include_timing = true) const;
+
+  std::uint64_t recorded() const noexcept {
+    return recorded_.load(std::memory_order_relaxed);
+  }
+  // Events overwritten by ring wrap-around (recorded but no longer
+  // retrievable).
+  std::uint64_t overwritten() const noexcept {
+    return overwritten_.load(std::memory_order_relaxed);
+  }
+
+  const TraceSinkConfig& config() const noexcept { return config_; }
+
+  void clear();
+
+ private:
+  TraceSinkConfig config_;
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> ring_;
+  std::size_t next_ = 0;  // ring write cursor
+  std::size_t size_ = 0;  // live events (<= capacity)
+  std::atomic<std::uint64_t> recorded_{0};
+  std::atomic<std::uint64_t> overwritten_{0};
+};
+
+// RAII span: captures the start timestamp at construction (when the
+// sink samples the trace) and records the event on finish()/destruction.
+class Span {
+ public:
+  Span(TraceSink* sink, std::uint64_t trace_id, std::uint32_t span_id,
+       std::uint32_t parent_id, const char* name) noexcept
+      : sink_(sink != nullptr && sink->sampled(trace_id) ? sink : nullptr) {
+    if (sink_ == nullptr) return;
+    event_.trace_id = trace_id;
+    event_.span_id = span_id;
+    event_.parent_id = parent_id;
+    event_.name = name;
+    event_.start_us = steady_now_us();
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  ~Span() { finish(); }
+
+  void finish() noexcept {
+    if (sink_ == nullptr) return;
+    event_.end_us = steady_now_us();
+    sink_->record(event_);
+    sink_ = nullptr;
+  }
+
+ private:
+  TraceSink* sink_;
+  TraceEvent event_;
+};
+
+// Shared context threaded through layers that optionally report into
+// the observability plane (e.g. Polygraph::train).  All members may be
+// null — instrumentation then compiles down to skipped branches.
+class MetricsRegistry;
+struct ObsContext {
+  MetricsRegistry* registry = nullptr;
+  TraceSink* trace = nullptr;
+  std::uint64_t trace_id = 1;  // trace id for this operation's spans
+};
+
+}  // namespace bp::obs

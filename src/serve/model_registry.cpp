@@ -76,6 +76,17 @@ std::uint64_t ModelRegistry::rollback() {
   return publish_locked(previous.model);
 }
 
+ModelSnapshot ModelRegistry::at_version(std::uint64_t version) const {
+  std::lock_guard lock(publish_mutex_);
+  // Versions are assigned in publish order, so history_ is sorted;
+  // a linear scan from the back finds recent versions fastest (the
+  // audit trail mostly replays against the latest few).
+  for (auto it = history_.rbegin(); it != history_.rend(); ++it) {
+    if ((*it)->version == version) return {(*it)->model, (*it)->version};
+  }
+  return {};
+}
+
 ModelSnapshot ModelRegistry::current() const {
   const Entry* entry = current_.load(std::memory_order_acquire);
   if (entry == nullptr) return {};

@@ -97,6 +97,14 @@ class ModelRegistry {
   // batch so a whole batch is scored by a single version.
   ModelSnapshot current() const;
 
+  // The snapshot published as `version`, or `{}` when that version
+  // never existed.  Every published entry is retained for the
+  // registry's lifetime, so the audit trail can replay a decision
+  // against exactly the model that made it — including decisions taken
+  // just before a hot swap.  Not a hot-path call (takes the publish
+  // mutex and scans history).
+  ModelSnapshot at_version(std::uint64_t version) const;
+
   // Version of the latest published snapshot (0 before first publish).
   std::uint64_t version() const noexcept {
     return published_.load(std::memory_order_acquire);
@@ -123,7 +131,7 @@ class ModelRegistry {
   // ever published so `current_` can be a plain raw-pointer atomic.
   std::uint64_t publish_locked(std::shared_ptr<const core::Polygraph> model);
 
-  std::mutex publish_mutex_;
+  mutable std::mutex publish_mutex_;
   std::vector<std::unique_ptr<const Entry>> history_;
   std::atomic<const Entry*> current_{nullptr};
   std::atomic<std::uint64_t> published_{0};

@@ -55,23 +55,63 @@ std::chrono::milliseconds RetrainSupervisor::backoff_before_attempt(
 CycleResult RetrainSupervisor::run_cycle() {
   std::unique_lock lock(mutex_);
   ++status_.cycles;
+  const std::uint64_t attempts_before = status_.attempts;
+  const CycleResult result = run_cycle_locked(lock);
+  if (config_.registry != nullptr) {
+    export_status_locked(result, status_.attempts - attempts_before);
+  }
+  return result;
+}
+
+CycleResult RetrainSupervisor::run_cycle_locked(
+    std::unique_lock<std::mutex>& lock) {
+  // Trace id: the (1 << 62) block keeps supervisor cycles disjoint from
+  // request-path trace ids, and the cycle number makes the id (and so
+  // the sampling decision) deterministic.
+  const std::uint64_t trace_id = (std::uint64_t{1} << 62) + status_.cycles;
+  obs::TraceSink* trace = config_.trace;
+  const bool traced = trace != nullptr && trace->sampled(trace_id);
+  const std::int64_t cycle_begin_us = traced ? obs::steady_now_us() : 0;
+  const auto finish = [&](CycleResult result) {
+    if (traced) {
+      trace->record({trace_id, 1, 0, "retrain_cycle", cycle_begin_us,
+                     obs::steady_now_us()});
+    }
+    return result;
+  };
 
   if (status_.breaker_open) {
     if (breaker_cooldown_remaining_ > 0) {
       --breaker_cooldown_remaining_;
       ++status_.staleness_cycles;
-      return CycleResult::kBreakerOpen;
+      return finish(CycleResult::kBreakerOpen);
     }
     // Cooldown elapsed: half-open — let one probe cycle through.  A
     // success below closes the breaker; a failure re-opens the cooldown.
   }
 
-  if (!drift_check_()) {
+  const std::int64_t drift_begin_us = traced ? obs::steady_now_us() : 0;
+  const bool drifted = drift_check_();
+  if (traced) {
+    trace->record({trace_id, 2, 1, "drift_check", drift_begin_us,
+                   obs::steady_now_us()});
+  }
+  if (!drifted) {
     // The frozen model still holds; a healthy pipeline also clears any
     // half-open breaker (nothing to probe until drift returns).
     ++status_.staleness_cycles;
-    return CycleResult::kNoDrift;
+    return finish(CycleResult::kNoDrift);
   }
+
+  // Span 3 "train" covers the whole attempt loop — retries and backoff
+  // included — so its duration is the cycle's total training cost.
+  const std::int64_t train_begin_us = traced ? obs::steady_now_us() : 0;
+  const auto end_train_span = [&] {
+    if (traced) {
+      trace->record(
+          {trace_id, 3, 1, "train", train_begin_us, obs::steady_now_us()});
+    }
+  };
 
   for (int attempt = 0; attempt < std::max(1, config_.max_attempts);
        ++attempt) {
@@ -87,10 +127,23 @@ CycleResult RetrainSupervisor::run_cycle() {
 
     std::optional<core::Polygraph> candidate = train_();
     if (!candidate.has_value()) continue;  // retrain crashed / no data
-    if (validate_ && !validate_(*candidate)) continue;  // failed holdout
 
+    const std::int64_t validate_begin_us = traced ? obs::steady_now_us() : 0;
+    const bool valid = !validate_ || validate_(*candidate);
+    if (traced) {
+      trace->record({trace_id, 4, 1, "validate", validate_begin_us,
+                     obs::steady_now_us()});
+    }
+    if (!valid) continue;  // failed holdout
+
+    const std::int64_t publish_begin_us = traced ? obs::steady_now_us() : 0;
     const std::uint64_t version = registry_.publish(std::move(*candidate));
     if (version == 0) continue;  // registry refused (untrained model)
+    end_train_span();
+    if (traced) {
+      trace->record({trace_id, 5, 1, "publish", publish_begin_us,
+                     obs::steady_now_us()});
+    }
 
     status_.last_published_version = version;
     ++status_.published;
@@ -98,8 +151,9 @@ CycleResult RetrainSupervisor::run_cycle() {
     status_.breaker_open = false;
     breaker_cooldown_remaining_ = 0;
     status_.staleness_cycles = 0;
-    return CycleResult::kPublished;
+    return finish(CycleResult::kPublished);
   }
+  end_train_span();
 
   ++status_.failed_cycles;
   ++status_.consecutive_failures;
@@ -108,7 +162,32 @@ CycleResult RetrainSupervisor::run_cycle() {
     status_.breaker_open = true;
     breaker_cooldown_remaining_ = config_.breaker_cooldown_cycles;
   }
-  return CycleResult::kFailed;
+  return finish(CycleResult::kFailed);
+}
+
+void RetrainSupervisor::export_status_locked(CycleResult result,
+                                             std::uint64_t attempts_delta) {
+  obs::MetricsRegistry& r = *config_.registry;
+  r.counter("bp_retrain_cycles_total", "supervision cycles run").increment();
+  r.counter("bp_retrain_attempts_total", "train attempts across all cycles")
+      .add(attempts_delta);
+  r.counter("bp_retrain_published_total", "successful hot-swaps")
+      .add(result == CycleResult::kPublished ? 1 : 0);
+  r.counter("bp_retrain_failed_cycles_total",
+            "cycles that exhausted all attempts")
+      .add(result == CycleResult::kFailed ? 1 : 0);
+  r.gauge("bp_retrain_staleness_cycles",
+          "cycles since the last successful publish")
+      .set(static_cast<double>(status_.staleness_cycles));
+  r.gauge("bp_retrain_breaker_open", "1 while the circuit breaker is open")
+      .set(status_.breaker_open ? 1.0 : 0.0);
+  r.gauge("bp_retrain_consecutive_failures", "current failed-cycle streak")
+      .set(static_cast<double>(status_.consecutive_failures));
+  r.gauge("bp_retrain_last_published_version",
+          "registry version of the last successful publish")
+      .set(static_cast<double>(status_.last_published_version));
+  r.gauge("bp_retrain_last_backoff_ms", "most recent retry backoff")
+      .set(static_cast<double>(status_.last_backoff.count()));
 }
 
 void RetrainSupervisor::reset_breaker() {

@@ -29,6 +29,8 @@
 #include <thread>
 
 #include "core/polygraph.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 #include "serve/model_registry.h"
 
 namespace bp::serve {
@@ -55,6 +57,20 @@ struct RetrainConfig {
   // cycles it stays open before one probe cycle is allowed through.
   int breaker_threshold = 3;
   int breaker_cooldown_cycles = 2;
+
+  // ---- observability (optional; null = that plane disabled) ----
+  //
+  // After every cycle the full SupervisorStatus is exported here:
+  // counters bp_retrain_{cycles,published,failed_cycles,attempts}_total
+  // and gauges bp_retrain_{staleness_cycles,breaker_open,
+  // consecutive_failures,last_published_version,last_backoff_ms}.
+  obs::MetricsRegistry* registry = nullptr;
+
+  // Per-cycle spans under trace id (1 << 62) + cycle number (the high
+  // bit block keeps supervisor traces disjoint from request ids):
+  //   1 "retrain_cycle" root,  2 "drift_check",  3 "train" (all
+  //   attempts incl. backoff),  4 "validate",  5 "publish".
+  obs::TraceSink* trace = nullptr;
 };
 
 struct SupervisorStatus {
@@ -104,6 +120,8 @@ class RetrainSupervisor {
 
  private:
   std::chrono::milliseconds backoff_before_attempt(int attempt);
+  CycleResult run_cycle_locked(std::unique_lock<std::mutex>& lock);
+  void export_status_locked(CycleResult result, std::uint64_t attempts_delta);
 
   ModelRegistry& registry_;
   const RetrainConfig config_;

@@ -22,6 +22,12 @@ std::int64_t steady_now_us() noexcept {
       .count();
 }
 
+std::int64_t to_us(std::chrono::steady_clock::time_point tp) noexcept {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             tp.time_since_epoch())
+      .count();
+}
+
 }  // namespace
 
 ScoringEngine::ScoringEngine(const ModelRegistry& registry, EngineConfig config,
@@ -34,8 +40,22 @@ ScoringEngine::ScoringEngine(const ModelRegistry& registry, EngineConfig config,
       }()),
       on_response_(std::move(on_response)),
       queue_(config_.queue_capacity, config_.overflow_policy),
-      metrics_(config_.workers),
+      metrics_(config_.workers, config_.registry, config_.metrics_prefix),
       heartbeats_(config_.workers) {
+  if (config_.registry != nullptr) {
+    // Callback gauges are evaluated at render time, so an exported
+    // queue depth / model version is as fresh as the scrape — the
+    // uniform gauge consistency model (see serve_metrics.h).
+    config_.registry->gauge_callback(
+        config_.metrics_prefix + "_queue_depth",
+        [this] { return static_cast<double>(queue_.size()); },
+        "requests admitted but not yet picked up");
+    config_.registry->gauge_callback(
+        config_.metrics_prefix + "_model_version",
+        [this] { return static_cast<double>(registry_.version()); },
+        "latest published model version");
+    callback_gauges_registered_ = true;
+  }
   workers_.reserve(config_.workers);
   for (std::uint32_t w = 0; w < config_.workers; ++w) {
     workers_.emplace_back([this, w] { worker_loop(w); });
@@ -74,6 +94,52 @@ SubmitResult ScoringEngine::submit(ScoreRequest request) {
   return SubmitResult::kStopped;  // unreachable
 }
 
+void ScoringEngine::record_request_trace(const ScoreRequest& request,
+                                         const char* terminal,
+                                         std::int64_t picked_up_us,
+                                         std::int64_t done_us) const {
+  obs::TraceSink* sink = config_.trace;
+  if (sink == nullptr || !sink->sampled(request.id)) return;
+  const std::int64_t admitted_us = to_us(request.admitted_at);
+  // Span ids are fixed by convention (see EngineConfig::trace) so the
+  // rendered trace is deterministic given a request id, regardless of
+  // which worker picked the request up.
+  sink->record({request.id, 1, 0, "request", admitted_us, done_us});
+  sink->record({request.id, 2, 1, "queue_wait", admitted_us, picked_up_us});
+  sink->record({request.id, 3, 1, terminal, picked_up_us, done_us});
+}
+
+void ScoringEngine::record_audit(const ScoreRequest& request,
+                                 const ScoreResponse& response) {
+  obs::AuditTrail* audit = config_.audit;
+  if (audit == nullptr) return;
+  if (response.status != ResponseStatus::kScored &&
+      response.status != ResponseStatus::kDegraded) {
+    return;  // sheds/deadline misses carry no verdict to audit
+  }
+  const bool flagged = response.detection.flagged;
+  if (!flagged && !audit->sample_unflagged(request.id)) return;
+  obs::AuditRecord record;
+  record.session_id = request.id;
+  record.model_version = response.model_version;
+  record.claimed = request.claimed;
+  record.predicted_cluster =
+      static_cast<std::uint32_t>(response.detection.predicted_cluster);
+  record.expected_cluster =
+      response.detection.expected_cluster.has_value()
+          ? static_cast<std::int32_t>(*response.detection.expected_cluster)
+          : -1;
+  record.risk_factor = response.detection.risk_factor;
+  record.centroid_distance2 = response.detection.centroid_distance2;
+  record.tags = flagged ? obs::AuditRecord::kFlagged
+                        : obs::AuditRecord::kSampledUnflagged;
+  if (response.status == ResponseStatus::kDegraded) {
+    record.tags |= obs::AuditRecord::kDegraded;
+  }
+  record.recorded_at_us = steady_now_us();
+  audit->record(record);
+}
+
 void ScoringEngine::worker_loop(std::uint32_t worker_index) {
   std::vector<ScoreRequest> batch;
   core::ScoringScratch scratch;
@@ -95,8 +161,8 @@ void ScoringEngine::worker_loop(std::uint32_t worker_index) {
       // tells the caller no fingerprint evidence was used.
       std::uint64_t answered_in_batch = 0;
       for (ScoreRequest& request : batch) {
-        const auto now = std::chrono::steady_clock::now();
-        if (past_deadline(request, now)) {
+        const auto picked_up = std::chrono::steady_clock::now();
+        if (past_deadline(request, picked_up)) {
           deliver_deadline_exceeded(std::move(request), worker_index);
           continue;
         }
@@ -105,13 +171,16 @@ void ScoringEngine::worker_loop(std::uint32_t worker_index) {
         response.status = ResponseStatus::kDegraded;
         response.detection = degraded_score(request.claimed);
         response.worker = worker_index;
+        const auto done = std::chrono::steady_clock::now();
         response.latency =
             std::chrono::duration_cast<std::chrono::microseconds>(
-                now - request.admitted_at);
+                done - request.admitted_at);
         metrics_.record_degraded(
             worker_index, response.detection.flagged,
             static_cast<std::uint64_t>(response.latency.count()));
         if (on_response_) on_response_(response);
+        record_audit(request, response);
+        record_request_trace(request, "degrade", to_us(picked_up), to_us(done));
         ++answered_in_batch;
       }
       if (answered_in_batch > 0) note_completed(answered_in_batch);
@@ -135,7 +204,8 @@ void ScoringEngine::worker_loop(std::uint32_t worker_index) {
     metrics_.record_batch(worker_index);
     std::uint64_t scored_in_batch = 0;
     for (ScoreRequest& request : batch) {
-      if (past_deadline(request, std::chrono::steady_clock::now())) {
+      const auto picked_up = std::chrono::steady_clock::now();
+      if (past_deadline(request, picked_up)) {
         deliver_deadline_exceeded(std::move(request), worker_index);
         continue;
       }
@@ -147,12 +217,15 @@ void ScoringEngine::worker_loop(std::uint32_t worker_index) {
           scratch);
       response.model_version = snapshot.version;
       response.worker = worker_index;
+      const auto done = std::chrono::steady_clock::now();
       response.latency = std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::steady_clock::now() - request.admitted_at);
+          done - request.admitted_at);
       metrics_.record_scored(
           worker_index, response.detection.flagged,
           static_cast<std::uint64_t>(response.latency.count()));
       if (on_response_) on_response_(response);
+      record_audit(request, response);
+      record_request_trace(request, "score", to_us(picked_up), to_us(done));
       ++scored_in_batch;
     }
     if (scored_in_batch > 0) note_completed(scored_in_batch);
@@ -188,14 +261,16 @@ void ScoringEngine::deliver_shed(ScoreRequest request,
   response.id = request.id;
   response.status = ResponseStatus::kShed;
   response.worker = worker_index;
+  const auto done = std::chrono::steady_clock::now();
   response.latency = std::chrono::duration_cast<std::chrono::microseconds>(
-      std::chrono::steady_clock::now() - request.admitted_at);
+      done - request.admitted_at);
   if (from_submit) {
     metrics_.record_shed_on_submit();
   } else {
     metrics_.record_shed(worker_index);
   }
   if (on_response_) on_response_(response);
+  record_request_trace(request, "shed", to_us(done), to_us(done));
   note_completed(1);
 }
 
@@ -205,10 +280,12 @@ void ScoringEngine::deliver_deadline_exceeded(ScoreRequest request,
   response.id = request.id;
   response.status = ResponseStatus::kDeadlineExceeded;
   response.worker = worker_index;
+  const auto done = std::chrono::steady_clock::now();
   response.latency = std::chrono::duration_cast<std::chrono::microseconds>(
-      std::chrono::steady_clock::now() - request.admitted_at);
+      done - request.admitted_at);
   metrics_.record_deadline_exceeded(worker_index);
   if (on_response_) on_response_(response);
+  record_request_trace(request, "deadline", to_us(done), to_us(done));
   note_completed(1);
 }
 
@@ -249,6 +326,13 @@ void ScoringEngine::stop() {
     if (t.joinable()) t.join();
   }
   if (watchdog_.joinable()) watchdog_.join();
+  if (callback_gauges_registered_) {
+    // The callback gauges close over `this`; remove them before the
+    // engine can be destroyed under a longer-lived registry.
+    config_.registry->remove(config_.metrics_prefix + "_queue_depth");
+    config_.registry->remove(config_.metrics_prefix + "_model_version");
+    callback_gauges_registered_ = false;
+  }
 }
 
 MetricsSnapshot ScoringEngine::metrics() const {

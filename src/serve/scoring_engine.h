@@ -45,6 +45,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/audit.h"
+#include "obs/trace.h"
 #include "serve/bounded_queue.h"
 #include "serve/model_registry.h"
 #include "serve/serve_metrics.h"
@@ -99,6 +101,30 @@ struct EngineConfig {
   std::chrono::milliseconds watchdog_interval{0};
   // A worker inside one batch for longer than this is counted stalled.
   std::chrono::milliseconds stall_threshold{250};
+
+  // ---- observability (all optional; null = that plane disabled) ----
+  //
+  // Registry to export serving metrics into (alongside drift, retrain,
+  // fault and training telemetry).  Null keeps the engine's metrics in
+  // a private registry — isolated, but invisible to exporters.  Two
+  // engines sharing a registry must use distinct metrics_prefix values.
+  // The engine also registers two render-time callback gauges,
+  // `<prefix>_queue_depth` and `<prefix>_model_version` (removed again
+  // on stop()), so exported gauges are exactly as fresh as the render —
+  // the uniform gauge semantics MetricsSnapshot documents.
+  obs::MetricsRegistry* registry = nullptr;
+  std::string metrics_prefix = "bp_serve";
+
+  // Request-path tracing.  Per sampled request (trace id = request id,
+  // decided deterministically by the sink) the engine records spans:
+  //   1 "request"    admission -> response          (root)
+  //   2 "queue_wait" admission -> batch pickup      (parent 1)
+  //   3 terminal     "score" | "degrade" | "shed" | "deadline" (parent 1)
+  obs::TraceSink* trace = nullptr;
+
+  // Decision audit trail: every flagged (and sampled unflagged) scored
+  // or degraded response records its Algorithm-1 evidence.
+  obs::AuditTrail* audit = nullptr;
 };
 
 class ScoringEngine {
@@ -143,6 +169,10 @@ class ScoringEngine {
 
   void worker_loop(std::uint32_t worker_index);
   void watchdog_loop();
+  void record_request_trace(const ScoreRequest& request, const char* terminal,
+                            std::int64_t picked_up_us,
+                            std::int64_t done_us) const;
+  void record_audit(const ScoreRequest& request, const ScoreResponse& response);
   void deliver_shed(ScoreRequest request, std::uint32_t worker_index,
                     bool from_submit);
   void deliver_deadline_exceeded(ScoreRequest request,
@@ -170,6 +200,10 @@ class ScoringEngine {
   std::atomic<bool> stopping_{false};
   std::mutex stop_mutex_;
   std::vector<std::thread> workers_;
+  // Render-time callback gauges registered into config_.registry; they
+  // read live engine state, so stop() must remove them before the
+  // engine can be destroyed under a longer-lived registry.
+  bool callback_gauges_registered_ = false;
 
   std::vector<Heartbeat> heartbeats_;
   std::mutex watchdog_mutex_;

@@ -1,6 +1,7 @@
 #include "serve/serve_metrics.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 namespace bp::serve {
@@ -15,6 +16,10 @@ double MetricsSnapshot::latency_quantile_micros(double q) const noexcept {
   std::uint64_t total = 0;
   for (std::uint64_t c : latency_histogram) total += c;
   if (total == 0) return 0.0;
+  // Guard before clamping: std::clamp on NaN would propagate it into
+  // the rank arithmetic and return NaN, which every caller would then
+  // compare against the budget.  Treat NaN as q = 0.
+  if (std::isnan(q)) q = 0.0;
   q = std::clamp(q, 0.0, 1.0);
   const double rank = q * static_cast<double>(total);
   std::uint64_t cumulative = 0;
@@ -61,65 +66,83 @@ std::string MetricsSnapshot::summary() const {
   return buf;
 }
 
-ServeMetrics::ServeMetrics(std::size_t n_workers)
-    : workers_(n_workers == 0 ? 1 : n_workers) {}
+ServeMetrics::ServeMetrics(std::size_t n_workers,
+                           obs::MetricsRegistry* registry,
+                           std::string_view prefix)
+    : n_workers_(n_workers == 0 ? 1 : n_workers) {
+  if (registry == nullptr) {
+    owned_ = std::make_unique<obs::MetricsRegistry>();
+    registry = owned_.get();
+  }
+  registry_ = registry;
+  const std::string p(prefix);
+  scored_ = &registry_->counter(p + "_scored_total",
+                                "responses delivered with a detection");
+  flagged_ = &registry_->counter(p + "_flagged_total",
+                                 "scored responses with detection.flagged");
+  shed_ = &registry_->counter(p + "_shed_total",
+                              "responses delivered as shed");
+  rejected_ = &registry_->counter(p + "_rejected_total",
+                                  "submissions refused at admission");
+  batches_ = &registry_->counter(p + "_batches_total",
+                                 "worker batch iterations");
+  deadline_exceeded_ = &registry_->counter(
+      p + "_deadline_exceeded_total", "requests answered past their deadline");
+  degraded_ = &registry_->counter(p + "_degraded_total",
+                                  "responses from the UA-prior fallback");
+  latency_ = &registry_->histogram(
+      p + "_latency_micros",
+      std::span<const std::uint64_t>(kLatencyBucketBoundsMicros),
+      "queue wait + scoring per answered session, microseconds");
+  stalled_workers_ = &registry_->gauge(
+      p + "_stalled_workers", "workers stuck inside one batch (watchdog)");
+}
 
 void ServeMetrics::record_scored(std::size_t worker, bool flagged,
                                  std::uint64_t latency_micros) noexcept {
-  WorkerBlock& block = workers_[worker];
-  block.scored.fetch_add(1, std::memory_order_relaxed);
-  if (flagged) block.flagged.fetch_add(1, std::memory_order_relaxed);
-  block.latency[latency_bucket(latency_micros)].fetch_add(
-      1, std::memory_order_relaxed);
+  scored_->increment(worker);
+  if (flagged) flagged_->increment(worker);
+  latency_->observe(latency_micros, worker);
 }
 
 void ServeMetrics::record_shed(std::size_t worker) noexcept {
-  workers_[worker].shed.fetch_add(1, std::memory_order_relaxed);
+  shed_->increment(worker);
 }
 
 void ServeMetrics::record_deadline_exceeded(std::size_t worker) noexcept {
-  workers_[worker].deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+  deadline_exceeded_->increment(worker);
 }
 
 void ServeMetrics::record_degraded(std::size_t worker, bool flagged,
                                    std::uint64_t latency_micros) noexcept {
-  WorkerBlock& block = workers_[worker];
-  block.degraded.fetch_add(1, std::memory_order_relaxed);
-  if (flagged) block.flagged.fetch_add(1, std::memory_order_relaxed);
-  block.latency[latency_bucket(latency_micros)].fetch_add(
-      1, std::memory_order_relaxed);
+  degraded_->increment(worker);
+  if (flagged) flagged_->increment(worker);
+  latency_->observe(latency_micros, worker);
 }
 
 void ServeMetrics::record_batch(std::size_t worker) noexcept {
-  workers_[worker].batches.fetch_add(1, std::memory_order_relaxed);
+  batches_->increment(worker);
 }
 
-void ServeMetrics::record_rejected() noexcept {
-  rejected_.fetch_add(1, std::memory_order_relaxed);
-}
+void ServeMetrics::record_rejected() noexcept { rejected_->increment(); }
 
-void ServeMetrics::record_shed_on_submit() noexcept {
-  shed_on_submit_.fetch_add(1, std::memory_order_relaxed);
-}
+void ServeMetrics::record_shed_on_submit() noexcept { shed_->increment(); }
 
 MetricsSnapshot ServeMetrics::snapshot() const {
   MetricsSnapshot out;
-  for (const WorkerBlock& block : workers_) {
-    out.scored += block.scored.load(std::memory_order_relaxed);
-    out.flagged += block.flagged.load(std::memory_order_relaxed);
-    out.shed += block.shed.load(std::memory_order_relaxed);
-    out.batches += block.batches.load(std::memory_order_relaxed);
-    out.deadline_exceeded +=
-        block.deadline_exceeded.load(std::memory_order_relaxed);
-    out.degraded += block.degraded.load(std::memory_order_relaxed);
-    for (std::size_t b = 0; b < out.latency_histogram.size(); ++b) {
-      out.latency_histogram[b] +=
-          block.latency[b].load(std::memory_order_relaxed);
-    }
+  out.scored = scored_->value();
+  out.flagged = flagged_->value();
+  out.shed = shed_->value();
+  out.rejected = rejected_->value();
+  out.batches = batches_->value();
+  out.deadline_exceeded = deadline_exceeded_->value();
+  out.degraded = degraded_->value();
+  out.stalled_workers =
+      static_cast<std::uint64_t>(stalled_workers_->value());
+  const std::vector<std::uint64_t> latency = latency_->bucket_counts();
+  for (std::size_t b = 0; b < out.latency_histogram.size(); ++b) {
+    out.latency_histogram[b] = latency[b];
   }
-  out.shed += shed_on_submit_.load(std::memory_order_relaxed);
-  out.rejected = rejected_.load(std::memory_order_relaxed);
-  out.stalled_workers = stalled_workers_.load(std::memory_order_relaxed);
   return out;
 }
 

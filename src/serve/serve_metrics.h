@@ -1,10 +1,33 @@
-// Lock-cheap serving metrics.
+// Serving metrics, re-based onto the observability registry.
 //
 // Every scored session updates counters; a metrics layer that takes a
 // mutex per session would serialize the worker pool it is measuring.
-// Instead each worker owns a cache-line-aligned block of relaxed
-// atomics (no cross-worker sharing on the hot path); `snapshot()` folds
-// the per-worker blocks into one consistent-enough view for reporting.
+// The instruments are obs::MetricsRegistry counters/histograms — the
+// same cache-line-aligned striped relaxed-atomic design this class
+// originally pioneered, now shared by every subsystem.  Each worker
+// passes its index as the stripe hint (no cross-worker sharing on the
+// hot path); `snapshot()` folds the stripes into one
+// consistent-enough view for reporting.
+//
+// When no registry is supplied, ServeMetrics owns a private one, so
+// engines in tests and benches stay isolated; supplying a registry
+// (EngineConfig::registry) exports the serving counters through the
+// same `render_prometheus()` / `render_json()` as drift, retraining,
+// fault and training telemetry.  Two engines sharing one registry must
+// use distinct metric prefixes, or they will share instruments.
+//
+// Consistency model of a MetricsSnapshot (pinned down after the
+// non-atomic-gauge bug): the counter fields are striped-counter folds —
+// each exact once writers are quiescent, but not a point-in-time cut
+// across fields (a session may land in `scored` after `flagged` was
+// read).  `queue_depth`, `model_version` and `stalled_workers` are
+// *instantaneous gauge reads taken at snapshot time*, not atomic with
+// the counter fold: a snapshot may show queue_depth=0 alongside a
+// scored count that grew after the fold.  All three go through the
+// registry's gauge type (stalled_workers as a stored gauge written by
+// the watchdog; queue_depth and model_version as render-time callback
+// gauges registered by the engine), so exported values follow the same
+// semantics: fresh at read time, unsynchronized with counters.
 //
 // Latency is recorded as a fixed-bucket histogram over microseconds so
 // p50/p95/p99 can be reported against the paper's 100 ms per-request
@@ -12,11 +35,13 @@
 #pragma once
 
 #include <array>
-#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
-#include <vector>
+#include <string_view>
+
+#include "obs/metrics_registry.h"
 
 namespace bp::serve {
 
@@ -52,14 +77,18 @@ struct MetricsSnapshot {
     const std::uint64_t answered = scored + degraded;
     return answered == 0 ? 0.0 : static_cast<double>(flagged) / answered;
   }
-  // Histogram quantile (linear interpolation inside a bucket);
-  // q in [0, 1].  Returns 0 when nothing was scored.
+  // Histogram quantile (linear interpolation inside a bucket).  q is
+  // clamped to [0, 1]; NaN is treated as 0.  Returns 0 when nothing
+  // was scored.
   double latency_quantile_micros(double q) const noexcept;
   double p50_micros() const noexcept { return latency_quantile_micros(0.50); }
   double p95_micros() const noexcept { return latency_quantile_micros(0.95); }
   double p99_micros() const noexcept { return latency_quantile_micros(0.99); }
+  // Inclusive: a p99 of exactly 100 ms is *within* the budget ("around
+  // 100 milliseconds" is a target, not an open bound), matching the
+  // `<=` semantics of the histogram's bucket bounds.
   bool within_budget() const noexcept {
-    return p99_micros() < static_cast<double>(kLatencyBudgetMicros);
+    return p99_micros() <= static_cast<double>(kLatencyBudgetMicros);
   }
 
   // One-line human-readable summary for logs and examples.
@@ -68,10 +97,16 @@ struct MetricsSnapshot {
 
 class ServeMetrics {
  public:
-  explicit ServeMetrics(std::size_t n_workers);
+  // When `registry` is null the instruments live in a private registry
+  // owned by this object; otherwise they are registered into the given
+  // registry under `prefix` and shared with its other exporters.
+  explicit ServeMetrics(std::size_t n_workers,
+                        obs::MetricsRegistry* registry = nullptr,
+                        std::string_view prefix = "bp_serve");
 
   // Hot-path recording; `worker` < n_workers, callable concurrently
-  // from distinct workers without contention.
+  // from distinct workers without contention (worker index = stripe
+  // hint).
   void record_scored(std::size_t worker, bool flagged,
                      std::uint64_t latency_micros) noexcept;
   void record_shed(std::size_t worker) noexcept;
@@ -86,32 +121,35 @@ class ServeMetrics {
 
   // Watchdog gauge (single writer: the watchdog thread).
   void set_stalled_workers(std::uint64_t n) noexcept {
-    stalled_workers_.store(n, std::memory_order_relaxed);
+    stalled_workers_->set(static_cast<double>(n));
   }
 
-  std::size_t n_workers() const noexcept { return workers_.size(); }
+  std::size_t n_workers() const noexcept { return n_workers_; }
 
-  // Fold all per-worker blocks.  Caller fills queue_depth /
-  // model_version (engine-owned context).
+  // The registry the instruments live in (the private one when none
+  // was supplied) — what an exporter renders.
+  obs::MetricsRegistry& registry() noexcept { return *registry_; }
+  const obs::MetricsRegistry& registry() const noexcept { return *registry_; }
+
+  // Fold all counter stripes.  Caller fills queue_depth /
+  // model_version (engine-owned context; see the consistency model
+  // above).
   MetricsSnapshot snapshot() const;
 
  private:
-  struct alignas(64) WorkerBlock {
-    std::atomic<std::uint64_t> scored{0};
-    std::atomic<std::uint64_t> flagged{0};
-    std::atomic<std::uint64_t> shed{0};
-    std::atomic<std::uint64_t> batches{0};
-    std::atomic<std::uint64_t> deadline_exceeded{0};
-    std::atomic<std::uint64_t> degraded{0};
-    std::array<std::atomic<std::uint64_t>,
-               kLatencyBucketBoundsMicros.size() + 1>
-        latency{};
-  };
+  std::size_t n_workers_;
+  std::unique_ptr<obs::MetricsRegistry> owned_;  // set iff none supplied
+  obs::MetricsRegistry* registry_;
 
-  std::vector<WorkerBlock> workers_;
-  alignas(64) std::atomic<std::uint64_t> rejected_{0};
-  std::atomic<std::uint64_t> shed_on_submit_{0};
-  std::atomic<std::uint64_t> stalled_workers_{0};
+  obs::Counter* scored_;
+  obs::Counter* flagged_;
+  obs::Counter* shed_;
+  obs::Counter* rejected_;
+  obs::Counter* batches_;
+  obs::Counter* deadline_exceeded_;
+  obs::Counter* degraded_;
+  obs::Histogram* latency_;
+  obs::Gauge* stalled_workers_;
 };
 
 }  // namespace bp::serve

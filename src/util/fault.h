@@ -67,6 +67,12 @@ class FaultRegistry {
     return armed_count_.load(std::memory_order_relaxed) > 0;
   }
 
+  // Number of armed points — exported as a gauge by the observability
+  // layer (obs::register_fault_metrics).
+  int armed_points() const noexcept {
+    return armed_count_.load(std::memory_order_relaxed);
+  }
+
   // Evaluate `point`: false when unarmed; otherwise the deterministic
   // per-seed decision for this point's next evaluation index.  Fired
   // evaluations are appended to the trace.

@@ -1,0 +1,368 @@
+// Tests for the observability plane: MetricsRegistry instruments and
+// exporters, the rebased ServeMetrics quantile/budget semantics, and
+// the drift / retrain-supervisor registry exports.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "core/drift.h"
+#include "obs/export.h"
+#include "obs/metrics_registry.h"
+#include "serve/retrain_supervisor.h"
+#include "serve/serve_metrics.h"
+#include "traffic/dataset.h"
+#include "util/fault.h"
+
+namespace bp::obs {
+namespace {
+
+// ----------------------------- instruments -----------------------------
+
+TEST(ObsMetrics, CounterFoldsAllStripes) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("events_total");
+  for (std::size_t hint = 0; hint < 2 * Counter::kStripes; ++hint) {
+    c.add(1, hint);
+  }
+  EXPECT_EQ(c.value(), 2 * Counter::kStripes);
+}
+
+TEST(ObsMetrics, CounterExactUnderConcurrency) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("concurrent_total");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c, t] {
+      for (int i = 0; i < kPerThread; ++i) c.increment(t);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(ObsMetrics, GaugeSetAndAdd) {
+  MetricsRegistry registry;
+  Gauge& g = registry.gauge("depth");
+  g.set(3.0);
+  EXPECT_DOUBLE_EQ(g.value(), 3.0);
+  g.add(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 5.5);
+  g.set(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), -1.0);
+}
+
+TEST(ObsMetrics, HistogramBucketEdgesAreInclusive) {
+  MetricsRegistry registry;
+  const std::vector<std::uint64_t> bounds = {10, 100};
+  Histogram& h = registry.histogram("latency", bounds);
+  // lower_bound semantics: bucket b counts samples <= bounds[b].
+  EXPECT_EQ(h.bucket_index(0), 0u);
+  EXPECT_EQ(h.bucket_index(10), 0u);
+  EXPECT_EQ(h.bucket_index(11), 1u);
+  EXPECT_EQ(h.bucket_index(100), 1u);
+  EXPECT_EQ(h.bucket_index(101), 2u);  // open-ended last bucket
+
+  h.observe(10);
+  h.observe(11, /*stripe_hint=*/5);
+  h.observe(5'000);
+  const std::vector<std::uint64_t> counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 10u + 11u + 5'000u);
+}
+
+TEST(ObsMetrics, FindOrCreateReturnsTheSameInstrument) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("shared_total", "first registration");
+  Counter& b = registry.counter("shared_total", "ignored duplicate help");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+// ------------------------------ rendering ------------------------------
+
+TEST(ObsMetrics, RenderPrometheusExposition) {
+  MetricsRegistry registry;
+  registry.counter("bp_events_total", "events seen").add(7);
+  registry.gauge("bp_depth", "queue depth").set(4.0);
+  const std::vector<std::uint64_t> bounds = {50, 100};
+  Histogram& h = registry.histogram("bp_lat", bounds, "latency");
+  h.observe(40);
+  h.observe(60);
+  h.observe(600);
+
+  const std::string text = registry.render_prometheus();
+  EXPECT_NE(text.find("# HELP bp_events_total events seen\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE bp_events_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("bp_events_total 7\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE bp_depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("bp_depth 4\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE bp_lat histogram\n"), std::string::npos);
+  // Cumulative buckets, as Prometheus requires.
+  EXPECT_NE(text.find("bp_lat_bucket{le=\"50\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("bp_lat_bucket{le=\"100\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("bp_lat_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("bp_lat_sum 700\n"), std::string::npos);
+  EXPECT_NE(text.find("bp_lat_count 3\n"), std::string::npos);
+}
+
+TEST(ObsMetrics, RenderJsonIsDeterministicAndNameOrdered) {
+  MetricsRegistry registry;
+  registry.counter("zeta_total").add(1);
+  registry.counter("alpha_total").add(2);
+  registry.gauge("mid_gauge").set(1.5);
+
+  const std::string a = registry.render_json();
+  const std::string b = registry.render_json();
+  EXPECT_EQ(a, b);
+  // std::map ordering: alpha before zeta regardless of insert order.
+  EXPECT_LT(a.find("alpha_total"), a.find("zeta_total"));
+  EXPECT_NE(a.find("\"alpha_total\": 2"), std::string::npos);
+  EXPECT_NE(a.find("\"mid_gauge\": 1.5"), std::string::npos);
+}
+
+TEST(ObsMetrics, CallbackGaugeIsFreshAtRenderTime) {
+  MetricsRegistry registry;
+  double live = 1.0;
+  registry.gauge_callback("bp_live", [&live] { return live; }, "live value");
+  EXPECT_NE(registry.render_prometheus().find("bp_live 1\n"),
+            std::string::npos);
+  live = 42.0;  // no re-registration needed: evaluated at render time
+  EXPECT_NE(registry.render_prometheus().find("bp_live 42\n"),
+            std::string::npos);
+  registry.remove("bp_live");
+  EXPECT_EQ(registry.render_prometheus().find("bp_live"), std::string::npos);
+}
+
+TEST(ObsMetrics, FaultMetricsBridge) {
+  MetricsRegistry registry;
+  register_fault_metrics(registry);
+  const std::string text = registry.render_prometheus();
+  EXPECT_NE(text.find("bp_fault_points_armed"), std::string::npos);
+  EXPECT_NE(text.find("bp_fault_fires_total"), std::string::npos);
+}
+
+// ------------------- ServeMetrics on the registry ----------------------
+
+TEST(ObsServeMetrics, ExportsThroughSharedRegistry) {
+  MetricsRegistry registry;
+  serve::ServeMetrics metrics(2, &registry, "bp_serve");
+  metrics.record_scored(0, /*flagged=*/true, /*latency_micros=*/120);
+  metrics.record_scored(1, /*flagged=*/false, /*latency_micros=*/80);
+  metrics.record_rejected();
+  metrics.set_stalled_workers(1);
+
+  EXPECT_EQ(&metrics.registry(), &registry);
+  const std::string text = registry.render_prometheus();
+  EXPECT_NE(text.find("bp_serve_scored_total 2\n"), std::string::npos);
+  EXPECT_NE(text.find("bp_serve_flagged_total 1\n"), std::string::npos);
+  EXPECT_NE(text.find("bp_serve_rejected_total 1\n"), std::string::npos);
+  EXPECT_NE(text.find("bp_serve_stalled_workers 1\n"), std::string::npos);
+  EXPECT_NE(text.find("bp_serve_latency_micros_count 2\n"), std::string::npos);
+
+  const serve::MetricsSnapshot snapshot = metrics.snapshot();
+  EXPECT_EQ(snapshot.scored, 2u);
+  EXPECT_EQ(snapshot.flagged, 1u);
+  EXPECT_EQ(snapshot.stalled_workers, 1u);
+}
+
+TEST(ObsServeMetrics, PrivateRegistryIsolatesInstances) {
+  serve::ServeMetrics a(1);
+  serve::ServeMetrics b(1);
+  a.record_scored(0, false, 10);
+  EXPECT_EQ(a.snapshot().scored, 1u);
+  EXPECT_EQ(b.snapshot().scored, 0u);
+  EXPECT_NE(&a.registry(), &b.registry());
+}
+
+// ------------------ quantile / budget edge semantics -------------------
+
+serve::MetricsSnapshot snapshot_with_bucket(std::size_t bucket,
+                                            std::uint64_t count) {
+  serve::MetricsSnapshot s;
+  s.latency_histogram[bucket] = count;
+  return s;
+}
+
+TEST(ObsLatencyQuantile, InterpolatesInsideABucket) {
+  // Bucket 1 spans (50, 100]; rank q*total interpolates linearly.
+  const serve::MetricsSnapshot s = snapshot_with_bucket(1, 4);
+  EXPECT_DOUBLE_EQ(s.latency_quantile_micros(0.5), 75.0);
+  EXPECT_DOUBLE_EQ(s.latency_quantile_micros(1.0), 100.0);
+}
+
+TEST(ObsLatencyQuantile, ClampsOutOfRangeAndNaN) {
+  const serve::MetricsSnapshot s = snapshot_with_bucket(1, 4);
+  EXPECT_DOUBLE_EQ(s.latency_quantile_micros(-5.0),
+                   s.latency_quantile_micros(0.0));
+  EXPECT_DOUBLE_EQ(s.latency_quantile_micros(2.0),
+                   s.latency_quantile_micros(1.0));
+  const double at_nan =
+      s.latency_quantile_micros(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_FALSE(std::isnan(at_nan));
+  EXPECT_DOUBLE_EQ(at_nan, s.latency_quantile_micros(0.0));
+}
+
+TEST(ObsLatencyQuantile, ZeroSamplesYieldZero) {
+  const serve::MetricsSnapshot s;
+  EXPECT_DOUBLE_EQ(s.latency_quantile_micros(0.99), 0.0);
+  EXPECT_TRUE(s.within_budget());
+}
+
+TEST(ObsLatencyQuantile, BudgetIsInclusiveAtExactlyOneHundredMs) {
+  // 99 samples fill the (50ms, 100ms] bucket and 1 sample sits above it,
+  // so p99 lands exactly on the 100'000 us bucket edge.  "around 100
+  // milliseconds" is a target, not an open bound: exactly 100 ms must
+  // count as within budget (the old `<` comparison got this wrong).
+  serve::MetricsSnapshot s;
+  s.latency_histogram[10] = 99;  // bound 100'000
+  s.latency_histogram[11] = 1;   // bound 250'000
+  ASSERT_DOUBLE_EQ(s.p99_micros(), 100'000.0);
+  EXPECT_TRUE(s.within_budget());
+
+  // One sample deeper into the next bucket pushes p99 over.
+  serve::MetricsSnapshot over;
+  over.latency_histogram[10] = 98;
+  over.latency_histogram[11] = 2;
+  EXPECT_GT(over.p99_micros(), 100'000.0);
+  EXPECT_FALSE(over.within_budget());
+}
+
+// --------------------- retrain supervisor export -----------------------
+
+const ua::UserAgent kChrome100{ua::Vendor::kChrome, 100, ua::Os::kWindows10};
+const ua::UserAgent kFirefox100{ua::Vendor::kFirefox, 100,
+                                ua::Os::kWindows10};
+
+core::Polygraph make_tiny_model() {
+  core::PolygraphConfig config;
+  config.feature_indices = {0, 1};
+  config.pca_components = 2;
+  config.k = 2;
+  ml::Matrix centroids(2, 2);
+  centroids(1, 0) = 10.0;
+  centroids(1, 1) = 10.0;
+  ml::KMeansConfig kconfig;
+  kconfig.k = 2;
+  core::ClusterTable table;
+  table.assign(kChrome100, 0);
+  table.assign(kFirefox100, 1);
+  return core::Polygraph::from_parts(
+      config, ml::StandardScaler::from_params({0.0, 0.0}, {1.0, 1.0}),
+      ml::Pca::from_params({0.0, 0.0}, {1.0, 1.0}, ml::Matrix::identity(2)),
+      ml::KMeans::from_centroids(std::move(centroids), kconfig),
+      std::move(table));
+}
+
+TEST(ObsRetrainExport, StatusExportedAfterEveryCycle) {
+  MetricsRegistry registry;
+  serve::ModelRegistry models;
+  serve::RetrainConfig config;
+  config.max_attempts = 1;
+  config.registry = &registry;
+
+  bool should_train = true;
+  serve::RetrainSupervisor supervisor(
+      models, config, [&] { return should_train; },
+      [] { return std::optional<core::Polygraph>(make_tiny_model()); },
+      [](const core::Polygraph&) { return true; },
+      [](std::chrono::milliseconds) {});
+
+  ASSERT_EQ(supervisor.run_cycle(), serve::CycleResult::kPublished);
+  EXPECT_EQ(registry.counter("bp_retrain_cycles_total").value(), 1u);
+  EXPECT_EQ(registry.counter("bp_retrain_published_total").value(), 1u);
+  EXPECT_EQ(registry.counter("bp_retrain_attempts_total").value(), 1u);
+  EXPECT_EQ(registry.counter("bp_retrain_failed_cycles_total").value(), 0u);
+  EXPECT_DOUBLE_EQ(registry.gauge("bp_retrain_staleness_cycles").value(), 0.0);
+  EXPECT_DOUBLE_EQ(
+      registry.gauge("bp_retrain_last_published_version").value(), 1.0);
+
+  should_train = false;
+  ASSERT_EQ(supervisor.run_cycle(), serve::CycleResult::kNoDrift);
+  EXPECT_EQ(registry.counter("bp_retrain_cycles_total").value(), 2u);
+  EXPECT_DOUBLE_EQ(registry.gauge("bp_retrain_staleness_cycles").value(), 1.0);
+}
+
+TEST(ObsRetrainExport, FailuresAndBreakerVisibleInGauges) {
+  MetricsRegistry registry;
+  serve::ModelRegistry models;
+  serve::RetrainConfig config;
+  config.max_attempts = 2;
+  config.breaker_threshold = 1;
+  config.breaker_cooldown_cycles = 1;
+  config.registry = &registry;
+
+  serve::RetrainSupervisor supervisor(
+      models, config, [] { return true; },
+      [] { return std::optional<core::Polygraph>(); },  // always fails
+      {}, [](std::chrono::milliseconds) {});
+
+  ASSERT_EQ(supervisor.run_cycle(), serve::CycleResult::kFailed);
+  EXPECT_EQ(registry.counter("bp_retrain_failed_cycles_total").value(), 1u);
+  EXPECT_EQ(registry.counter("bp_retrain_attempts_total").value(), 2u);
+  EXPECT_DOUBLE_EQ(registry.gauge("bp_retrain_breaker_open").value(), 1.0);
+  EXPECT_DOUBLE_EQ(
+      registry.gauge("bp_retrain_consecutive_failures").value(), 1.0);
+  EXPECT_GT(registry.gauge("bp_retrain_last_backoff_ms").value(), 0.0);
+
+  ASSERT_EQ(supervisor.run_cycle(), serve::CycleResult::kBreakerOpen);
+  EXPECT_EQ(registry.counter("bp_retrain_cycles_total").value(), 2u);
+  EXPECT_DOUBLE_EQ(registry.gauge("bp_retrain_staleness_cycles").value(), 2.0);
+}
+
+// --------------------------- drift export ------------------------------
+
+TEST(ObsDriftExport, CheckExportsCountersAndSkips) {
+  MetricsRegistry registry;
+  const core::Polygraph model = make_tiny_model();
+  const core::DriftDetector detector(model, 0.98, &registry);
+
+  traffic::Dataset data({0, 1});
+  for (int i = 0; i < 3; ++i) {
+    traffic::SessionRecord record;
+    record.claimed = kChrome100;
+    record.features = {0, 0};  // cluster 0, matching the table
+    data.add(std::move(record));
+  }
+  const ua::UserAgent unseen{ua::Vendor::kChrome, 200, ua::Os::kWindows10};
+  const core::DriftReport report =
+      detector.check(data, {kChrome100, unseen},
+                     bp::util::Date::from_ymd(2023, 10, 1));
+
+  ASSERT_EQ(report.entries.size(), 1u);
+  ASSERT_EQ(report.skipped.size(), 1u);
+  EXPECT_EQ(registry.counter("bp_drift_checks_total").value(), 1u);
+  EXPECT_EQ(registry.counter("bp_drift_releases_checked_total").value(), 1u);
+  // A silently unmonitored release is an operational state of its own:
+  // the skip is a counter, not just a field on the bespoke report.
+  EXPECT_EQ(registry.counter("bp_drift_releases_skipped_total").value(), 1u);
+  EXPECT_EQ(registry.counter("bp_drift_retraining_signals_total").value(), 0u);
+  EXPECT_DOUBLE_EQ(registry.gauge("bp_drift_last_min_accuracy").value(), 1.0);
+  EXPECT_DOUBLE_EQ(registry.gauge("bp_drift_last_skipped").value(), 1.0);
+  EXPECT_DOUBLE_EQ(
+      registry.gauge("bp_drift_last_retraining_required").value(), 0.0);
+}
+
+TEST(ObsDriftExport, NullRegistryDisablesExport) {
+  const core::Polygraph model = make_tiny_model();
+  const core::DriftDetector detector(model, 0.98);  // no registry
+  traffic::Dataset data({0, 1});
+  const core::DriftReport report = detector.check(
+      data, {kChrome100}, bp::util::Date::from_ymd(2023, 10, 1));
+  EXPECT_EQ(report.entries.size(), 0u);  // no sessions -> skipped
+  EXPECT_EQ(report.skipped.size(), 1u);
+}
+
+}  // namespace
+}  // namespace bp::obs
