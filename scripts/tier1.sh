@@ -24,6 +24,57 @@ ctest --test-dir build --output-on-failure -j
 echo "== training-throughput bench smoke (determinism gate) =="
 ./build/bench/bench_training_throughput --smoke /tmp/bp_bench_training_smoke.json
 
+echo "== live introspection smoke (HTTP over an ephemeral port) =="
+smoke_log=/tmp/bp_introspect_smoke.log
+rm -f "${smoke_log}"
+./build/examples/fraud_detection_service --listen 127.0.0.1:0 \
+  > "${smoke_log}" 2>&1 &
+svc_pid=$!
+smoke_fail() {
+  echo "FAIL: $1" >&2
+  kill "${svc_pid}" 2>/dev/null || true
+  exit 1
+}
+port=""
+for _ in $(seq 1 100); do
+  port=$(sed -n 's/^introspection server listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+         "${smoke_log}" | head -n 1)
+  [[ -n "${port}" ]] && break
+  sleep 0.2
+done
+[[ -n "${port}" ]] || smoke_fail "server never announced its port"
+
+fetch() {  # fetch <path> <want_status>: asserts status and non-empty body
+  local path=$1 want=$2 code
+  code=$(curl -s -o /tmp/bp_introspect_body -w '%{http_code}' \
+         "http://127.0.0.1:${port}${path}" || true)
+  if [[ "${code}" != "${want}" || ! -s /tmp/bp_introspect_body ]]; then
+    smoke_fail "GET ${path} -> '${code}' (want ${want} + non-empty body)"
+  fi
+}
+
+fetch /healthz 200
+fetch /metrics 200
+# /readyz answers 503 until offline training publishes the first model,
+# then flips to 200; poll it across the flip.
+ready=""
+for _ in $(seq 1 600); do
+  ready=$(curl -s -o /dev/null -w '%{http_code}' \
+          "http://127.0.0.1:${port}/readyz" || true)
+  [[ "${ready}" == "200" ]] && break
+  sleep 0.5
+done
+[[ "${ready}" == "200" ]] || smoke_fail "/readyz never flipped to 200"
+fetch /readyz 200
+fetch /statusz 200
+
+kill -INT "${svc_pid}"
+if wait "${svc_pid}"; then
+  echo "introspection smoke ok (port ${port}, clean SIGINT shutdown)"
+else
+  smoke_fail "service exited non-zero after SIGINT"
+fi
+
 if [[ -n "${BP_SANITIZE:-}" ]]; then
   san_dir="build-${BP_SANITIZE}"
   echo "== ${BP_SANITIZE} sanitizer pass over the concurrency tests =="
@@ -32,9 +83,10 @@ if [[ -n "${BP_SANITIZE:-}" ]]; then
   # Covers the serving tier, the parallel training substrate, the whole
   # fault-tolerance layer — including the chaos soak, which must run
   # clean under both TSan and ASan — and the observability plane
-  # (striped counters, trace ring, audit trail) whose lock-free hot
-  # paths are exactly what the sanitizers exist to vet.
+  # (striped counters, trace ring, audit trail, the introspection HTTP
+  # server scraped under mutation, and the SLO/health rollup) whose
+  # lock-free hot paths are exactly what the sanitizers exist to vet.
   ctest --test-dir "${san_dir}" \
-    -R 'Serve|BoundedQueue|Parallel|TrainingDeterminism|Fault|RetrainSupervisor|ModelIntegrity|ChaosSoak|Obs|Audit' \
+    -R 'Serve|BoundedQueue|Parallel|TrainingDeterminism|Fault|RetrainSupervisor|ModelIntegrity|ChaosSoak|Obs|Audit|Introspect|Slo|Health' \
     --output-on-failure
 fi

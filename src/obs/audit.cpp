@@ -42,9 +42,12 @@ std::vector<AuditRecord> AuditTrail::records() const {
   return out;
 }
 
-std::string AuditTrail::render_jsonl(bool include_timing) const {
+std::string AuditTrail::render_jsonl(bool include_timing,
+                                     std::size_t last_n) const {
   std::string out;
-  for (const AuditRecord& r : records()) {
+  std::vector<AuditRecord> all = records();
+  if (last_n < all.size()) all.erase(all.begin(), all.end() - last_n);
+  for (const AuditRecord& r : all) {
     char line[384];
     char timing[48] = "";
     if (include_timing) {

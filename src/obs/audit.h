@@ -84,8 +84,11 @@ class AuditTrail {
   }
 
   // One JSON object per line (JSONL), oldest first.  Timing is opt-in
-  // so the output stays deterministic for replay tooling.
-  std::string render_jsonl(bool include_timing = false) const;
+  // so the output stays deterministic for replay tooling.  `last_n`
+  // bounds the render to the most recent N records (the /auditz?n=K
+  // introspection query); the default renders the whole ring.
+  std::string render_jsonl(bool include_timing = false,
+                           std::size_t last_n = SIZE_MAX) const;
 
   const AuditConfig& config() const noexcept { return config_; }
 

@@ -54,15 +54,19 @@ void PeriodicDumper::loop() {
 }
 
 void PeriodicDumper::stop() {
+  bool first_stop;
   {
     std::lock_guard lock(mutex_);
-    if (stop_) {
-      // Already stopped; just make sure the thread is gone.
-    }
+    first_stop = !stop_;
     stop_ = true;
   }
   cv_.notify_all();
   if (thread_.joinable()) thread_.join();
+  // One final synchronous dump after the loop is gone, so the tail of
+  // the last period (everything recorded since the previous cadence
+  // tick) survives shutdown.  Only the stop() that actually stopped
+  // the loop flushes; repeated stop() calls stay cheap no-ops.
+  if (first_stop) dump_now();
 }
 
 void register_fault_metrics(MetricsRegistry& registry) {

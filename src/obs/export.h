@@ -51,7 +51,10 @@ class PeriodicDumper {
     return failures_.load(std::memory_order_relaxed);
   }
 
-  // Stops the background thread; idempotent (destructor calls it).
+  // Stops the background thread, then performs one final synchronous
+  // dump_now() so the tail of the last period is never lost on
+  // shutdown.  Idempotent (destructor calls it); only the stopping
+  // call flushes.
   void stop();
 
  private:

@@ -1,0 +1,171 @@
+#include "obs/introspect/http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace bp::obs::introspect {
+
+std::string_view status_reason(int status) noexcept {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+bool parse_request_head(std::string_view head, HttpRequest* out) {
+  const std::size_t line_end = head.find("\r\n");
+  std::string_view line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos) return false;
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos) return false;
+  const std::string_view version = line.substr(sp2 + 1);
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") return false;
+  out->method = std::string(line.substr(0, sp1));
+  out->target = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  if (out->method.empty() || out->target.empty() || out->target[0] != '/') {
+    return false;
+  }
+  const std::size_t q = out->target.find('?');
+  out->path = out->target.substr(0, q);
+  out->query =
+      q == std::string::npos ? std::string() : out->target.substr(q + 1);
+  return true;
+}
+
+std::string serialize_response(const HttpResponse& response) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    std::string(status_reason(response.status)) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+std::uint64_t query_uint(std::string_view query, std::string_view key,
+                         std::uint64_t fallback) noexcept {
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    std::size_t amp = query.find('&', pos);
+    if (amp == std::string_view::npos) amp = query.size();
+    const std::string_view pair = query.substr(pos, amp - pos);
+    const std::size_t eq = pair.find('=');
+    if (eq != std::string_view::npos && pair.substr(0, eq) == key) {
+      const std::string_view value = pair.substr(eq + 1);
+      if (value.empty()) return fallback;
+      std::uint64_t parsed = 0;
+      for (char c : value) {
+        if (c < '0' || c > '9') return fallback;
+        parsed = parsed * 10 + static_cast<std::uint64_t>(c - '0');
+      }
+      return parsed;
+    }
+    pos = amp + 1;
+  }
+  return fallback;
+}
+
+namespace {
+
+struct Fd {
+  int fd = -1;
+  ~Fd() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+bool set_io_timeout(int fd, std::chrono::milliseconds timeout) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+  return ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) == 0 &&
+         ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) == 0;
+}
+
+}  // namespace
+
+HttpResult http_get(const std::string& host, std::uint16_t port,
+                    const std::string& target,
+                    std::chrono::milliseconds timeout) {
+  HttpResult result;
+  Fd sock{::socket(AF_INET, SOCK_STREAM, 0)};
+  if (sock.fd < 0) {
+    result.error = std::string("socket: ") + std::strerror(errno);
+    return result;
+  }
+  set_io_timeout(sock.fd, timeout);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    result.error = "inet_pton: invalid literal IPv4 address '" + host + "'";
+    return result;
+  }
+  if (::connect(sock.fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    result.error = std::string("connect: ") + std::strerror(errno);
+    return result;
+  }
+
+  const std::string request = "GET " + target + " HTTP/1.1\r\nHost: " + host +
+                              "\r\nConnection: close\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(sock.fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) {
+      result.error = std::string("send: ") + std::strerror(errno);
+      return result;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+
+  std::string raw;
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::recv(sock.fd, buf, sizeof(buf), 0);
+    if (n < 0) {
+      result.error = std::string("recv: ") + std::strerror(errno);
+      return result;
+    }
+    if (n == 0) break;  // server closed: full response received
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+
+  // "HTTP/1.1 <code> ..." status line, then headers, then body.
+  if (raw.size() < 12 || raw.compare(0, 5, "HTTP/") != 0) {
+    result.error = "malformed response";
+    return result;
+  }
+  const std::size_t sp = raw.find(' ');
+  if (sp == std::string::npos || sp + 4 > raw.size()) {
+    result.error = "malformed status line";
+    return result;
+  }
+  result.status = 0;
+  for (std::size_t i = sp + 1; i < sp + 4; ++i) {
+    if (raw[i] < '0' || raw[i] > '9') {
+      result.status = -1;
+      result.error = "malformed status code";
+      return result;
+    }
+    result.status = result.status * 10 + (raw[i] - '0');
+  }
+  const std::size_t body = raw.find("\r\n\r\n");
+  result.body = body == std::string::npos ? std::string() : raw.substr(body + 4);
+  return result;
+}
+
+}  // namespace bp::obs::introspect

@@ -1,0 +1,136 @@
+// Live introspection server: the scrape endpoint PR 4's exporter
+// header promised ("plain functions an HTTP handler ... calls on
+// demand") but never ran.
+//
+// A dependency-free blocking HTTP/1.1 server over plain POSIX sockets:
+// one acceptor thread and a small handler pool draining a bounded
+// queue of accepted connections.  Endpoints (all GET, one request per
+// connection):
+//
+//   /metrics       Prometheus text exposition (MetricsRegistry)
+//   /metrics.json  the same registry as one JSON object
+//   /healthz       liveness verdict from the HealthModel (200/503)
+//   /readyz        serving-fitness verdict (200/503) — flips to 503
+//                  while no model is published or degraded mode is
+//                  active, back after a publish; the check to run
+//                  before and after a hot swap
+//   /statusz       human-readable rollup: health signals, SLO rule
+//                  states, recent alert transitions, app extras
+//   /tracez        TraceSink render (with timing)
+//   /auditz?n=K    most recent K AuditTrail records as JSONL
+//
+// Design constraints, in order: never perturb the scoring hot path
+// (handlers only call the registry/sink render functions, which take
+// the same short locks any exporter takes); bounded everything
+// (request head size, connection queue, per-connection I/O timeouts);
+// port 0 support so tests bind ephemerally and read port() back.
+//
+// handle() — the request -> response dispatch — is a pure-ish const
+// function exposed for unit tests; the socket plumbing around it is
+// exercised by the real-TCP tests and the tier-1 curl smoke.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/audit.h"
+#include "obs/introspect/http.h"
+#include "obs/metrics_registry.h"
+#include "obs/slo/health.h"
+#include "obs/slo/slo_engine.h"
+#include "obs/trace.h"
+
+namespace bp::obs::introspect {
+
+// What the server exposes.  Any pointer may be null — the matching
+// endpoints then answer 404 (or, for /healthz, a bare liveness 200:
+// reaching the handler proves the process is alive).  All referents
+// must outlive the server.
+struct Sources {
+  const MetricsRegistry* metrics = nullptr;
+  const TraceSink* trace = nullptr;
+  const AuditTrail* audit = nullptr;
+  const slo::HealthModel* health = nullptr;
+  const slo::SloEngine* slo = nullptr;
+  // Extra app-specific lines appended to /statusz (may be empty).
+  std::function<std::string()> statusz_extra;
+};
+
+struct ServerConfig {
+  std::string bind_address = "127.0.0.1";
+  std::uint16_t port = 0;  // 0 = ephemeral; read the choice via port()
+  std::size_t handler_threads = 2;
+  std::size_t max_pending = 64;  // accepted connections awaiting a handler
+  std::chrono::milliseconds io_timeout{2000};  // per-connection recv/send
+};
+
+class IntrospectionServer {
+ public:
+  // Binds and starts serving immediately.  On bind/listen failure the
+  // server constructs non-running with error() set — callers decide
+  // whether that is fatal (the example does; tests assert running()).
+  explicit IntrospectionServer(Sources sources, ServerConfig config = {});
+  ~IntrospectionServer();
+
+  IntrospectionServer(const IntrospectionServer&) = delete;
+  IntrospectionServer& operator=(const IntrospectionServer&) = delete;
+
+  bool running() const noexcept { return running_.load(std::memory_order_acquire); }
+  std::uint16_t port() const noexcept { return port_; }
+  const std::string& bind_address() const noexcept {
+    return config_.bind_address;
+  }
+  std::string error() const;
+
+  std::uint64_t requests() const noexcept {
+    return requests_.load(std::memory_order_relaxed);
+  }
+  // Connections dropped because the pending queue was full.
+  std::uint64_t overloaded() const noexcept {
+    return overloaded_.load(std::memory_order_relaxed);
+  }
+
+  // Dispatch one parsed request.  Const and lock-light: every data
+  // source is read through its own thread-safe render call.
+  HttpResponse handle(const HttpRequest& request) const;
+
+  // Stops accepting, drains/closes pending connections, joins all
+  // threads.  Idempotent; the destructor calls it.
+  void stop();
+
+ private:
+  void acceptor_loop();
+  void handler_loop();
+  void serve_connection(int fd);
+  std::string render_statusz() const;
+
+  Sources sources_;
+  ServerConfig config_;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> overloaded_{0};
+
+  mutable std::mutex error_mutex_;
+  std::string error_;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<int> pending_;  // accepted fds awaiting a handler
+
+  std::thread acceptor_;
+  std::vector<std::thread> handlers_;
+};
+
+}  // namespace bp::obs::introspect

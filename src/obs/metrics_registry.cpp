@@ -21,6 +21,21 @@ std::string format_value(double v) {
   return buf;
 }
 
+// Prometheus exposition: help text must escape backslash and newline,
+// or a multi-line help string corrupts the whole scrape.
+std::string escape_help(std::string_view help) {
+  std::string out;
+  out.reserve(help.size());
+  for (char c : help) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 std::size_t Histogram::bucket_index(std::uint64_t value) const noexcept {
@@ -140,6 +155,42 @@ void MetricsRegistry::remove(std::string_view name) {
   if (it != instruments_.end()) instruments_.erase(it);
 }
 
+std::optional<double> MetricsRegistry::read_value(std::string_view name) const {
+  std::lock_guard lock(mutex_);
+  const auto it = instruments_.find(name);
+  if (it == instruments_.end()) return std::nullopt;
+  const Instrument& instrument = it->second;
+  switch (instrument.kind) {
+    case Kind::kCounter:
+      return static_cast<double>(instrument.counter->value());
+    case Kind::kGauge:
+      return instrument.gauge->value();
+    case Kind::kCallback:
+      return instrument.callback();
+    case Kind::kHistogram:
+      return static_cast<double>(instrument.histogram->count());
+  }
+  return std::nullopt;
+}
+
+std::optional<double> MetricsRegistry::read_histogram_over(
+    std::string_view name, std::uint64_t threshold) const {
+  std::lock_guard lock(mutex_);
+  const auto it = instruments_.find(name);
+  if (it == instruments_.end() || it->second.kind != Kind::kHistogram) {
+    return std::nullopt;
+  }
+  const Histogram& h = *it->second.histogram;
+  const std::vector<std::uint64_t> counts = h.bucket_counts();
+  // Bucket b counts samples <= bounds[b]; everything in a bucket whose
+  // bound is <= threshold is certainly not over it.
+  std::uint64_t over = 0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    if (b >= h.bounds().size() || h.bounds()[b] > threshold) over += counts[b];
+  }
+  return static_cast<double>(over);
+}
+
 std::size_t MetricsRegistry::size() const {
   std::lock_guard lock(mutex_);
   return instruments_.size();
@@ -151,7 +202,7 @@ std::string MetricsRegistry::render_prometheus() const {
   out.reserve(instruments_.size() * 96);
   for (const auto& [name, instrument] : instruments_) {
     if (!instrument.help.empty()) {
-      out += "# HELP " + name + " " + instrument.help + "\n";
+      out += "# HELP " + name + " " + escape_help(instrument.help) + "\n";
     }
     switch (instrument.kind) {
       case Kind::kCounter:

@@ -39,6 +39,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <string>
 #include <string_view>
@@ -162,6 +163,21 @@ class MetricsRegistry {
   // Remove an instrument by name (primarily for callback gauges whose
   // referent is being destroyed).  Invalidates references to it.
   void remove(std::string_view name);
+
+  // Read one instrument's current value by name: a counter's fold, a
+  // stored gauge's last set, a callback gauge's evaluation, or a
+  // histogram's cumulative sample count.  nullopt for unknown names.
+  // This is the generic read surface the windowed SLO layer samples
+  // through (obs/slo/time_series.h).
+  std::optional<double> read_value(std::string_view name) const;
+
+  // Count of samples recorded strictly above `threshold` in histogram
+  // `name` (exact when `threshold` is one of the histogram's bucket
+  // bounds; otherwise the enclosing bucket counts as over).  nullopt
+  // when `name` is not a histogram.  Lets an SLO rule treat
+  // "requests over the latency budget" as a counter series.
+  std::optional<double> read_histogram_over(std::string_view name,
+                                            std::uint64_t threshold) const;
 
   // Prometheus text exposition format, instruments in name order.
   std::string render_prometheus() const;

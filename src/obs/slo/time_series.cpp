@@ -1,0 +1,136 @@
+#include "obs/slo/time_series.h"
+
+#include <algorithm>
+
+namespace bp::obs::slo {
+
+TimeSeriesWindow::TimeSeriesWindow(const MetricsRegistry& registry,
+                                   std::size_t capacity)
+    : registry_(registry), capacity_(std::max<std::size_t>(capacity, 2)) {}
+
+void TimeSeriesWindow::track(std::string series, std::string metric) {
+  std::lock_guard lock(mutex_);
+  Series s;
+  s.kind = SourceKind::kValue;
+  s.metrics = {std::move(metric)};
+  series_.insert_or_assign(std::move(series), std::move(s));
+}
+
+void TimeSeriesWindow::track_sum(std::string series,
+                                 std::vector<std::string> metrics) {
+  std::lock_guard lock(mutex_);
+  Series s;
+  s.kind = SourceKind::kSum;
+  s.metrics = std::move(metrics);
+  series_.insert_or_assign(std::move(series), std::move(s));
+}
+
+void TimeSeriesWindow::track_histogram_over(std::string series,
+                                            std::string metric,
+                                            std::uint64_t threshold) {
+  std::lock_guard lock(mutex_);
+  Series s;
+  s.kind = SourceKind::kHistogramOver;
+  s.metrics = {std::move(metric)};
+  s.threshold = threshold;
+  series_.insert_or_assign(std::move(series), std::move(s));
+}
+
+double TimeSeriesWindow::read_source(const Series& series) const {
+  switch (series.kind) {
+    case SourceKind::kValue:
+      return registry_.read_value(series.metrics.front()).value_or(0.0);
+    case SourceKind::kSum: {
+      double total = 0.0;
+      for (const std::string& metric : series.metrics) {
+        total += registry_.read_value(metric).value_or(0.0);
+      }
+      return total;
+    }
+    case SourceKind::kHistogramOver:
+      return registry_
+          .read_histogram_over(series.metrics.front(), series.threshold)
+          .value_or(0.0);
+  }
+  return 0.0;
+}
+
+void TimeSeriesWindow::sample(std::int64_t now_ms) {
+  std::lock_guard lock(mutex_);
+  for (auto& [name, series] : series_) {
+    Point point;
+    point.at_ms = now_ms;
+    point.value = read_source(series);
+    if (series.ring.size() < capacity_) {
+      series.ring.push_back(point);
+      ++series.size;
+    } else {
+      series.ring[series.next] = point;
+    }
+    series.next = (series.next + 1) % capacity_;
+  }
+  last_sample_ms_ = now_ms;
+  ++samples_;
+}
+
+bool TimeSeriesWindow::span(const Series& series, std::int64_t lookback_ms,
+                            Point* oldest, Point* newest) const {
+  if (series.size == 0) return false;
+  const std::size_t begin =
+      series.size == capacity_ ? series.next : 0;  // oldest retained slot
+  *newest = series.ring[(begin + series.size - 1) % series.ring.size()];
+  const std::int64_t horizon = newest->at_ms - lookback_ms;
+  *oldest = *newest;
+  for (std::size_t i = 0; i < series.size; ++i) {
+    const Point& p = series.ring[(begin + i) % series.ring.size()];
+    if (p.at_ms >= horizon) {
+      *oldest = p;
+      break;
+    }
+  }
+  return true;
+}
+
+double TimeSeriesWindow::latest(std::string_view series) const {
+  std::lock_guard lock(mutex_);
+  const auto it = series_.find(series);
+  if (it == series_.end()) return 0.0;
+  Point oldest, newest;
+  if (!span(it->second, 0, &oldest, &newest)) return 0.0;
+  return newest.value;
+}
+
+double TimeSeriesWindow::delta(std::string_view series,
+                               std::int64_t lookback_ms) const {
+  std::lock_guard lock(mutex_);
+  const auto it = series_.find(series);
+  if (it == series_.end()) return 0.0;
+  Point oldest, newest;
+  if (!span(it->second, lookback_ms, &oldest, &newest)) return 0.0;
+  return std::max(0.0, newest.value - oldest.value);
+}
+
+double TimeSeriesWindow::rate_per_second(std::string_view series,
+                                         std::int64_t lookback_ms) const {
+  std::lock_guard lock(mutex_);
+  const auto it = series_.find(series);
+  if (it == series_.end()) return 0.0;
+  Point oldest, newest;
+  if (!span(it->second, lookback_ms, &oldest, &newest)) return 0.0;
+  const std::int64_t elapsed_ms = newest.at_ms - oldest.at_ms;
+  if (elapsed_ms <= 0) return 0.0;
+  return std::max(0.0, newest.value - oldest.value) /
+         (static_cast<double>(elapsed_ms) / 1000.0);
+}
+
+std::int64_t TimeSeriesWindow::last_sample_ms() const {
+  std::lock_guard lock(mutex_);
+  return last_sample_ms_;
+}
+
+std::uint64_t TimeSeriesWindow::samples() const {
+  std::lock_guard lock(mutex_);
+  return samples_;
+}
+
+}  // namespace bp::obs::slo

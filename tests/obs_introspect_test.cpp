@@ -1,0 +1,384 @@
+// Tests for the live introspection server: every endpoint fetched over
+// a real TCP socket (ephemeral port), readiness flipping around model
+// publishes, HTTP plumbing edge cases, and the concurrent
+// scrape-under-mutation satellite (render /metrics and /tracez from N
+// client threads while writers hammer the instruments — must stay
+// parseable and TSan-clean).
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <array>
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/polygraph.h"
+#include "obs/audit.h"
+#include "obs/introspect/http.h"
+#include "obs/introspect/server.h"
+#include "obs/metrics_registry.h"
+#include "obs/slo/health.h"
+#include "obs/slo/slo_engine.h"
+#include "obs/slo/time_series.h"
+#include "obs/trace.h"
+#include "serve/model_registry.h"
+
+namespace bp::obs::introspect {
+namespace {
+
+// Send a raw payload and return everything the server answers —
+// exercises the malformed-request paths http_get cannot produce.
+std::string raw_request(std::uint16_t port, const std::string& payload) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  timeval tv{2, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  std::string out;
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0 &&
+      ::send(fd, payload.data(), payload.size(), 0) ==
+          static_cast<ssize_t>(payload.size())) {
+    char buf[4096];
+    ssize_t n;
+    while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+      out.append(buf, static_cast<std::size_t>(n));
+    }
+  }
+  ::close(fd);
+  return out;
+}
+
+// The cheap hand-assembled model the serve tests use: enough to make
+// ModelRegistry::publish accept it.
+core::Polygraph tiny_model() {
+  core::PolygraphConfig config;
+  config.feature_indices = {0, 1};
+  config.pca_components = 2;
+  config.k = 2;
+  ml::Matrix centroids(2, 2);
+  centroids(1, 0) = 10.0;
+  centroids(1, 1) = 10.0;
+  ml::KMeansConfig kconfig;
+  kconfig.k = 2;
+  core::ClusterTable table;
+  table.assign({ua::Vendor::kChrome, 100, ua::Os::kWindows10}, 0);
+  return core::Polygraph::from_parts(
+      config, ml::StandardScaler::from_params({0.0, 0.0}, {1.0, 1.0}),
+      ml::Pca::from_params({0.0, 0.0}, {1.0, 1.0}, ml::Matrix::identity(2)),
+      ml::KMeans::from_centroids(std::move(centroids), kconfig),
+      std::move(table));
+}
+
+AuditRecord audit_record(std::uint64_t session_id, bool flagged) {
+  AuditRecord record;
+  record.session_id = session_id;
+  record.model_version = 1;
+  record.claimed = {ua::Vendor::kChrome, 100, ua::Os::kWindows10};
+  record.risk_factor = flagged ? 4 : 0;
+  if (flagged) record.tags = AuditRecord::kFlagged;
+  return record;
+}
+
+// ------------------------------ HTTP plumbing ------------------------------
+
+TEST(ObsIntrospectHttp, ParsesRequestHead) {
+  HttpRequest request;
+  ASSERT_TRUE(parse_request_head(
+      "GET /auditz?n=50 HTTP/1.1\r\nHost: x\r\n\r\n", &request));
+  EXPECT_EQ(request.method, "GET");
+  EXPECT_EQ(request.target, "/auditz?n=50");
+  EXPECT_EQ(request.path, "/auditz");
+  EXPECT_EQ(request.query, "n=50");
+
+  ASSERT_TRUE(parse_request_head("GET / HTTP/1.0\r\n\r\n", &request));
+  EXPECT_EQ(request.path, "/");
+  EXPECT_TRUE(request.query.empty());
+
+  EXPECT_FALSE(parse_request_head("garbage", &request));
+  EXPECT_FALSE(parse_request_head("GET /x SMTP/1.1\r\n", &request));
+  EXPECT_FALSE(parse_request_head("GET no-leading-slash HTTP/1.1\r\n",
+                                  &request));
+}
+
+TEST(ObsIntrospectHttp, QueryUint) {
+  EXPECT_EQ(query_uint("n=50", "n", 7), 50u);
+  EXPECT_EQ(query_uint("a=1&n=50&b=2", "n", 7), 50u);
+  EXPECT_EQ(query_uint("a=1", "n", 7), 7u);
+  EXPECT_EQ(query_uint("", "n", 7), 7u);
+  EXPECT_EQ(query_uint("n=abc", "n", 7), 7u);
+  EXPECT_EQ(query_uint("n=", "n", 7), 7u);
+}
+
+// ------------------------------- endpoints -------------------------------
+
+TEST(ObsIntrospect, ServesAllEndpointsOverRealTcp) {
+  MetricsRegistry metrics;
+  metrics.counter("bp_test_scored_total", "sessions scored").add(42);
+  metrics.gauge("bp_test_queue_depth", "queued requests").set(3);
+
+  TraceSink trace;
+  Span(&trace, 1, 1, 0, "request").finish();
+
+  AuditTrail audit;
+  audit.record(audit_record(7, true));
+
+  serve::ModelRegistry models;
+  ASSERT_EQ(models.publish(tiny_model()), 1u);
+
+  slo::SloEngine slo({});
+  slo::HealthModel health(
+      [&] {
+        slo::HealthSignals signals;
+        signals.model_version = models.version();
+        signals.workers = 4;
+        return signals;
+      },
+      &slo);
+
+  Sources sources;
+  sources.metrics = &metrics;
+  sources.trace = &trace;
+  sources.audit = &audit;
+  sources.health = &health;
+  sources.slo = &slo;
+  sources.statusz_extra = [] { return std::string("example_line: 1\n"); };
+
+  IntrospectionServer server(sources);
+  ASSERT_TRUE(server.running()) << server.error();
+  ASSERT_NE(server.port(), 0);
+
+  const auto get = [&](const std::string& target) {
+    return http_get("127.0.0.1", server.port(), target);
+  };
+
+  const HttpResult metrics_result = get("/metrics");
+  ASSERT_EQ(metrics_result.status, 200) << metrics_result.error;
+  EXPECT_NE(metrics_result.body.find("# TYPE bp_test_scored_total counter"),
+            std::string::npos);
+  EXPECT_NE(metrics_result.body.find("bp_test_scored_total 42"),
+            std::string::npos);
+
+  const HttpResult json_result = get("/metrics.json");
+  ASSERT_EQ(json_result.status, 200);
+  EXPECT_NE(json_result.body.find("\"bp_test_scored_total\": 42"),
+            std::string::npos);
+  EXPECT_EQ(json_result.body.front(), '{');
+
+  const HttpResult healthz = get("/healthz");
+  ASSERT_EQ(healthz.status, 200);
+  EXPECT_EQ(healthz.body, "ok\n");
+
+  const HttpResult readyz = get("/readyz");
+  ASSERT_EQ(readyz.status, 200);
+  EXPECT_EQ(readyz.body, "ok\n");
+
+  const HttpResult statusz = get("/statusz");
+  ASSERT_EQ(statusz.status, 200);
+  EXPECT_NE(statusz.body.find("live: true"), std::string::npos);
+  EXPECT_NE(statusz.body.find("ready: true"), std::string::npos);
+  EXPECT_NE(statusz.body.find("model_version: 1"), std::string::npos);
+  EXPECT_NE(statusz.body.find("example_line: 1"), std::string::npos);
+
+  const HttpResult tracez = get("/tracez");
+  ASSERT_EQ(tracez.status, 200);
+  EXPECT_NE(tracez.body.find("trace=1 span=1 parent=0 name=request"),
+            std::string::npos);
+
+  const HttpResult auditz = get("/auditz?n=10");
+  ASSERT_EQ(auditz.status, 200);
+  EXPECT_NE(auditz.body.find("\"session_id\": 7"), std::string::npos);
+  EXPECT_NE(auditz.body.find("\"flagged\": true"), std::string::npos);
+
+  const HttpResult missing = get("/nope");
+  EXPECT_EQ(missing.status, 404);
+  EXPECT_FALSE(missing.body.empty());
+
+  // Non-GET and malformed requests are refused, not crashed on.
+  EXPECT_NE(raw_request(server.port(),
+                        "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+                .find("405"),
+            std::string::npos);
+  EXPECT_NE(raw_request(server.port(), "garbage\r\n\r\n").find("400"),
+            std::string::npos);
+
+  EXPECT_GE(server.requests(), 9u);
+  server.stop();
+  server.stop();  // idempotent
+  EXPECT_FALSE(server.running());
+}
+
+TEST(ObsIntrospect, EndpointsWithoutSourcesAnswer404OrBareLiveness) {
+  IntrospectionServer server(Sources{});
+  ASSERT_TRUE(server.running()) << server.error();
+  const auto get = [&](const std::string& target) {
+    return http_get("127.0.0.1", server.port(), target);
+  };
+  EXPECT_EQ(get("/metrics").status, 404);
+  EXPECT_EQ(get("/metrics.json").status, 404);
+  EXPECT_EQ(get("/tracez").status, 404);
+  EXPECT_EQ(get("/auditz").status, 404);
+  // No health model: reaching the handler is the liveness proof, but
+  // nothing can vouch for serving fitness.
+  EXPECT_EQ(get("/healthz").status, 200);
+  EXPECT_EQ(get("/readyz").status, 503);
+  EXPECT_EQ(get("/statusz").status, 200);
+}
+
+TEST(ObsIntrospect, ReadyzFlipsWithPublishAndDegradedMode) {
+  serve::ModelRegistry models;
+  std::atomic<bool> degraded{false};
+  slo::HealthModel health([&] {
+    slo::HealthSignals signals;
+    signals.model_version = models.version();
+    signals.degraded_active = degraded.load();
+    signals.workers = 2;
+    return signals;
+  });
+
+  Sources sources;
+  sources.health = &health;
+  IntrospectionServer server(sources);
+  ASSERT_TRUE(server.running()) << server.error();
+  const auto readyz = [&] {
+    return http_get("127.0.0.1", server.port(), "/readyz");
+  };
+
+  // Nothing published: alive, not fit to serve.
+  EXPECT_EQ(http_get("127.0.0.1", server.port(), "/healthz").status, 200);
+  const HttpResult before = readyz();
+  EXPECT_EQ(before.status, 503);
+  EXPECT_NE(before.body.find("nothing published"), std::string::npos);
+
+  // Publish: readiness flips on the next scrape, no restart involved.
+  ASSERT_EQ(models.publish(tiny_model()), 1u);
+  EXPECT_EQ(readyz().status, 200);
+
+  // Degraded mode active: pulled from rotation again.
+  degraded.store(true);
+  EXPECT_EQ(readyz().status, 503);
+  degraded.store(false);
+  EXPECT_EQ(readyz().status, 200);
+}
+
+TEST(ObsIntrospect, AuditzBoundsToLastN) {
+  AuditTrail audit;
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    audit.record(audit_record(i, true));
+  }
+  Sources sources;
+  sources.audit = &audit;
+  IntrospectionServer server(sources);
+  ASSERT_TRUE(server.running()) << server.error();
+
+  const HttpResult last3 =
+      http_get("127.0.0.1", server.port(), "/auditz?n=3");
+  ASSERT_EQ(last3.status, 200);
+  std::size_t lines = 0;
+  for (char c : last3.body) lines += c == '\n';
+  EXPECT_EQ(lines, 3u);
+  // The most recent records, oldest of them first.
+  EXPECT_EQ(last3.body.find("\"session_id\": 6"), std::string::npos);
+  EXPECT_NE(last3.body.find("\"session_id\": 7"), std::string::npos);
+  EXPECT_NE(last3.body.find("\"session_id\": 9"), std::string::npos);
+}
+
+TEST(ObsIntrospect, BindFailureReportsInsteadOfRunning) {
+  ServerConfig config;
+  config.bind_address = "not-an-address";
+  IntrospectionServer server(Sources{}, config);
+  EXPECT_FALSE(server.running());
+  EXPECT_FALSE(server.error().empty());
+  server.stop();  // must be safe on a never-started server
+}
+
+// Satellite: scrape /metrics and /tracez from N client threads while
+// writer threads hammer the same instruments the way engine workers
+// do.  Every response must be a complete parseable exposition; the
+// whole test must run clean under TSan (tier1 sanitizer pass matches
+// this suite).
+TEST(ObsIntrospect, ConcurrentScrapeUnderMutation) {
+  MetricsRegistry metrics;
+  Counter& scored = metrics.counter("bp_load_scored_total", "scored");
+  const std::array<std::uint64_t, 4> bounds{100, 1'000, 10'000, 100'000};
+  Histogram& latency =
+      metrics.histogram("bp_load_latency_us", bounds, "latency");
+  TraceSink trace;
+
+  Sources sources;
+  sources.metrics = &metrics;
+  sources.trace = &trace;
+  IntrospectionServer server(sources);
+  ASSERT_TRUE(server.running()) << server.error();
+
+  constexpr int kWriters = 4;
+  constexpr int kScrapers = 4;
+  constexpr int kScrapesEach = 15;
+  std::atomic<bool> stop_writers{false};
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      std::uint64_t i = 0;
+      while (!stop_writers.load(std::memory_order_relaxed)) {
+        scored.increment(w);
+        latency.observe(50 + (i % 1'000), w);
+        TraceEvent event;
+        event.trace_id = static_cast<std::uint64_t>(w) << 32 | i;
+        event.span_id = 1;
+        event.name = "score";
+        trace.record(event);
+        ++i;
+      }
+    });
+  }
+
+  std::atomic<int> bad_responses{0};
+  std::vector<std::thread> scrapers;
+  for (int s = 0; s < kScrapers; ++s) {
+    scrapers.emplace_back([&] {
+      for (int i = 0; i < kScrapesEach; ++i) {
+        const HttpResult metrics_result =
+            http_get("127.0.0.1", server.port(), "/metrics");
+        if (metrics_result.status != 200 ||
+            metrics_result.body.find(
+                "# TYPE bp_load_scored_total counter") == std::string::npos ||
+            metrics_result.body.find("bp_load_latency_us_count") ==
+                std::string::npos) {
+          bad_responses.fetch_add(1);
+        }
+        const HttpResult tracez =
+            http_get("127.0.0.1", server.port(), "/tracez");
+        if (tracez.status != 200) bad_responses.fetch_add(1);
+      }
+    });
+  }
+
+  for (std::thread& s : scrapers) s.join();
+  stop_writers.store(true);
+  for (std::thread& w : writers) w.join();
+
+  EXPECT_EQ(bad_responses.load(), 0);
+  EXPECT_GE(server.requests(), static_cast<std::uint64_t>(kScrapers) *
+                                   kScrapesEach * 2);
+
+  // With writers quiescent, one final scrape must agree with the
+  // folded instrument values exactly.
+  const HttpResult final_scrape =
+      http_get("127.0.0.1", server.port(), "/metrics");
+  ASSERT_EQ(final_scrape.status, 200);
+  EXPECT_NE(final_scrape.body.find("bp_load_scored_total " +
+                                   std::to_string(scored.value())),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace bp::obs::introspect

@@ -4,7 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <limits>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -115,6 +118,79 @@ TEST(ObsMetrics, RenderPrometheusExposition) {
   EXPECT_NE(text.find("bp_lat_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
   EXPECT_NE(text.find("bp_lat_sum 700\n"), std::string::npos);
   EXPECT_NE(text.find("bp_lat_count 3\n"), std::string::npos);
+}
+
+TEST(ObsMetrics, PeriodicDumperFlushesTailOnStop) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("bp_tail_total");
+  const std::string path = "/tmp/bp_obs_dumper_tail_test.prom";
+  std::remove(path.c_str());
+  {
+    // Period far longer than the test: the only dumps are the
+    // immediate one at start and the final flush stop() performs.
+    PeriodicDumper dumper(registry, path, std::chrono::minutes(10));
+    while (dumper.dumps() == 0) std::this_thread::yield();
+    c.add(41);  // the "tail of the last period"
+    dumper.stop();
+    EXPECT_EQ(dumper.dumps(), 2u);  // startup dump + final flush
+    dumper.stop();                  // idempotent: no third dump
+    EXPECT_EQ(dumper.dumps(), 2u);
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  const std::string dumped((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+  EXPECT_NE(dumped.find("bp_tail_total 41\n"), std::string::npos) << dumped;
+  std::remove(path.c_str());
+}
+
+TEST(ObsMetrics, PrometheusHelpEscapesBackslashAndNewline) {
+  MetricsRegistry registry;
+  registry.counter("bp_tricky_total", "line one\nline two \\ backslash")
+      .add(1);
+  const std::string text = registry.render_prometheus();
+  // The exposition stays one physical line per HELP entry: the newline
+  // is escaped to "\n" and the backslash to "\\".
+  EXPECT_NE(
+      text.find("# HELP bp_tricky_total line one\\nline two \\\\ backslash\n"),
+      std::string::npos)
+      << text;
+  EXPECT_EQ(text.find("line one\nline"), std::string::npos);
+  // Every line is a comment or a sample: no raw-help line can appear.
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string_view line(text.data() + pos, eol - pos);
+    EXPECT_TRUE(line.empty() || line[0] == '#' ||
+                line.substr(0, 3) == "bp_")
+        << "unexpected exposition line: " << line;
+    pos = eol + 1;
+  }
+}
+
+TEST(ObsMetrics, ReadValueCoversEveryInstrumentKind) {
+  MetricsRegistry registry;
+  registry.counter("c_total").add(5);
+  registry.gauge("g").set(2.5);
+  registry.gauge_callback("cb", [] { return 9.0; });
+  const std::vector<std::uint64_t> bounds = {100, 1'000};
+  Histogram& h = registry.histogram("h_us", bounds);
+  h.observe(50);
+  h.observe(100);   // on the bound: not over 100
+  h.observe(500);
+  h.observe(5'000);
+
+  EXPECT_DOUBLE_EQ(registry.read_value("c_total").value(), 5.0);
+  EXPECT_DOUBLE_EQ(registry.read_value("g").value(), 2.5);
+  EXPECT_DOUBLE_EQ(registry.read_value("cb").value(), 9.0);
+  EXPECT_DOUBLE_EQ(registry.read_value("h_us").value(), 4.0);  // count
+  EXPECT_FALSE(registry.read_value("missing").has_value());
+
+  EXPECT_DOUBLE_EQ(registry.read_histogram_over("h_us", 100).value(), 2.0);
+  EXPECT_DOUBLE_EQ(registry.read_histogram_over("h_us", 1'000).value(), 1.0);
+  EXPECT_FALSE(registry.read_histogram_over("c_total", 100).has_value());
+  EXPECT_FALSE(registry.read_histogram_over("missing", 100).has_value());
 }
 
 TEST(ObsMetrics, RenderJsonIsDeterministicAndNameOrdered) {
