@@ -1,0 +1,338 @@
+// bench_net_saturation: open-loop load generator for the network
+// scoring plane (src/net).
+//
+// Drives POST /score over M keep-alive connections at a configured
+// *offered* arrival rate, independent of how fast the server answers —
+// the open-loop discipline: every request has a scheduled arrival time
+// derived from the rate alone, and its latency is measured from that
+// schedule, not from when a backed-up sender finally wrote it.  A
+// closed-loop driver (send, wait, send) silently slows down with the
+// server and hides saturation — the coordinated-omission trap this
+// bench exists to avoid.
+//
+// Per connection, one sender thread paces and pipelines requests while
+// one reader thread drains responses in order (the HttpClient
+// send_request/read_response halves).  Every response is parsed and
+// checked: HTTP 200 with a well-formed wire frame echoing the expected
+// session id counts as answered; HTTP 503 is the server *telling* the
+// client it shed (counted, not lost); anything else — transport error,
+// unparseable frame, wrong session echo — is lost or corrupted, and
+// the sweep's acceptance line is zero of both.
+//
+// Output: a table on stdout plus machine-readable JSON (latency
+// percentiles vs offered load; "net_saturation.json" or argv's path).
+//
+// Usage:
+//   bench_net_saturation [json_path]         # full rate sweep
+//   bench_net_saturation --smoke [json_path] # one short rate, CI gate
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "net/http_common.h"
+#include "net/score_server.h"
+#include "net/wire.h"
+#include "serve/model_registry.h"
+#include "traffic/session_generator.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct RateResult {
+  double offered_rps = 0.0;
+  double achieved_rps = 0.0;  // answered / wall time
+  std::size_t connections = 0;
+  std::size_t sent = 0;
+  std::size_t answered = 0;  // HTTP 200 with a valid scored/degraded frame
+  std::size_t shed = 0;      // HTTP 503: explicit backpressure
+  std::size_t lost = 0;      // no response at all
+  std::size_t corrupted = 0;  // response that failed validation
+  double p50_us = 0.0, p95_us = 0.0, p99_us = 0.0, p999_us = 0.0;
+  double seconds = 0.0;
+};
+
+double percentile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+// One offered-load point: `total` requests spread evenly over
+// `connections` keep-alive connections at `offered_rps` aggregate.
+RateResult drive(std::uint16_t port,
+                 const std::vector<std::string>& frames,
+                 double offered_rps, std::size_t connections,
+                 std::size_t total) {
+  RateResult result;
+  result.offered_rps = offered_rps;
+  result.connections = connections;
+
+  const double interval_s =
+      static_cast<double>(connections) / offered_rps;  // per-connection gap
+
+  std::vector<std::vector<double>> latencies(connections);
+  std::vector<std::size_t> sent(connections, 0), answered(connections, 0),
+      shed(connections, 0), lost(connections, 0), corrupted(connections, 0);
+
+  const auto t0 = Clock::now() + std::chrono::milliseconds(20);
+  std::vector<std::thread> drivers;
+  for (std::size_t c = 0; c < connections; ++c) {
+    drivers.emplace_back([&, c] {
+      const std::size_t n =
+          total / connections + (c < total % connections ? 1 : 0);
+      bp::net::HttpClient client("127.0.0.1", port,
+                                 std::chrono::milliseconds(10'000));
+      if (!client.connect()) {
+        lost[c] = n;
+        return;
+      }
+      latencies[c].reserve(n);
+      // The connection's arrival schedule, fixed before any response.
+      std::vector<Clock::time_point> schedule(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        schedule[i] =
+            t0 + std::chrono::duration_cast<Clock::duration>(
+                     std::chrono::duration<double>(
+                         (static_cast<double>(i) +
+                          static_cast<double>(c) /
+                              static_cast<double>(connections)) *
+                         interval_s));
+      }
+
+      std::atomic<std::size_t> n_sent{0};
+      std::atomic<bool> sender_done{false};
+      std::thread sender([&] {
+        for (std::size_t i = 0; i < n; ++i) {
+          std::this_thread::sleep_until(schedule[i]);
+          const std::string& frame =
+              frames[(c + i * connections) % frames.size()];
+          if (!client.send_request("POST", "/score", frame,
+                                   "application/x-bpwire")) {
+            break;  // transport gone; reader accounts the shortfall
+          }
+          n_sent.store(i + 1, std::memory_order_release);
+        }
+        sender_done.store(true, std::memory_order_release);
+      });
+
+      // Reader: responses arrive in pipeline order, so response i
+      // pairs with schedule[i] and frame (c + i*connections) % size.
+      std::size_t i = 0;
+      while (true) {
+        while (n_sent.load(std::memory_order_acquire) <= i &&
+               !sender_done.load(std::memory_order_acquire)) {
+          std::this_thread::yield();
+        }
+        if (n_sent.load(std::memory_order_acquire) <= i) break;  // all read
+        bp::net::WireScoreResponse verdict;
+        const bp::net::HttpResult got = client.read_response();
+        if (got.status < 0) break;  // transport error: rest is lost
+        const auto now = Clock::now();
+        const std::uint64_t want_session =
+            (c + i * connections) % frames.size() + 1;
+        if (got.status == 503) {
+          ++shed[c];
+        } else if (got.status != 200) {
+          ++corrupted[c];
+        } else if (bp::net::parse_score_response(got.body, &verdict) !=
+                       bp::net::WireError::kOk ||
+                   verdict.session_id != want_session) {
+          ++corrupted[c];
+        } else {
+          ++answered[c];
+          latencies[c].push_back(
+              std::chrono::duration<double, std::micro>(now - schedule[i])
+                  .count());
+        }
+        ++i;
+      }
+      sender.join();
+      sent[c] = n_sent.load(std::memory_order_acquire);
+      lost[c] += sent[c] - (answered[c] + shed[c] + corrupted[c]);
+    });
+  }
+  for (std::thread& driver : drivers) driver.join();
+  const double seconds = std::chrono::duration<double>(
+                             Clock::now() - t0)
+                             .count();
+
+  std::vector<double> all;
+  for (std::size_t c = 0; c < connections; ++c) {
+    result.sent += sent[c];
+    result.answered += answered[c];
+    result.shed += shed[c];
+    result.lost += lost[c];
+    result.corrupted += corrupted[c];
+    all.insert(all.end(), latencies[c].begin(), latencies[c].end());
+  }
+  std::sort(all.begin(), all.end());
+  result.p50_us = percentile(all, 0.50);
+  result.p95_us = percentile(all, 0.95);
+  result.p99_us = percentile(all, 0.99);
+  result.p999_us = percentile(all, 0.999);
+  result.seconds = seconds;
+  result.achieved_rps =
+      seconds > 0.0 ? static_cast<double>(result.answered) / seconds : 0.0;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bp;
+
+  bool smoke = false;
+  std::string json_path = "net_saturation.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      json_path = argv[i];
+    }
+  }
+
+  std::printf("training the production model...\n");
+  const auto trained = benchmark_support::train_production(
+      benchmark_support::make_training_dataset(smoke ? 8'000 : 40'000));
+  serve::ModelRegistry registry;
+  registry.publish(trained.model);
+
+  // ---- the server under test: sharded router behind POST /score ----
+  net::ScoreServerConfig config;
+  config.listener.handler_threads = 4;
+  config.router.shards = 2;
+  config.router.engine.workers = 2;
+  config.router.engine.queue_capacity = 4096;
+  config.router.engine.overflow_policy = serve::OverflowPolicy::kReject;
+  config.expected_features = trained.model.config().feature_indices.size();
+  net::ScoreServer server(registry, config);
+  if (!server.running()) {
+    std::fprintf(stderr, "score server failed: %s\n", server.error().c_str());
+    return 1;
+  }
+
+  // ---- pre-render the wire frames so the drivers measure the plane,
+  // not client-side synthesis ----
+  const std::size_t n_frames = smoke ? 2'000 : 10'000;
+  std::printf("rendering %zu request frames...\n", n_frames);
+  traffic::TrafficConfig live_config;
+  live_config.seed = 0x5EF7E2025;
+  traffic::SessionGenerator live(live_config);
+  const auto& indices = trained.model.config().feature_indices;
+  std::vector<std::string> frames;
+  frames.reserve(n_frames);
+  for (std::size_t i = 0; i < n_frames; ++i) {
+    traffic::SessionRecord session = live.next_session(indices);
+    std::string frame;
+    net::render_score_request(i + 1, session.user_agent, session.features,
+                              &frame);
+    frames.push_back(std::move(frame));
+  }
+
+  const std::size_t connections = smoke ? 2 : 4;
+  std::vector<double> rates;
+  std::vector<std::size_t> totals;
+  if (smoke) {
+    rates = {1'000.0};
+    totals = {1'000};
+  } else {
+    rates = {2'000.0, 5'000.0, 10'000.0, 20'000.0, 40'000.0};
+    for (const double rate : rates) {
+      // ~2 seconds of offered traffic per point.
+      totals.push_back(static_cast<std::size_t>(rate * 2.0));
+    }
+  }
+
+  std::printf("driving %zu keep-alive connections (open-loop; latency "
+              "measured from scheduled arrival):\n",
+              connections);
+  std::vector<RateResult> results;
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    RateResult r = drive(server.port(), frames, rates[i], connections,
+                         totals[i]);
+    std::printf("  offered %7.0f rps -> answered %7.0f rps  "
+                "p50=%.0fus p99=%.0fus p999=%.0fus  "
+                "shed=%zu lost=%zu corrupted=%zu\n",
+                r.offered_rps, r.achieved_rps, r.p50_us, r.p99_us, r.p999_us,
+                r.shed, r.lost, r.corrupted);
+    results.push_back(std::move(r));
+  }
+  server.stop();
+
+  util::TextTable table({"offered_rps", "achieved_rps", "conns", "sent",
+                         "answered", "shed", "lost", "corrupt", "p50_us",
+                         "p95_us", "p99_us", "p999_us"});
+  for (const RateResult& r : results) {
+    char offered[24], achieved[24], p50[24], p95[24], p99[24], p999[24];
+    std::snprintf(offered, sizeof(offered), "%.0f", r.offered_rps);
+    std::snprintf(achieved, sizeof(achieved), "%.0f", r.achieved_rps);
+    std::snprintf(p50, sizeof(p50), "%.0f", r.p50_us);
+    std::snprintf(p95, sizeof(p95), "%.0f", r.p95_us);
+    std::snprintf(p99, sizeof(p99), "%.0f", r.p99_us);
+    std::snprintf(p999, sizeof(p999), "%.0f", r.p999_us);
+    table.add_row({offered, achieved, std::to_string(r.connections),
+                   std::to_string(r.sent), std::to_string(r.answered),
+                   std::to_string(r.shed), std::to_string(r.lost),
+                   std::to_string(r.corrupted), p50, p95, p99, p999});
+  }
+  std::printf("\nnet saturation (latency vs offered load):\n%s",
+              table.render().c_str());
+
+  std::string json = "{\n";
+  json += "  \"hardware_threads\": " +
+          std::to_string(std::thread::hardware_concurrency()) + ",\n";
+  json += "  \"connections\": " + std::to_string(connections) + ",\n";
+  json += "  \"smoke\": " + std::string(smoke ? "true" : "false") + ",\n";
+  json += "  \"rates\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const RateResult& r = results[i];
+    char entry[512];
+    std::snprintf(
+        entry, sizeof(entry),
+        "    {\"offered_rps\": %.0f, \"achieved_rps\": %.1f, "
+        "\"seconds\": %.3f, \"sent\": %zu, \"answered\": %zu, "
+        "\"shed\": %zu, \"lost\": %zu, \"corrupted\": %zu, "
+        "\"p50_micros\": %.1f, \"p95_micros\": %.1f, \"p99_micros\": %.1f, "
+        "\"p999_micros\": %.1f}%s\n",
+        r.offered_rps, r.achieved_rps, r.seconds, r.sent, r.answered, r.shed,
+        r.lost, r.corrupted, r.p50_us, r.p95_us, r.p99_us, r.p999_us,
+        i + 1 == results.size() ? "" : ",");
+    json += entry;
+  }
+  json += "  ]\n}\n";
+  if (!util::write_file(json_path, json)) {
+    std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("\nJSON written to %s\n", json_path.c_str());
+
+  // Acceptance: the plane answers everything it is offered — a request
+  // is either scored or explicitly shed; nothing vanishes, nothing is
+  // corrupted, at any offered load.
+  std::size_t lost = 0, corrupted = 0, answered = 0;
+  for (const RateResult& r : results) {
+    lost += r.lost;
+    corrupted += r.corrupted;
+    answered += r.answered;
+  }
+  if (lost != 0 || corrupted != 0 || answered == 0) {
+    std::fprintf(stderr,
+                 "FAIL: %zu lost, %zu corrupted, %zu answered\n",
+                 lost, corrupted, answered);
+    return 1;
+  }
+  std::printf("zero lost, zero corrupted responses across the sweep\n");
+  return 0;
+}

@@ -25,10 +25,20 @@
 //     (watch /readyz flip 503 -> 200 on the first publish), prints
 //     "introspection server listening on <addr>:<port>", and after
 //     the pipeline completes keeps serving until SIGINT/SIGTERM.
+//   fraud_detection_service --score-listen 127.0.0.1:0
+//     Additionally starts the network scoring plane (src/net): a
+//     POST /score ingress in front of a sharded EngineRouter, up
+//     before the first publish (early frames get explicit degraded
+//     verdicts; watch them flip to scored on v1).  Prints "score
+//     server listening on <addr>:<port>".  Try:
+//       curl -s -X POST --data-binary \
+//         'bp1|7|Chrome 112|0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0 0' \
+//         http://<addr>:<port>/score
 //
-// Shutdown on SIGINT/SIGTERM is graceful and ordered: stop the
-// introspection server, drain and stop the scoring engine, then flush
-// the final metrics dump.
+// Shutdown on SIGINT/SIGTERM is graceful and ordered: stop the score
+// ingress (stop intake -> drain shards -> stop shards), stop the
+// introspection server, drain and stop the demo scoring engine, then
+// flush the final metrics dump.
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -43,6 +53,7 @@
 
 #include "core/drift.h"
 #include "core/model_io.h"
+#include "net/score_server.h"
 #include "obs/audit.h"
 #include "obs/export.h"
 #include "obs/introspect/server.h"
@@ -66,36 +77,52 @@ void handle_signal(int sig) { g_signal.store(sig, std::memory_order_relaxed); }
 
 bool signalled() { return g_signal.load(std::memory_order_relaxed) != 0; }
 
-// --listen <addr:port> or --listen <port> (addr defaults to loopback;
-// port 0 binds ephemerally and the chosen port is printed).
+// --listen / --score-listen take <addr:port> or <port> (addr defaults
+// to loopback; port 0 binds ephemerally and the chosen port is
+// printed).
 struct ListenSpec {
   bool enabled = false;
   std::string address = "127.0.0.1";
   std::uint16_t port = 0;
 };
 
-bool parse_args(int argc, char** argv, ListenSpec* listen) {
+bool parse_listen_value(const char* flag, const std::string& value,
+                        ListenSpec* spec) {
+  spec->enabled = true;
+  const std::size_t colon = value.rfind(':');
+  const std::string port_part =
+      colon == std::string::npos ? value : value.substr(colon + 1);
+  if (colon != std::string::npos && colon > 0) {
+    spec->address = value.substr(0, colon);
+  }
+  char* end = nullptr;
+  const unsigned long port = std::strtoul(port_part.c_str(), &end, 10);
+  if (end == port_part.c_str() || *end != '\0' || port > 65535) {
+    std::fprintf(stderr, "invalid %s value '%s'\n", flag, value.c_str());
+    return false;
+  }
+  spec->port = static_cast<std::uint16_t>(port);
+  return true;
+}
+
+bool parse_args(int argc, char** argv, ListenSpec* listen,
+                ListenSpec* score_listen) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--listen" && i + 1 < argc) {
-      listen->enabled = true;
-      const std::string value = argv[++i];
-      const std::size_t colon = value.rfind(':');
-      const std::string port_part =
-          colon == std::string::npos ? value : value.substr(colon + 1);
-      if (colon != std::string::npos && colon > 0) {
-        listen->address = value.substr(0, colon);
-      }
-      char* end = nullptr;
-      const unsigned long port = std::strtoul(port_part.c_str(), &end, 10);
-      if (end == port_part.c_str() || *end != '\0' || port > 65535) {
-        std::fprintf(stderr, "invalid --listen value '%s'\n", value.c_str());
-        return false;
-      }
-      listen->port = static_cast<std::uint16_t>(port);
+      if (!parse_listen_value("--listen", argv[++i], listen)) return false;
       continue;
     }
-    std::fprintf(stderr, "usage: %s [--listen <addr:port|port>]\n", argv[0]);
+    if (arg == "--score-listen" && i + 1 < argc) {
+      if (!parse_listen_value("--score-listen", argv[++i], score_listen)) {
+        return false;
+      }
+      continue;
+    }
+    std::fprintf(stderr,
+                 "usage: %s [--listen <addr:port|port>] "
+                 "[--score-listen <addr:port|port>]\n",
+                 argv[0]);
     return false;
   }
   return true;
@@ -135,7 +162,8 @@ int main(int argc, char** argv) {
   using namespace bp;
 
   ListenSpec listen;
-  if (!parse_args(argc, argv, &listen)) return 2;
+  ListenSpec score_listen;
+  if (!parse_args(argc, argv, &listen, &score_listen)) return 2;
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
 
@@ -318,10 +346,53 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
   }
 
+  // ---- network scoring plane (--score-listen): POST /score over TCP ----
+  // Sharded EngineRouter behind the shared HTTP listener, sharing the
+  // demo's ModelRegistry — a hot swap lands on both planes atomically.
+  // Up before the first publish: degrade_without_model answers early
+  // frames with explicit degraded verdicts instead of hanging them.
+  std::optional<net::ScoreServer> score_server;
+  if (score_listen.enabled) {
+    net::ScoreServerConfig score_config;
+    score_config.listener.bind_address = score_listen.address;
+    score_config.listener.port = score_listen.port;
+    score_config.listener.handler_threads = 4;
+    score_config.router.shards = 2;
+    score_config.router.engine.workers = 2;
+    score_config.router.engine.queue_capacity = 1024;
+    score_config.router.engine.overflow_policy = serve::OverflowPolicy::kReject;
+    score_config.router.engine.degrade_without_model = true;
+    score_config.router.engine.registry = &metrics;
+    score_config.router.engine.metrics_prefix = "bp_net";
+    score_config.registry = &metrics;
+    // Arm the wire-layer feature-count check with the production width
+    // (PolygraphConfig's *default-constructed* index list is empty; the
+    // Polygraph ctor and production() both resolve it to the Table 8
+    // set the demo's model is trained with).
+    score_config.expected_features =
+        core::PolygraphConfig::production().feature_indices.size();
+    score_server.emplace(registry, std::move(score_config));
+    if (!score_server->running()) {
+      std::fprintf(stderr, "score server failed: %s\n",
+                   score_server->error().c_str());
+      if (server) server->stop();
+      sampler_stop.store(true, std::memory_order_release);
+      sampler.join();
+      return 1;
+    }
+    std::printf("score server listening on %s:%u (%zu shards)\n",
+                score_listen.address.c_str(), score_server->port(),
+                score_server->router().shards());
+    std::fflush(stdout);
+  }
+
   // Ordered graceful teardown, shared by the signal path and the
-  // normal exit: stop taking scrapes, drain what serving admitted,
-  // stop the workers, then flush the final metrics dump.
+  // normal exit: stop the score ingress (its stop() is itself ordered:
+  // stop intake -> drain shards -> stop shards), stop taking scrapes,
+  // drain what the demo engine admitted, stop its workers, then flush
+  // the final metrics dump.
   const auto graceful_shutdown = [&] {
+    if (score_server) score_server->stop();
     if (server) server->stop();
     engine.drain();
     engine.stop();
@@ -523,12 +594,20 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  // With --listen the pipeline's end is not the service's end: keep
-  // the introspection plane up for scrapes until a signal arrives.
-  if (server) {
-    std::printf("\npipeline complete; introspection server still listening "
-                "on %s:%u — SIGINT/SIGTERM to exit\n",
-                listen.address.c_str(), server->port());
+  // With --listen / --score-listen the pipeline's end is not the
+  // service's end: keep the network planes up until a signal arrives.
+  if (server || score_server) {
+    if (server) {
+      std::printf("\npipeline complete; introspection server still listening "
+                  "on %s:%u — SIGINT/SIGTERM to exit\n",
+                  listen.address.c_str(), server->port());
+    }
+    if (score_server) {
+      std::printf("%sscore server still answering POST /score on %s:%u — "
+                  "SIGINT/SIGTERM to exit\n",
+                  server ? "" : "\npipeline complete; ",
+                  score_listen.address.c_str(), score_server->port());
+    }
     std::fflush(stdout);
     while (!signalled()) {
       std::this_thread::sleep_for(std::chrono::milliseconds(100));

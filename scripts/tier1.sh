@@ -24,10 +24,14 @@ ctest --test-dir build --output-on-failure -j
 echo "== training-throughput bench smoke (determinism gate) =="
 ./build/bench/bench_training_throughput --smoke /tmp/bp_bench_training_smoke.json
 
-echo "== live introspection smoke (HTTP over an ephemeral port) =="
+echo "== net-saturation bench smoke (zero-loss gate over real TCP) =="
+./build/bench/bench_net_saturation --smoke /tmp/bp_bench_net_smoke.json
+
+echo "== live introspection + scoring smoke (HTTP over ephemeral ports) =="
 smoke_log=/tmp/bp_introspect_smoke.log
 rm -f "${smoke_log}"
 ./build/examples/fraud_detection_service --listen 127.0.0.1:0 \
+  --score-listen 127.0.0.1:0 \
   > "${smoke_log}" 2>&1 &
 svc_pid=$!
 smoke_fail() {
@@ -36,13 +40,17 @@ smoke_fail() {
   exit 1
 }
 port=""
+score_port=""
 for _ in $(seq 1 100); do
   port=$(sed -n 's/^introspection server listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
          "${smoke_log}" | head -n 1)
-  [[ -n "${port}" ]] && break
+  score_port=$(sed -n 's/^score server listening on 127\.0\.0\.1:\([0-9]*\) .*$/\1/p' \
+         "${smoke_log}" | head -n 1)
+  [[ -n "${port}" && -n "${score_port}" ]] && break
   sleep 0.2
 done
-[[ -n "${port}" ]] || smoke_fail "server never announced its port"
+[[ -n "${port}" ]] || smoke_fail "server never announced its introspection port"
+[[ -n "${score_port}" ]] || smoke_fail "server never announced its score port"
 
 fetch() {  # fetch <path> <want_status>: asserts status and non-empty body
   local path=$1 want=$2 code
@@ -68,9 +76,19 @@ done
 fetch /readyz 200
 fetch /statusz 200
 
+# POST one session over the scoring plane; after /readyz the model is
+# published, so the verdict must be a scored frame echoing the session.
+features=$(printf '0 %.0s' $(seq 1 28)); features=${features% }
+verdict=$(curl -s --data-binary "bp1|1|Chrome 112|${features}" \
+          "http://127.0.0.1:${score_port}/score" || true)
+case "${verdict}" in
+  "bp1|1|scored|"* ) ;;
+  * ) smoke_fail "POST /score -> '${verdict}' (want bp1|1|scored|...)" ;;
+esac
+
 kill -INT "${svc_pid}"
 if wait "${svc_pid}"; then
-  echo "introspection smoke ok (port ${port}, clean SIGINT shutdown)"
+  echo "introspection + scoring smoke ok (ports ${port}/${score_port}, clean SIGINT shutdown)"
 else
   smoke_fail "service exited non-zero after SIGINT"
 fi
@@ -85,8 +103,10 @@ if [[ -n "${BP_SANITIZE:-}" ]]; then
   # clean under both TSan and ASan — and the observability plane
   # (striped counters, trace ring, audit trail, the introspection HTTP
   # server scraped under mutation, and the SLO/health rollup) whose
-  # lock-free hot paths are exactly what the sanitizers exist to vet.
+  # lock-free hot paths are exactly what the sanitizers exist to vet,
+  # plus the network scoring plane (wire parser, sharded router,
+  # concurrent TCP soak over POST /score).
   ctest --test-dir "${san_dir}" \
-    -R 'Serve|BoundedQueue|Parallel|TrainingDeterminism|Fault|RetrainSupervisor|ModelIntegrity|ChaosSoak|Obs|Audit|Introspect|Slo|Health' \
+    -R 'Serve|BoundedQueue|Parallel|TrainingDeterminism|Fault|RetrainSupervisor|ModelIntegrity|ChaosSoak|Obs|Audit|Introspect|Slo|Health|Net|Router' \
     --output-on-failure
 fi

@@ -1,0 +1,590 @@
+#include "net/http_common.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+
+namespace bp::net {
+
+namespace {
+
+void set_io_timeout(int fd, std::chrono::milliseconds timeout) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+bool send_all_fd(int fd, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool iequals(std::string_view a, std::string_view b) noexcept {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string_view trim(std::string_view s) noexcept {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+// Value of header `name` (case-insensitive) in `head`, which starts at
+// the first header line (past the request/status line).  Empty view
+// when absent.
+std::string_view find_header(std::string_view head, std::string_view name) {
+  std::size_t pos = 0;
+  while (pos < head.size()) {
+    std::size_t eol = head.find("\r\n", pos);
+    if (eol == std::string_view::npos) eol = head.size();
+    const std::string_view line = head.substr(pos, eol - pos);
+    const std::size_t colon = line.find(':');
+    if (colon != std::string_view::npos &&
+        iequals(trim(line.substr(0, colon)), name)) {
+      return trim(line.substr(colon + 1));
+    }
+    pos = eol + 2;
+  }
+  return {};
+}
+
+bool parse_size(std::string_view text, std::size_t* out) noexcept {
+  if (text.empty()) return false;
+  std::size_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    if (value > (SIZE_MAX - 9) / 10) return false;
+    value = value * 10 + static_cast<std::size_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+std::string_view status_reason(int status) noexcept {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Payload Too Large";
+    case 431: return "Request Header Fields Too Large";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+bool parse_request_head(std::string_view head, HttpRequest* out) {
+  const std::size_t line_end = head.find("\r\n");
+  std::string_view line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos) return false;
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos) return false;
+  const std::string_view version = line.substr(sp2 + 1);
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") return false;
+  out->method = std::string(line.substr(0, sp1));
+  out->target = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  if (out->method.empty() || out->target.empty() || out->target[0] != '/') {
+    return false;
+  }
+  const std::size_t q = out->target.find('?');
+  out->path = out->target.substr(0, q);
+  out->query =
+      q == std::string::npos ? std::string() : out->target.substr(q + 1);
+
+  out->keep_alive = version == "HTTP/1.1";
+  out->content_length = 0;
+  if (line_end == std::string_view::npos) return true;
+  const std::string_view headers = head.substr(line_end + 2);
+  const std::string_view connection = find_header(headers, "Connection");
+  if (iequals(connection, "close")) out->keep_alive = false;
+  if (iequals(connection, "keep-alive")) out->keep_alive = true;
+  const std::string_view length = find_header(headers, "Content-Length");
+  if (!length.empty() && !parse_size(length, &out->content_length)) {
+    return false;
+  }
+  return true;
+}
+
+std::string serialize_response(const HttpResponse& response) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    std::string(status_reason(response.status)) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += response.keep_alive ? "Connection: keep-alive\r\n\r\n"
+                             : "Connection: close\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+std::uint64_t query_uint(std::string_view query, std::string_view key,
+                         std::uint64_t fallback) noexcept {
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    std::size_t amp = query.find('&', pos);
+    if (amp == std::string_view::npos) amp = query.size();
+    const std::string_view pair = query.substr(pos, amp - pos);
+    const std::size_t eq = pair.find('=');
+    if (eq != std::string_view::npos && pair.substr(0, eq) == key) {
+      const std::string_view value = pair.substr(eq + 1);
+      if (value.empty()) return fallback;
+      std::uint64_t parsed = 0;
+      for (char c : value) {
+        if (c < '0' || c > '9') return fallback;
+        parsed = parsed * 10 + static_cast<std::uint64_t>(c - '0');
+      }
+      return parsed;
+    }
+    pos = amp + 1;
+  }
+  return fallback;
+}
+
+// ---------------------------------------------------------------- listener
+
+HttpListener::HttpListener(ListenerConfig config, Handler handler)
+    : config_(std::move(config)), handler_(std::move(handler)) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    error_ = std::string("socket: ") + std::strerror(errno);
+    return;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    error_ = "inet_pton: invalid bind address '" + config_.bind_address + "'";
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    error_ = std::string("bind: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return;
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    error_ = std::string("listen: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return;
+  }
+
+  // Port 0 binds ephemerally; read the kernel's choice back so tests
+  // (and the tier-1 smoke) can address the server.
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+
+  running_.store(true, std::memory_order_release);
+  const std::size_t n_handlers =
+      std::max<std::size_t>(config_.handler_threads, 1);
+  handlers_.reserve(n_handlers);
+  for (std::size_t i = 0; i < n_handlers; ++i) {
+    handlers_.emplace_back([this] { handler_loop(); });
+  }
+  acceptor_ = std::thread([this] { acceptor_loop(); });
+}
+
+HttpListener::~HttpListener() { stop(); }
+
+std::string HttpListener::error() const {
+  std::lock_guard lock(error_mutex_);
+  return error_;
+}
+
+void HttpListener::acceptor_loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load(std::memory_order_acquire)) break;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;  // listen socket is gone; stop() is the only cause
+    }
+    set_io_timeout(fd, config_.io_timeout);
+    {
+      std::lock_guard lock(queue_mutex_);
+      if (pending_.size() >= config_.max_pending) {
+        // Shed at accept: better to drop a connection than to queue
+        // unboundedly — the client retries (a scraper on its next
+        // cadence, the load generator counting the loss).
+        overloaded_.fetch_add(1, std::memory_order_relaxed);
+        ::close(fd);
+        continue;
+      }
+      pending_.push_back(fd);
+    }
+    queue_cv_.notify_one();
+  }
+}
+
+void HttpListener::handler_loop() {
+  while (true) {
+    int fd = -1;
+    {
+      std::unique_lock lock(queue_mutex_);
+      queue_cv_.wait(lock, [&] {
+        return stopping_.load(std::memory_order_acquire) || !pending_.empty();
+      });
+      if (pending_.empty()) return;  // stopping and drained
+      fd = pending_.front();
+      pending_.pop_front();
+    }
+    serve_connection(fd);
+    ::close(fd);
+  }
+}
+
+void HttpListener::serve_connection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  while (true) {
+    // ---- assemble one full head (pipelined data may already be here) ----
+    std::size_t head_end = buffer.find("\r\n\r\n");
+    while (head_end == std::string::npos) {
+      if (buffer.size() > config_.max_head_bytes) {
+        HttpResponse too_large;
+        too_large.status = 431;
+        too_large.body = "request head too large\n";
+        requests_.fetch_add(1, std::memory_order_relaxed);
+        send_all_fd(fd, serialize_response(too_large));
+        return;
+      }
+      // Between requests on an idle keep-alive connection, notice a
+      // shutdown instead of blocking a full io_timeout on recv.
+      if (buffer.empty() && stopping_.load(std::memory_order_acquire)) return;
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) return;  // timeout, EOF or error: nothing to answer
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      head_end = buffer.find("\r\n\r\n");
+    }
+
+    HttpRequest request;
+    if (!parse_request_head(
+            std::string_view(buffer).substr(0, head_end + 2), &request)) {
+      HttpResponse malformed;
+      malformed.status = 400;
+      malformed.body = "malformed request\n";
+      requests_.fetch_add(1, std::memory_order_relaxed);
+      send_all_fd(fd, serialize_response(malformed));
+      return;  // framing is lost; nothing downstream can be trusted
+    }
+    if (request.content_length > config_.max_body_bytes) {
+      HttpResponse too_large;
+      too_large.status = 413;
+      too_large.body = "request body too large\n";
+      requests_.fetch_add(1, std::memory_order_relaxed);
+      send_all_fd(fd, serialize_response(too_large));
+      return;
+    }
+
+    // ---- assemble the body ----
+    const std::size_t frame_end = head_end + 4 + request.content_length;
+    while (buffer.size() < frame_end) {
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) return;  // truncated request: nothing to answer
+      buffer.append(chunk, static_cast<std::size_t>(n));
+    }
+    request.body =
+        std::string_view(buffer).substr(head_end + 4, request.content_length);
+
+    HttpResponse response = handler_(request);
+    response.keep_alive = config_.keep_alive && request.keep_alive &&
+                          response.status < 400 &&
+                          !stopping_.load(std::memory_order_acquire);
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    if (!send_all_fd(fd, serialize_response(response))) return;
+    if (!response.keep_alive) return;
+    buffer.erase(0, frame_end);
+  }
+}
+
+void HttpListener::begin_stop() {
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) return;
+  // Unblock accept() by shutting the listening socket down before
+  // closing it; handlers notice via the flag between requests.
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  queue_cv_.notify_all();
+}
+
+void HttpListener::stop() {
+  begin_stop();
+  std::lock_guard lock(stop_mutex_);
+  if (acceptor_.joinable()) acceptor_.join();
+  for (std::thread& handler : handlers_) {
+    if (handler.joinable()) handler.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // Connections accepted but never picked up: close them so clients
+  // get a reset instead of a hang.
+  std::lock_guard queue_lock(queue_mutex_);
+  for (int fd : pending_) ::close(fd);
+  pending_.clear();
+  running_.store(false, std::memory_order_release);
+}
+
+// ----------------------------------------------------------------- client
+
+HttpClient::HttpClient(std::string host, std::uint16_t port,
+                       std::chrono::milliseconds timeout)
+    : host_(std::move(host)), port_(port), timeout_(timeout) {}
+
+HttpClient::~HttpClient() { close(); }
+
+void HttpClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  rx_.clear();
+}
+
+bool HttpClient::connect() {
+  if (fd_ >= 0) return true;
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    error_ = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  set_io_timeout(fd_, timeout_);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_);
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    error_ = "inet_pton: invalid literal IPv4 address '" + host_ + "'";
+    close();
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    error_ = std::string("connect: ") + std::strerror(errno);
+    close();
+    return false;
+  }
+  rx_.clear();
+  ++connects_;
+  return true;
+}
+
+bool HttpClient::send_all(std::string_view data) {
+  if (!send_all_fd(fd_, data)) {
+    error_ = std::string("send: ") + std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+bool HttpClient::send_request(std::string_view method,
+                              const std::string& target,
+                              std::string_view body,
+                              const std::string& content_type) {
+  if (!connect()) return false;
+  std::string request;
+  request.reserve(128 + target.size() + body.size());
+  request.append(method).append(" ").append(target).append(" HTTP/1.1\r\n");
+  request.append("Host: ").append(host_).append("\r\n");
+  if (!body.empty() || method == "POST") {
+    request.append("Content-Type: ").append(content_type).append("\r\n");
+    request.append("Content-Length: ")
+        .append(std::to_string(body.size()))
+        .append("\r\n");
+  }
+  request.append("\r\n").append(body);
+  return send_all(request);
+}
+
+HttpResult HttpClient::read_response() {
+  HttpResult result;
+  if (fd_ < 0) {
+    result.error = "not connected";
+    return result;
+  }
+  char chunk[4096];
+  std::size_t head_end;
+  while ((head_end = rx_.find("\r\n\r\n")) == std::string::npos) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      result.error = n == 0 ? "connection closed before response"
+                            : std::string("recv: ") + std::strerror(errno);
+      close();
+      return result;
+    }
+    rx_.append(chunk, static_cast<std::size_t>(n));
+  }
+
+  // "HTTP/1.1 <code> ..." status line.
+  const std::string_view head = std::string_view(rx_).substr(0, head_end);
+  if (rx_.compare(0, 5, "HTTP/") != 0) {
+    result.error = "malformed response";
+    close();
+    return result;
+  }
+  const std::size_t sp = head.find(' ');
+  if (sp == std::string_view::npos || sp + 4 > head.size()) {
+    result.error = "malformed status line";
+    close();
+    return result;
+  }
+  result.status = 0;
+  for (std::size_t i = sp + 1; i < sp + 4; ++i) {
+    if (head[i] < '0' || head[i] > '9') {
+      result.status = -1;
+      result.error = "malformed status code";
+      close();
+      return result;
+    }
+    result.status = result.status * 10 + (head[i] - '0');
+  }
+
+  const std::size_t line_end = head.find("\r\n");
+  const std::string_view headers =
+      line_end == std::string_view::npos ? std::string_view()
+                                         : head.substr(line_end + 2);
+  const std::string_view length_text = find_header(headers, "Content-Length");
+  const bool server_closes =
+      iequals(find_header(headers, "Connection"), "close");
+
+  std::size_t content_length = 0;
+  if (!length_text.empty() && !parse_size(length_text, &content_length)) {
+    result.status = -1;
+    result.error = "malformed Content-Length";
+    close();
+    return result;
+  }
+
+  if (!length_text.empty()) {
+    const std::size_t frame_end = head_end + 4 + content_length;
+    while (rx_.size() < frame_end) {
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) {
+        result.status = -1;
+        result.error = "connection closed mid-body";
+        close();
+        return result;
+      }
+      rx_.append(chunk, static_cast<std::size_t>(n));
+    }
+    result.body = rx_.substr(head_end + 4, content_length);
+    rx_.erase(0, frame_end);  // keep pipelined bytes behind this response
+  } else {
+    // No Content-Length: the body runs to EOF (HTTP/1.0 style).
+    ssize_t n;
+    while ((n = ::recv(fd_, chunk, sizeof(chunk), 0)) > 0) {
+      rx_.append(chunk, static_cast<std::size_t>(n));
+    }
+    result.body = rx_.substr(head_end + 4);
+    close();
+    return result;
+  }
+  if (server_closes) close();
+  return result;
+}
+
+HttpResult HttpClient::exchange(std::string_view method,
+                                const std::string& target,
+                                std::string_view body,
+                                const std::string& content_type,
+                                bool close_connection) {
+  const bool had_connection = fd_ >= 0;
+  if (!connect()) return {-1, "", error_};
+  std::string request;
+  request.reserve(160 + target.size() + body.size());
+  request.append(method).append(" ").append(target).append(" HTTP/1.1\r\n");
+  request.append("Host: ").append(host_).append("\r\n");
+  if (!body.empty() || method == "POST") {
+    request.append("Content-Type: ").append(content_type).append("\r\n");
+    request.append("Content-Length: ")
+        .append(std::to_string(body.size()))
+        .append("\r\n");
+  }
+  if (close_connection) request.append("Connection: close\r\n");
+  request.append("\r\n").append(body);
+
+  if (!send_all(request)) {
+    // A reused keep-alive connection may have been closed by the
+    // server between requests; retry exactly once on a fresh one.
+    close();
+    if (!had_connection || !connect() || !send_all(request)) {
+      return {-1, "", error_};
+    }
+  }
+  HttpResult result = read_response();
+  if (result.status < 0 && had_connection) {
+    // Same keep-alive race on the read side (EOF instead of a
+    // response): one retry on a fresh connection.
+    close();
+    if (connect() && send_all(request)) result = read_response();
+  }
+  if (close_connection) close();
+  return result;
+}
+
+HttpResult HttpClient::get(const std::string& target, bool close_connection) {
+  return exchange("GET", target, {}, "", close_connection);
+}
+
+HttpResult HttpClient::post(const std::string& target, std::string_view body,
+                            const std::string& content_type,
+                            bool close_connection) {
+  return exchange("POST", target, body, content_type, close_connection);
+}
+
+HttpResult http_get(const std::string& host, std::uint16_t port,
+                    const std::string& target,
+                    std::chrono::milliseconds timeout) {
+  HttpClient client(host, port, timeout);
+  return client.get(target, /*close_connection=*/true);
+}
+
+HttpResult http_post(const std::string& host, std::uint16_t port,
+                     const std::string& target, std::string_view body,
+                     const std::string& content_type,
+                     std::chrono::milliseconds timeout) {
+  HttpClient client(host, port, timeout);
+  return client.post(target, body, content_type, /*close_connection=*/true);
+}
+
+}  // namespace bp::net

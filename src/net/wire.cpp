@@ -1,0 +1,243 @@
+#include "net/wire.h"
+
+#include <charconv>
+#include <limits>
+
+namespace bp::net {
+
+namespace {
+
+// Strip the one tolerated trailing newline (and a preceding '\r', so
+// curl with --data-binary $'...\r\n' still round-trips).
+std::string_view strip_line_ending(std::string_view frame) noexcept {
+  if (!frame.empty() && frame.back() == '\n') frame.remove_suffix(1);
+  if (!frame.empty() && frame.back() == '\r') frame.remove_suffix(1);
+  return frame;
+}
+
+bool parse_u64(std::string_view text, std::uint64_t* out) noexcept {
+  if (text.empty()) return false;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), *out);
+  return ec == std::errc() && ptr == text.data() + text.size();
+}
+
+bool parse_i32(std::string_view text, std::int32_t* out) noexcept {
+  if (text.empty()) return false;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), *out);
+  return ec == std::errc() && ptr == text.data() + text.size();
+}
+
+// Split off the next '|'-terminated field.  Returns false when no '|'
+// remains (the caller decides whether the tail is the last field).
+bool next_field(std::string_view* rest, std::string_view* field) noexcept {
+  const std::size_t bar = rest->find('|');
+  if (bar == std::string_view::npos) return false;
+  *field = rest->substr(0, bar);
+  rest->remove_prefix(bar + 1);
+  return true;
+}
+
+// "bp<digits>|" prefix check shared by both frame parsers.
+WireError check_magic(std::string_view* frame) noexcept {
+  if (frame->size() < 2 || (*frame)[0] != 'b' || (*frame)[1] != 'p') {
+    return WireError::kBadMagic;
+  }
+  frame->remove_prefix(2);
+  std::string_view version_field;
+  if (!next_field(frame, &version_field)) return WireError::kTruncated;
+  std::uint64_t version = 0;
+  if (!parse_u64(version_field, &version)) return WireError::kBadMagic;
+  if (version != static_cast<std::uint64_t>(kWireVersion)) {
+    return WireError::kBadVersion;
+  }
+  return WireError::kOk;
+}
+
+void append_u64(std::string* out, std::uint64_t value) {
+  char buf[20];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  (void)ec;
+  out->append(buf, ptr);
+}
+
+void append_i64(std::string* out, std::int64_t value) {
+  char buf[21];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  (void)ec;
+  out->append(buf, ptr);
+}
+
+}  // namespace
+
+std::string_view wire_error_name(WireError error) noexcept {
+  switch (error) {
+    case WireError::kOk: return "ok";
+    case WireError::kEmptyFrame: return "empty_frame";
+    case WireError::kOversized: return "oversized";
+    case WireError::kBadMagic: return "bad_magic";
+    case WireError::kBadVersion: return "bad_version";
+    case WireError::kTruncated: return "truncated";
+    case WireError::kBadSessionId: return "bad_session_id";
+    case WireError::kBadUserAgent: return "bad_user_agent";
+    case WireError::kNoFeatures: return "no_features";
+    case WireError::kBadFeature: return "bad_feature";
+    case WireError::kTooManyFeatures: return "too_many_features";
+    case WireError::kBadStatus: return "bad_status";
+  }
+  return "unknown";
+}
+
+WireError parse_score_request(std::string_view frame, WireScoreRequest* out) {
+  if (frame.size() > kMaxFrameBytes) return WireError::kOversized;
+  frame = strip_line_ending(frame);
+  if (frame.empty()) return WireError::kEmptyFrame;
+
+  const WireError magic = check_magic(&frame);
+  if (magic != WireError::kOk) return magic;
+
+  std::string_view id_field;
+  if (!next_field(&frame, &id_field)) return WireError::kTruncated;
+  if (!parse_u64(id_field, &out->session_id)) {
+    return WireError::kBadSessionId;
+  }
+
+  std::string_view ua_field;
+  if (!next_field(&frame, &ua_field)) return WireError::kTruncated;
+  if (ua_field.empty()) return WireError::kBadUserAgent;
+  // The short label form first ("Chrome 112"), then the full header.
+  // An unknown vendor is not an error: scoring a claimed UA the table
+  // has never seen is exactly the risk path's job.
+  if (const auto label = ua::parse_label(ua_field)) {
+    out->claimed = *label;
+  } else {
+    out->claimed = ua::parse_user_agent(ua_field);
+  }
+
+  // `frame` is now the feature field — the last one, so a further '|'
+  // is a malformed feature, not another field.
+  if (frame.empty()) return WireError::kNoFeatures;
+  out->features.clear();
+  std::size_t pos = 0;
+  while (pos <= frame.size()) {
+    std::size_t space = frame.find(' ', pos);
+    if (space == std::string_view::npos) space = frame.size();
+    const std::string_view token = frame.substr(pos, space - pos);
+    std::int32_t value = 0;
+    if (!parse_i32(token, &value)) return WireError::kBadFeature;
+    if (out->features.size() >= kMaxWireFeatures) {
+      return WireError::kTooManyFeatures;
+    }
+    out->features.push_back(value);
+    pos = space + 1;
+  }
+  return WireError::kOk;
+}
+
+void render_score_request(std::uint64_t session_id,
+                          std::string_view claimed_ua,
+                          std::span<const std::int32_t> features,
+                          std::string* out) {
+  out->clear();
+  out->append("bp");
+  append_u64(out, static_cast<std::uint64_t>(kWireVersion));
+  out->push_back('|');
+  append_u64(out, session_id);
+  out->push_back('|');
+  out->append(claimed_ua);
+  out->push_back('|');
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    if (i > 0) out->push_back(' ');
+    append_i64(out, features[i]);
+  }
+  out->push_back('\n');
+}
+
+std::string_view wire_status_token(serve::ResponseStatus status) noexcept {
+  switch (status) {
+    case serve::ResponseStatus::kScored: return "scored";
+    case serve::ResponseStatus::kShed: return "shed";
+    case serve::ResponseStatus::kDeadlineExceeded: return "deadline";
+    case serve::ResponseStatus::kDegraded: return "degraded";
+  }
+  return "unknown";
+}
+
+void render_score_response(const WireScoreResponse& response,
+                           std::string* out) {
+  out->clear();
+  out->append("bp");
+  append_u64(out, static_cast<std::uint64_t>(kWireVersion));
+  out->push_back('|');
+  append_u64(out, response.session_id);
+  out->push_back('|');
+  out->append(wire_status_token(response.status));
+  out->push_back('|');
+  out->push_back(response.flagged ? '1' : '0');
+  out->push_back('|');
+  append_i64(out, response.risk_factor);
+  out->push_back('|');
+  append_u64(out, response.predicted_cluster);
+  out->push_back('|');
+  append_u64(out, response.model_version);
+  out->push_back('|');
+  append_u64(out, response.latency_micros);
+  out->push_back('\n');
+}
+
+WireError parse_score_response(std::string_view frame,
+                               WireScoreResponse* out) {
+  if (frame.size() > kMaxFrameBytes) return WireError::kOversized;
+  frame = strip_line_ending(frame);
+  if (frame.empty()) return WireError::kEmptyFrame;
+
+  const WireError magic = check_magic(&frame);
+  if (magic != WireError::kOk) return magic;
+
+  std::string_view field;
+  if (!next_field(&frame, &field)) return WireError::kTruncated;
+  if (!parse_u64(field, &out->session_id)) return WireError::kBadSessionId;
+
+  if (!next_field(&frame, &field)) return WireError::kTruncated;
+  if (field == "scored") {
+    out->status = serve::ResponseStatus::kScored;
+  } else if (field == "shed") {
+    out->status = serve::ResponseStatus::kShed;
+  } else if (field == "deadline") {
+    out->status = serve::ResponseStatus::kDeadlineExceeded;
+  } else if (field == "degraded") {
+    out->status = serve::ResponseStatus::kDegraded;
+  } else {
+    return WireError::kBadStatus;
+  }
+
+  if (!next_field(&frame, &field)) return WireError::kTruncated;
+  if (field != "0" && field != "1") return WireError::kBadStatus;
+  out->flagged = field == "1";
+
+  if (!next_field(&frame, &field)) return WireError::kTruncated;
+  std::int32_t risk = 0;
+  if (!parse_i32(field, &risk)) return WireError::kBadStatus;
+  out->risk_factor = risk;
+
+  if (!next_field(&frame, &field)) return WireError::kTruncated;
+  std::uint64_t cluster = 0;
+  if (!parse_u64(field, &cluster) ||
+      cluster > std::numeric_limits<std::uint32_t>::max()) {
+    return WireError::kBadStatus;
+  }
+  out->predicted_cluster = static_cast<std::uint32_t>(cluster);
+
+  if (!next_field(&frame, &field)) return WireError::kTruncated;
+  if (!parse_u64(field, &out->model_version)) return WireError::kBadStatus;
+
+  // Latency is the last field: the remaining tail, no further '|'.
+  if (frame.find('|') != std::string_view::npos) {
+    return WireError::kBadStatus;
+  }
+  if (!parse_u64(frame, &out->latency_micros)) return WireError::kBadStatus;
+  return WireError::kOk;
+}
+
+}  // namespace bp::net

@@ -1,0 +1,112 @@
+// The versioned wire format POST /score carries: one compact ASCII
+// line per request and per response.
+//
+// A fraud check rides on every page load, so the frame must be cheap
+// to produce in client-side JavaScript, cheap to eyeball in a packet
+// capture, and cheap to parse — the parser allocates nothing per frame
+// in steady state (fields are views into the input; the feature vector
+// reuses its capacity across parses) and rejects malformed input with
+// a *typed* error, so the ingress can answer 400 with a name the
+// client can act on and tests can pin every rejection path.
+//
+// Version 1 grammar ('|' is the field delimiter and is reserved —
+// it cannot appear inside a field):
+//
+//   request:   bp1|<session_id>|<claimed-ua>|<f0 f1 ... fN-1>
+//   response:  bp1|<session_id>|<status>|<flagged>|<risk>|<cluster>|
+//              <model_version>|<latency_us>              (one line)
+//
+//   session_id  decimal uint64, echoed verbatim in the response
+//   claimed-ua  the browser's User-Agent header, or the short label
+//               form the paper's tables use ("Chrome 112");
+//               unparseable vendors are *not* an error — an unknown
+//               claimed UA is a legitimate scoring scenario (the
+//               engine's risk path handles it) — only an empty field is
+//   f0..fN-1    space-separated int32 fingerprint features, in the
+//               model's feature-index order (1..kMaxWireFeatures)
+//   status      scored | shed | deadline | degraded
+//
+// A trailing '\n' is tolerated on both frames.  A version bump changes
+// the digits after "bp"; an ingress refuses versions it does not speak
+// with kBadVersion rather than guessing.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serve/scoring_engine.h"
+#include "ua/user_agent.h"
+
+namespace bp::net {
+
+inline constexpr int kWireVersion = 1;
+// An over-size frame is refused before field parsing begins: the
+// production feature vector is 28 ints, so legitimate frames are a few
+// hundred bytes.
+inline constexpr std::size_t kMaxFrameBytes = 8192;
+inline constexpr std::size_t kMaxWireFeatures = 512;
+
+// Every way a frame can be refused.  Names (wire_error_name) are what
+// the ingress puts in its 400 body.
+enum class WireError : std::uint8_t {
+  kOk = 0,
+  kEmptyFrame,       // zero bytes (or only the tolerated newline)
+  kOversized,        // frame longer than kMaxFrameBytes
+  kBadMagic,         // does not start with "bp" — garbage bytes
+  kBadVersion,       // "bp" followed by a version this parser is not
+  kTruncated,        // fewer fields than the grammar requires
+  kBadSessionId,     // session id not a decimal uint64
+  kBadUserAgent,     // empty claimed-ua field
+  kNoFeatures,       // empty feature field
+  kBadFeature,       // feature not a decimal int32 (or '|' inside)
+  kTooManyFeatures,  // more than kMaxWireFeatures
+  kBadStatus,        // response status token unknown (response parse)
+};
+
+std::string_view wire_error_name(WireError error) noexcept;
+
+struct WireScoreRequest {
+  std::uint64_t session_id = 0;
+  ua::UserAgent claimed;
+  // Reused across parses: parse_score_request clears it but never
+  // shrinks, so steady-state parsing performs no allocation.
+  std::vector<std::int32_t> features;
+};
+
+// Parse one request frame.  On any error the out-params are
+// unspecified.  `frame` may end in '\n'.
+WireError parse_score_request(std::string_view frame, WireScoreRequest* out);
+
+// Render one request frame into `out` (cleared first; capacity reused).
+// `claimed_ua` is written verbatim — pass a full User-Agent header or a
+// short label.
+void render_score_request(std::uint64_t session_id,
+                          std::string_view claimed_ua,
+                          std::span<const std::int32_t> features,
+                          std::string* out);
+
+struct WireScoreResponse {
+  std::uint64_t session_id = 0;
+  serve::ResponseStatus status = serve::ResponseStatus::kScored;
+  bool flagged = false;
+  int risk_factor = 0;
+  std::uint32_t predicted_cluster = 0;
+  std::uint64_t model_version = 0;
+  std::uint64_t latency_micros = 0;
+};
+
+std::string_view wire_status_token(serve::ResponseStatus status) noexcept;
+
+// Render one response frame into `out` (cleared first; capacity
+// reused).
+void render_score_response(const WireScoreResponse& response,
+                           std::string* out);
+
+// Parse one response frame (the client half: load generator, tests).
+WireError parse_score_response(std::string_view frame,
+                               WireScoreResponse* out);
+
+}  // namespace bp::net

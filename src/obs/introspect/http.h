@@ -1,67 +1,23 @@
-// Minimal HTTP/1.1 vocabulary for the introspection server: request
-// parsing, response serialization, and a tiny blocking GET client.
-//
-// This is deliberately not a web framework.  The introspection plane
-// needs exactly one verb (GET), one connection model (close after
-// response), bounded inputs, and zero dependencies — everything else
-// is attack surface on a port that exists to be scraped by Prometheus,
-// curl and the tier-1 smoke test.  Parsing accepts what those clients
-// send and rejects the rest with a plain status code.
-//
-// The client half (http_get) exists so tests and benches exercise the
-// server over a *real* TCP socket — the acceptance criterion — without
-// shelling out to curl.
+// Compatibility shim: the introspection plane's HTTP vocabulary now
+// lives in src/net/http_common.h, shared with the POST /score ingress
+// (bp_http library — depends only on bp_util, so both bp_obs and
+// bp_net link it without a cycle).  Existing includes and the
+// bp::obs::introspect spellings keep working via these aliases.
 #pragma once
 
-#include <chrono>
-#include <cstdint>
-#include <string>
-#include <string_view>
+#include "net/http_common.h"
 
 namespace bp::obs::introspect {
 
-struct HttpRequest {
-  std::string method;  // "GET"
-  std::string target;  // raw request target, e.g. "/auditz?n=50"
-  std::string path;    // target before '?', e.g. "/auditz"
-  std::string query;   // target after '?', e.g. "n=50" (no '?')
-};
+using net::HttpRequest;
+using net::HttpResponse;
+using net::HttpResult;
 
-struct HttpResponse {
-  int status = 200;
-  std::string content_type = "text/plain; charset=utf-8";
-  std::string body;
-};
-
-std::string_view status_reason(int status) noexcept;
-
-// Parse the request line of an HTTP/1.1 head ("GET /path HTTP/1.1\r\n"
-// + headers).  Returns false on a malformed request line; headers are
-// ignored (nothing in the introspection plane needs them).
-bool parse_request_head(std::string_view head, HttpRequest* out);
-
-// Serialize status line + minimal headers + body.  Connection: close
-// is always set — one request per connection.
-std::string serialize_response(const HttpResponse& response);
-
-// Value of `key` in a query string ("n=50&x=1"), or `fallback` when
-// absent/unparseable.  Only non-negative integers are supported.
-std::uint64_t query_uint(std::string_view query, std::string_view key,
-                         std::uint64_t fallback) noexcept;
-
-// ---- test/bench client ----
-
-struct HttpResult {
-  int status = -1;     // -1 = transport error, see `error`
-  std::string body;
-  std::string error;
-};
-
-// Blocking GET against 127.0.0.1-style literal IPv4 hosts.  One
-// request, one connection; `timeout` bounds connect+send+receive.
-HttpResult http_get(const std::string& host, std::uint16_t port,
-                    const std::string& target,
-                    std::chrono::milliseconds timeout =
-                        std::chrono::milliseconds(2000));
+using net::http_get;
+using net::http_post;
+using net::parse_request_head;
+using net::query_uint;
+using net::serialize_response;
+using net::status_reason;
 
 }  // namespace bp::obs::introspect

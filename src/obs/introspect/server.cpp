@@ -1,168 +1,33 @@
 #include "obs/introspect/server.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
-#include <cerrno>
-#include <cstring>
+#include <utility>
 
 namespace bp::obs::introspect {
 
-namespace {
-
-// Largest request head we will buffer before answering 400.  Every
-// legitimate introspection request fits in a fraction of this.
-constexpr std::size_t kMaxHeadBytes = 8192;
-
-void set_io_timeout(int fd, std::chrono::milliseconds timeout) {
-  timeval tv{};
-  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
-  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-}
-
-bool send_all(int fd, const std::string& data) {
-  std::size_t sent = 0;
-  while (sent < data.size()) {
-    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
-                             MSG_NOSIGNAL);
-    if (n <= 0) return false;
-    sent += static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
-}  // namespace
-
 IntrospectionServer::IntrospectionServer(Sources sources, ServerConfig config)
     : sources_(std::move(sources)), config_(std::move(config)) {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
-    error_ = std::string("socket: ") + std::strerror(errno);
-    return;
-  }
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(config_.port);
-  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) !=
-      1) {
-    error_ = "inet_pton: invalid bind address '" + config_.bind_address + "'";
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return;
-  }
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    error_ = std::string("bind: ") + std::strerror(errno);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return;
-  }
-  if (::listen(listen_fd_, 64) != 0) {
-    error_ = std::string("listen: ") + std::strerror(errno);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return;
-  }
-
-  // Port 0 binds ephemerally; read the kernel's choice back so tests
-  // (and the tier-1 smoke) can address the server.
-  sockaddr_in bound{};
-  socklen_t bound_len = sizeof(bound);
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
-                    &bound_len) == 0) {
-    port_ = ntohs(bound.sin_port);
-  }
-
-  running_.store(true, std::memory_order_release);
-  const std::size_t n_handlers = std::max<std::size_t>(
-      config_.handler_threads, 1);
-  handlers_.reserve(n_handlers);
-  for (std::size_t i = 0; i < n_handlers; ++i) {
-    handlers_.emplace_back([this] { handler_loop(); });
-  }
-  acceptor_ = std::thread([this] { acceptor_loop(); });
+  net::ListenerConfig listener_config;
+  listener_config.bind_address = config_.bind_address;
+  listener_config.port = config_.port;
+  listener_config.handler_threads = config_.handler_threads;
+  listener_config.max_pending = config_.max_pending;
+  listener_config.io_timeout = config_.io_timeout;
+  // One request per connection: the introspection plane's historical
+  // contract (scrapers open fresh connections each cadence anyway).
+  listener_config.keep_alive = false;
+  listener_.emplace(std::move(listener_config),
+                    [this](const HttpRequest& request) {
+                      if (request.method != "GET") {
+                        HttpResponse response;
+                        response.status = 405;
+                        response.body = "only GET is served here\n";
+                        return response;
+                      }
+                      return handle(request);
+                    });
 }
 
 IntrospectionServer::~IntrospectionServer() { stop(); }
-
-std::string IntrospectionServer::error() const {
-  std::lock_guard lock(error_mutex_);
-  return error_;
-}
-
-void IntrospectionServer::acceptor_loop() {
-  while (!stopping_.load(std::memory_order_acquire)) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (stopping_.load(std::memory_order_acquire)) break;
-      if (errno == EINTR || errno == ECONNABORTED) continue;
-      break;  // listen socket is gone; stop() is the only cause
-    }
-    set_io_timeout(fd, config_.io_timeout);
-    {
-      std::lock_guard lock(queue_mutex_);
-      if (pending_.size() >= config_.max_pending) {
-        // Shed at accept: better to drop a scrape than to queue
-        // unboundedly — the scraper will simply retry next cadence.
-        overloaded_.fetch_add(1, std::memory_order_relaxed);
-        ::close(fd);
-        continue;
-      }
-      pending_.push_back(fd);
-    }
-    queue_cv_.notify_one();
-  }
-}
-
-void IntrospectionServer::handler_loop() {
-  while (true) {
-    int fd = -1;
-    {
-      std::unique_lock lock(queue_mutex_);
-      queue_cv_.wait(lock, [&] {
-        return stopping_.load(std::memory_order_acquire) || !pending_.empty();
-      });
-      if (pending_.empty()) return;  // stopping and drained
-      fd = pending_.front();
-      pending_.pop_front();
-    }
-    serve_connection(fd);
-    ::close(fd);
-  }
-}
-
-void IntrospectionServer::serve_connection(int fd) {
-  std::string head;
-  char buf[2048];
-  while (head.find("\r\n\r\n") == std::string::npos) {
-    if (head.size() > kMaxHeadBytes) break;
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n <= 0) return;  // timeout or peer went away: nothing to answer
-    head.append(buf, static_cast<std::size_t>(n));
-  }
-
-  HttpResponse response;
-  HttpRequest request;
-  if (!parse_request_head(head, &request)) {
-    response.status = 400;
-    response.body = "malformed request\n";
-  } else if (request.method != "GET") {
-    response.status = 405;
-    response.body = "only GET is served here\n";
-  } else {
-    response = handle(request);
-  }
-  requests_.fetch_add(1, std::memory_order_relaxed);
-  send_all(fd, serialize_response(response));
-}
 
 HttpResponse IntrospectionServer::handle(const HttpRequest& request) const {
   HttpResponse response;
@@ -261,31 +126,7 @@ std::string IntrospectionServer::render_statusz() const {
 }
 
 void IntrospectionServer::stop() {
-  if (stopping_.exchange(true, std::memory_order_acq_rel)) {
-    // A second stop() only needs the threads gone (the first caller
-    // may still be joining them; joinable() guards double-join below
-    // only against the state this object's own calls leave behind).
-  }
-  // Unblock accept() by shutting the listening socket down before
-  // closing it; handlers wake via the cv and drain what was accepted.
-  if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
-  }
-  queue_cv_.notify_all();
-  if (acceptor_.joinable()) acceptor_.join();
-  for (std::thread& handler : handlers_) {
-    if (handler.joinable()) handler.join();
-  }
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
-  // Connections accepted but never picked up: close them so curl gets
-  // a reset instead of a hang.
-  std::lock_guard lock(queue_mutex_);
-  for (int fd : pending_) ::close(fd);
-  pending_.clear();
-  running_.store(false, std::memory_order_release);
+  if (listener_) listener_->stop();
 }
 
 }  // namespace bp::obs::introspect

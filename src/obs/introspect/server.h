@@ -2,10 +2,14 @@
 // header promised ("plain functions an HTTP handler ... calls on
 // demand") but never ran.
 //
-// A dependency-free blocking HTTP/1.1 server over plain POSIX sockets:
-// one acceptor thread and a small handler pool draining a bounded
-// queue of accepted connections.  Endpoints (all GET, one request per
-// connection):
+// The socket plumbing — accept loop, handler pool, bounded pending
+// queue, per-connection I/O timeouts — is the shared net::HttpListener
+// (src/net/http_common.h), configured with keep-alive OFF: one request
+// per connection remains this plane's contract, and non-GET verbs are
+// refused 405 here in the handler.  What stays in this class is the
+// introspection policy: the endpoint table and its render calls.
+//
+// Endpoints (all GET):
 //
 //   /metrics       Prometheus text exposition (MetricsRegistry)
 //   /metrics.json  the same registry as one JSON object
@@ -21,26 +25,21 @@
 //
 // Design constraints, in order: never perturb the scoring hot path
 // (handlers only call the registry/sink render functions, which take
-// the same short locks any exporter takes); bounded everything
-// (request head size, connection queue, per-connection I/O timeouts);
-// port 0 support so tests bind ephemerally and read port() back.
+// the same short locks any exporter takes); bounded everything; port 0
+// support so tests bind ephemerally and read port() back.
 //
 // handle() — the request -> response dispatch — is a pure-ish const
 // function exposed for unit tests; the socket plumbing around it is
 // exercised by the real-TCP tests and the tier-1 curl smoke.
 #pragma once
 
-#include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <mutex>
+#include <optional>
 #include <string>
-#include <thread>
-#include <vector>
 
+#include "net/http_common.h"
 #include "obs/audit.h"
 #include "obs/introspect/http.h"
 #include "obs/metrics_registry.h"
@@ -83,19 +82,21 @@ class IntrospectionServer {
   IntrospectionServer(const IntrospectionServer&) = delete;
   IntrospectionServer& operator=(const IntrospectionServer&) = delete;
 
-  bool running() const noexcept { return running_.load(std::memory_order_acquire); }
-  std::uint16_t port() const noexcept { return port_; }
+  bool running() const noexcept { return listener_ && listener_->running(); }
+  std::uint16_t port() const noexcept {
+    return listener_ ? listener_->port() : 0;
+  }
   const std::string& bind_address() const noexcept {
     return config_.bind_address;
   }
-  std::string error() const;
+  std::string error() const { return listener_ ? listener_->error() : ""; }
 
   std::uint64_t requests() const noexcept {
-    return requests_.load(std::memory_order_relaxed);
+    return listener_ ? listener_->requests() : 0;
   }
   // Connections dropped because the pending queue was full.
   std::uint64_t overloaded() const noexcept {
-    return overloaded_.load(std::memory_order_relaxed);
+    return listener_ ? listener_->overloaded() : 0;
   }
 
   // Dispatch one parsed request.  Const and lock-light: every data
@@ -107,30 +108,11 @@ class IntrospectionServer {
   void stop();
 
  private:
-  void acceptor_loop();
-  void handler_loop();
-  void serve_connection(int fd);
   std::string render_statusz() const;
 
   Sources sources_;
   ServerConfig config_;
-  std::uint16_t port_ = 0;
-  int listen_fd_ = -1;
-
-  std::atomic<bool> running_{false};
-  std::atomic<bool> stopping_{false};
-  std::atomic<std::uint64_t> requests_{0};
-  std::atomic<std::uint64_t> overloaded_{0};
-
-  mutable std::mutex error_mutex_;
-  std::string error_;
-
-  std::mutex queue_mutex_;
-  std::condition_variable queue_cv_;
-  std::deque<int> pending_;  // accepted fds awaiting a handler
-
-  std::thread acceptor_;
-  std::vector<std::thread> handlers_;
+  std::optional<net::HttpListener> listener_;
 };
 
 }  // namespace bp::obs::introspect

@@ -1,0 +1,202 @@
+// EngineRouter tests: shard affinity (observed through per-shard
+// metrics), aggregate folds, hot swap under routed load with zero lost
+// responses, and ordered/idempotent teardown.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/polygraph.h"
+#include "net/engine_router.h"
+#include "obs/metrics_registry.h"
+#include "serve/model_registry.h"
+
+namespace bp::net {
+namespace {
+
+// The hand-assembled two-cluster model the serve tests use: Chrome 100
+// is expected in cluster 0; features near (10,10) land in cluster 1.
+core::Polygraph tiny_model() {
+  core::PolygraphConfig config;
+  config.feature_indices = {0, 1};
+  config.pca_components = 2;
+  config.k = 2;
+  ml::Matrix centroids(2, 2);
+  centroids(1, 0) = 10.0;
+  centroids(1, 1) = 10.0;
+  ml::KMeansConfig kconfig;
+  kconfig.k = 2;
+  core::ClusterTable table;
+  table.assign({ua::Vendor::kChrome, 100, ua::Os::kWindows10}, 0);
+  return core::Polygraph::from_parts(
+      config, ml::StandardScaler::from_params({0.0, 0.0}, {1.0, 1.0}),
+      ml::Pca::from_params({0.0, 0.0}, {1.0, 1.0}, ml::Matrix::identity(2)),
+      ml::KMeans::from_centroids(std::move(centroids), kconfig),
+      std::move(table));
+}
+
+serve::ScoreRequest make_request(std::uint64_t id) {
+  serve::ScoreRequest request;
+  request.id = id;
+  request.features = {0, 0};
+  request.claimed = {ua::Vendor::kChrome, 100, ua::Os::kWindows10};
+  return request;
+}
+
+RouterConfig small_router(std::size_t shards) {
+  RouterConfig config;
+  config.shards = shards;
+  config.engine.workers = 1;
+  config.engine.queue_capacity = 4096;
+  return config;
+}
+
+TEST(NetRouter, ResolvesShardCountAndAffinityIsStable) {
+  serve::ModelRegistry models;
+  ASSERT_TRUE(models.publish(tiny_model()));
+  EngineRouter router(models, small_router(4),
+                      [](const serve::ScoreResponse&) {});
+  EXPECT_EQ(router.shards(), 4u);
+  // Affinity is pure: the same session id always lands the same shard,
+  // and a spread of ids reaches every shard.
+  std::set<std::size_t> hit;
+  for (std::uint64_t session = 0; session < 64; ++session) {
+    const std::size_t shard = router.shard_of(session);
+    EXPECT_LT(shard, router.shards());
+    EXPECT_EQ(shard, router.shard_of(session));
+    hit.insert(shard);
+  }
+  EXPECT_EQ(hit.size(), 4u);
+}
+
+TEST(NetRouter, RoutesSessionsToTheirShardOnly) {
+  serve::ModelRegistry models;
+  ASSERT_TRUE(models.publish(tiny_model()));
+  obs::MetricsRegistry metrics;
+
+  RouterConfig config = small_router(3);
+  config.engine.registry = &metrics;
+  config.engine.metrics_prefix = "bp_rt";
+
+  std::atomic<std::uint64_t> responses{0};
+  EngineRouter router(models, config, [&](const serve::ScoreResponse&) {
+    responses.fetch_add(1, std::memory_order_relaxed);
+  });
+
+  // 30 requests for one session, 20 for another on a different shard.
+  std::uint64_t session_a = 1;
+  std::uint64_t session_b = 2;
+  while (router.shard_of(session_b) == router.shard_of(session_a)) {
+    ++session_b;
+  }
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_EQ(router.submit(session_a, make_request(100 + i)),
+              serve::SubmitResult::kAdmitted);
+  }
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_EQ(router.submit(session_b, make_request(200 + i)),
+              serve::SubmitResult::kAdmitted);
+  }
+  router.drain();
+  EXPECT_EQ(responses.load(), 50u);
+
+  // Per-shard metrics prove affinity: all of a session's requests were
+  // scored by its shard, and uninvolved shards scored nothing.
+  EXPECT_EQ(router.shard_metrics(router.shard_of(session_a)).scored +
+                router.shard_metrics(router.shard_of(session_b)).scored,
+            50u);
+  for (std::size_t shard = 0; shard < router.shards(); ++shard) {
+    if (shard == router.shard_of(session_a)) {
+      EXPECT_EQ(router.shard_metrics(shard).scored, 30u);
+    } else if (shard == router.shard_of(session_b)) {
+      EXPECT_EQ(router.shard_metrics(shard).scored, 20u);
+    } else {
+      EXPECT_EQ(router.shard_metrics(shard).scored, 0u);
+    }
+  }
+
+  // The aggregate fold sums shards; the registry carries per-shard
+  // spellings of the same counters.
+  const serve::MetricsSnapshot total = router.metrics();
+  EXPECT_EQ(total.scored, 50u);
+  EXPECT_EQ(total.model_version, 1u);
+  const std::string prometheus = metrics.render_prometheus();
+  EXPECT_NE(prometheus.find("bp_rt_shard0_scored_total"), std::string::npos);
+  EXPECT_NE(prometheus.find("bp_rt_shard2_scored_total"), std::string::npos);
+}
+
+TEST(NetRouter, HotSwapUnderRoutedLoadLosesNothing) {
+  serve::ModelRegistry models;
+  ASSERT_TRUE(models.publish(tiny_model()));
+
+  std::atomic<std::uint64_t> responses{0};
+  std::mutex versions_mutex;
+  std::set<std::uint64_t> versions;
+  EngineRouter router(models, small_router(3),
+                      [&](const serve::ScoreResponse& response) {
+                        ASSERT_EQ(response.status,
+                                  serve::ResponseStatus::kScored);
+                        responses.fetch_add(1, std::memory_order_relaxed);
+                        std::lock_guard lock(versions_mutex);
+                        versions.insert(response.model_version);
+                      });
+
+  constexpr int kPerThread = 400;
+  std::atomic<bool> swapped{false};
+  std::vector<std::thread> producers;
+  for (int t = 0; t < 3; ++t) {
+    producers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const std::uint64_t session =
+            static_cast<std::uint64_t>(t) * kPerThread + i;
+        while (router.submit(session, make_request(session)) !=
+               serve::SubmitResult::kAdmitted) {
+          std::this_thread::yield();
+        }
+        if (t == 0 && i == kPerThread / 2) {
+          ASSERT_TRUE(models.publish(tiny_model()));
+          swapped.store(true, std::memory_order_release);
+        }
+      }
+    });
+  }
+  for (std::thread& producer : producers) producer.join();
+  ASSERT_TRUE(swapped.load());
+  router.drain();
+
+  // Zero lost: every admitted request was answered, on one of exactly
+  // the two versions that ever existed.
+  EXPECT_EQ(responses.load(), 3u * kPerThread);
+  EXPECT_EQ(router.metrics().scored, 3u * kPerThread);
+  for (const std::uint64_t version : versions) {
+    EXPECT_TRUE(version == 1 || version == 2) << "version " << version;
+  }
+  EXPECT_TRUE(versions.count(2)) << "no response ever saw the new model";
+  EXPECT_EQ(router.model_version(), 2u);
+}
+
+TEST(NetRouter, StopIsOrderedAndIdempotent) {
+  serve::ModelRegistry models;
+  ASSERT_TRUE(models.publish(tiny_model()));
+  std::atomic<std::uint64_t> responses{0};
+  EngineRouter router(models, small_router(2),
+                      [&](const serve::ScoreResponse&) {
+                        responses.fetch_add(1, std::memory_order_relaxed);
+                      });
+  for (std::uint64_t session = 0; session < 40; ++session) {
+    ASSERT_EQ(router.submit(session, make_request(session)),
+              serve::SubmitResult::kAdmitted);
+  }
+  router.stop();  // scores what was admitted, then refuses
+  EXPECT_EQ(responses.load(), 40u);
+  EXPECT_EQ(router.submit(1, make_request(99)),
+            serve::SubmitResult::kStopped);
+  router.stop();  // second stop is a no-op
+  EXPECT_EQ(responses.load(), 40u);
+}
+
+}  // namespace
+}  // namespace bp::net
