@@ -19,17 +19,28 @@
 // unparseable frame, wrong session echo — is lost or corrupted, and
 // the sweep's acceptance line is zero of both.
 //
+// Traffic is release-popularity shaped: frame *content* is drawn with
+// a u^3-skewed distribution over a smaller pool of unique sessions —
+// the coarse-fingerprint collision profile browser releases produce —
+// so the router's per-shard verdict cache (enabled under test) hits on
+// repeat (fingerprint, UA) pairs within a single sweep point.  Every
+// frame still carries its own session id, so response echo validation
+// is as strict as with unique traffic.
+//
 // Output: a table on stdout plus machine-readable JSON (latency
-// percentiles vs offered load; "net_saturation.json" or argv's path).
+// percentiles vs offered load, plus router cache counters;
+// "net_saturation.json" or argv's path).
 //
 // Usage:
 //   bench_net_saturation [json_path]         # full rate sweep
 //   bench_net_saturation --smoke [json_path] # one short rate, CI gate
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
@@ -209,6 +220,11 @@ int main(int argc, char** argv) {
   serve::ModelRegistry registry;
   registry.publish(trained.model);
 
+  // The unique-session pool the popularity draw collapses frames onto;
+  // repeats of a pool member are exact (fingerprint, UA) replays.
+  const std::size_t n_frames = smoke ? 2'000 : 10'000;
+  const std::size_t unique_sessions = std::max<std::size_t>(64, n_frames / 4);
+
   // ---- the server under test: sharded router behind POST /score ----
   net::ScoreServerConfig config;
   config.listener.handler_threads = 4;
@@ -216,6 +232,9 @@ int main(int argc, char** argv) {
   config.router.engine.workers = 2;
   config.router.engine.queue_capacity = 4096;
   config.router.engine.overflow_policy = serve::OverflowPolicy::kReject;
+  // Per-shard content-addressed verdict cache, sized so the whole
+  // unique pool fits with headroom even if sharding lands unevenly.
+  config.router.engine.cache_capacity = std::bit_ceil(4 * unique_sessions);
   config.expected_features = trained.model.config().feature_indices.size();
   net::ScoreServer server(registry, config);
   if (!server.running()) {
@@ -225,16 +244,32 @@ int main(int argc, char** argv) {
 
   // ---- pre-render the wire frames so the drivers measure the plane,
   // not client-side synthesis ----
-  const std::size_t n_frames = smoke ? 2'000 : 10'000;
-  std::printf("rendering %zu request frames...\n", n_frames);
+  //
+  // Content is popularity-skewed over `unique_sessions` distinct
+  // sessions (same u^3 draw and seed as bench_serving_throughput's
+  // release-popularity stream), while session ids stay per-frame so
+  // the echo check still catches any cross-request mixup.
+  std::printf("rendering %zu request frames over %zu unique sessions...\n",
+              n_frames, unique_sessions);
   traffic::TrafficConfig live_config;
   live_config.seed = 0x5EF7E2025;
   traffic::SessionGenerator live(live_config);
   const auto& indices = trained.model.config().feature_indices;
+  std::vector<traffic::SessionRecord> pool;
+  pool.reserve(unique_sessions);
+  for (std::size_t i = 0; i < unique_sessions; ++i) {
+    pool.push_back(live.next_session(indices));
+  }
+  std::mt19937_64 popularity(0xCAC4Eu);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
   std::vector<std::string> frames;
   frames.reserve(n_frames);
   for (std::size_t i = 0; i < n_frames; ++i) {
-    traffic::SessionRecord session = live.next_session(indices);
+    const double u = unit(popularity);
+    const std::size_t idx = std::min(
+        pool.size() - 1,
+        static_cast<std::size_t>(static_cast<double>(pool.size()) * u * u * u));
+    const traffic::SessionRecord& session = pool[idx];
     std::string frame;
     net::render_score_request(i + 1, session.user_agent, session.features,
                               &frame);
@@ -269,7 +304,18 @@ int main(int argc, char** argv) {
                 r.shed, r.lost, r.corrupted);
     results.push_back(std::move(r));
   }
+  const serve::CacheStats cache = server.router().cache_stats();
   server.stop();
+
+  const double cache_hit_rate = cache.hit_rate();
+  std::printf("\nverdict cache (all shards): hit_rate=%.3f hits=%llu "
+              "misses=%llu stale=%llu inserts=%llu occupancy=%zu/%zu\n",
+              cache_hit_rate,
+              static_cast<unsigned long long>(cache.hits),
+              static_cast<unsigned long long>(cache.misses),
+              static_cast<unsigned long long>(cache.stale),
+              static_cast<unsigned long long>(cache.inserts),
+              cache.occupancy, cache.capacity);
 
   util::TextTable table({"offered_rps", "achieved_rps", "conns", "sent",
                          "answered", "shed", "lost", "corrupt", "p50_us",
@@ -295,6 +341,22 @@ int main(int argc, char** argv) {
           std::to_string(std::thread::hardware_concurrency()) + ",\n";
   json += "  \"connections\": " + std::to_string(connections) + ",\n";
   json += "  \"smoke\": " + std::string(smoke ? "true" : "false") + ",\n";
+  json += "  \"unique_sessions\": " + std::to_string(unique_sessions) + ",\n";
+  {
+    char entry[512];
+    std::snprintf(
+        entry, sizeof(entry),
+        "  \"cache\": {\"capacity_per_shard\": %zu, \"hit_rate\": %.4f, "
+        "\"hits\": %llu, \"misses\": %llu, \"stale\": %llu, "
+        "\"evictions\": %llu, \"inserts\": %llu, \"occupancy\": %zu},\n",
+        static_cast<std::size_t>(config.router.engine.cache_capacity),
+        cache_hit_rate, static_cast<unsigned long long>(cache.hits),
+        static_cast<unsigned long long>(cache.misses),
+        static_cast<unsigned long long>(cache.stale),
+        static_cast<unsigned long long>(cache.evictions),
+        static_cast<unsigned long long>(cache.inserts), cache.occupancy);
+    json += entry;
+  }
   json += "  \"rates\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const RateResult& r = results[i];
@@ -331,6 +393,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "FAIL: %zu lost, %zu corrupted, %zu answered\n",
                  lost, corrupted, answered);
+    return 1;
+  }
+  // The popularity stream guarantees repeat (fingerprint, UA) pairs; a
+  // cache that never hit means the plane silently stopped using it.
+  if (cache.hits == 0) {
+    std::fprintf(stderr, "FAIL: verdict cache never hit under "
+                         "popularity-skewed traffic\n");
     return 1;
   }
   std::printf("zero lost, zero corrupted responses across the sweep\n");

@@ -201,6 +201,10 @@ int main(int argc, char** argv) {
   engine_config.queue_capacity = 1024;
   engine_config.max_batch = 32;
   engine_config.overflow_policy = serve::OverflowPolicy::kBlock;
+  // Content-addressed verdict cache: the demo's traffic stream replays
+  // popular (fingerprint, UA) sessions, so repeat verdicts answer at
+  // submit() without touching the queue.  /statusz shows the hit rate.
+  engine_config.cache_capacity = 4096;
   engine_config.registry = &metrics;
   engine_config.trace = &request_trace;
   engine_config.audit = &audit;
@@ -312,6 +316,11 @@ int main(int argc, char** argv) {
     }
   });
 
+  // Declared before the introspection server so statusz_extra's
+  // by-reference capture is valid and the introspection server (which
+  // reads the router's cache stats per scrape) is destroyed first.
+  std::optional<net::ScoreServer> score_server;
+
   // ---- live introspection (--listen): up before the first publish ----
   std::optional<obs::introspect::IntrospectionServer> server;
   if (listen.enabled) {
@@ -322,12 +331,53 @@ int main(int argc, char** argv) {
     sources.health = &health;
     sources.slo = &slo;
     sources.statusz_extra = [&] {
-      std::lock_guard lock(dashboard.mutex);
-      std::string extra = "flagged: " + std::to_string(dashboard.flagged) + "\n";
-      for (const auto& [version, count] : dashboard.scored_by_version) {
-        extra += "model v" + std::to_string(version) + " scored " +
-                 std::to_string(count) + "\n";
+      std::string extra;
+      {
+        std::lock_guard lock(dashboard.mutex);
+        extra = "flagged: " + std::to_string(dashboard.flagged) + "\n";
+        for (const auto& [version, count] : dashboard.scored_by_version) {
+          extra += "model v" + std::to_string(version) + " scored " +
+                   std::to_string(count) + "\n";
+        }
       }
+      // Verdict-cache health: hit rate and slot occupancy for the demo
+      // engine (and the score server's sharded fold when it is up).
+      const serve::CacheStats cache = engine.cache_stats();
+      char line[160];
+      std::snprintf(line, sizeof(line),
+                    "verdict cache: hit_rate=%.3f occupancy=%zu/%zu\n",
+                    cache.hit_rate(), cache.occupancy, cache.capacity);
+      extra += line;
+      if (score_server) {
+        const serve::CacheStats net_cache = score_server->router().cache_stats();
+        std::snprintf(line, sizeof(line),
+                      "net verdict cache: hit_rate=%.3f occupancy=%zu/%zu\n",
+                      net_cache.hit_rate(), net_cache.occupancy,
+                      net_cache.capacity);
+        extra += line;
+      }
+      // How full the SoA batch kernel runs: one line per histogram
+      // bucket that saw a drain ("<=N: count").
+      const serve::MetricsSnapshot snap = engine.metrics();
+      extra += "batch sizes:";
+      bool any = false;
+      for (std::size_t b = 0; b < snap.batch_size_histogram.size(); ++b) {
+        if (snap.batch_size_histogram[b] == 0) continue;
+        any = true;
+        if (b < serve::kBatchSizeBucketBounds.size()) {
+          std::snprintf(line, sizeof(line), " <=%llu: %llu",
+                        static_cast<unsigned long long>(
+                            serve::kBatchSizeBucketBounds[b]),
+                        static_cast<unsigned long long>(
+                            snap.batch_size_histogram[b]));
+        } else {
+          std::snprintf(line, sizeof(line), " >256: %llu",
+                        static_cast<unsigned long long>(
+                            snap.batch_size_histogram[b]));
+        }
+        extra += line;
+      }
+      extra += any ? "\n" : " (none)\n";
       return extra;
     };
     obs::introspect::ServerConfig server_config;
@@ -351,7 +401,6 @@ int main(int argc, char** argv) {
   // demo's ModelRegistry — a hot swap lands on both planes atomically.
   // Up before the first publish: degrade_without_model answers early
   // frames with explicit degraded verdicts instead of hanging them.
-  std::optional<net::ScoreServer> score_server;
   if (score_listen.enabled) {
     net::ScoreServerConfig score_config;
     score_config.listener.bind_address = score_listen.address;
@@ -361,6 +410,7 @@ int main(int argc, char** argv) {
     score_config.router.engine.workers = 2;
     score_config.router.engine.queue_capacity = 1024;
     score_config.router.engine.overflow_policy = serve::OverflowPolicy::kReject;
+    score_config.router.engine.cache_capacity = 4096;  // per shard
     score_config.router.engine.degrade_without_model = true;
     score_config.router.engine.registry = &metrics;
     score_config.router.engine.metrics_prefix = "bp_net";

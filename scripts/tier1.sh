@@ -27,6 +27,9 @@ echo "== training-throughput bench smoke (determinism gate) =="
 echo "== net-saturation bench smoke (zero-loss gate over real TCP) =="
 ./build/bench/bench_net_saturation --smoke /tmp/bp_bench_net_smoke.json
 
+echo "== serving-throughput bench smoke (cache hit-rate + equivalence gate) =="
+./build/bench/bench_serving_throughput --smoke /tmp/bp_bench_serving_smoke.json
+
 echo "== live introspection + scoring smoke (HTTP over ephemeral ports) =="
 smoke_log=/tmp/bp_introspect_smoke.log
 rm -f "${smoke_log}"
@@ -105,8 +108,9 @@ if [[ -n "${BP_SANITIZE:-}" ]]; then
   # server scraped under mutation, and the SLO/health rollup) whose
   # lock-free hot paths are exactly what the sanitizers exist to vet,
   # plus the network scoring plane (wire parser, sharded router,
-  # concurrent TCP soak over POST /score).
+  # concurrent TCP soak over POST /score), the SoA batch-scoring
+  # kernel's equivalence suite and the seqlock verdict cache.
   ctest --test-dir "${san_dir}" \
-    -R 'Serve|BoundedQueue|Parallel|TrainingDeterminism|Fault|RetrainSupervisor|ModelIntegrity|ChaosSoak|Obs|Audit|Introspect|Slo|Health|Net|Router' \
+    -R 'Serve|BoundedQueue|Parallel|TrainingDeterminism|Fault|RetrainSupervisor|ModelIntegrity|ChaosSoak|Obs|Audit|Introspect|Slo|Health|Net|Router|Batch|Cache' \
     --output-on-failure
 fi

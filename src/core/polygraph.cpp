@@ -308,6 +308,137 @@ Detection Polygraph::score(std::span<const double> features,
   return detection;
 }
 
+template <typename T>
+void Polygraph::score_batch_impl(std::span<const std::span<const T>> rows,
+                                 std::span<const ua::UserAgent> claims,
+                                 std::span<Detection> out,
+                                 BatchScratch& scratch) const {
+  assert(trained());
+  assert(claims.size() == rows.size() && out.size() == rows.size());
+  constexpr std::size_t kBlock = kScoreBatchBlock;
+  const std::size_t n_features = config_.feature_indices.size();
+  const std::size_t n_components = pca_.n_components();
+  const std::size_t n_centroids = kmeans_.centroids().rows();
+  const double* const means = scaler_.means().data();
+  const double* const stddevs = scaler_.stddevs().data();
+  const double* const pca_mean = pca_.mean().data();
+  const ml::Matrix& components = pca_.components();  // n_features x p
+  const ml::Matrix& centroids = kmeans_.centroids();  // k x p
+
+  scratch.panel_.resize(n_features * kBlock);
+  scratch.centered_.resize(kBlock);
+  scratch.projected_.resize(n_components * kBlock);
+  scratch.distance_.resize(kBlock);
+  scratch.best_d2_.resize(kBlock);
+  scratch.best_cluster_.resize(kBlock);
+  double* const panel = scratch.panel_.data();
+  double* const centered = scratch.centered_.data();
+  double* const projected = scratch.projected_.data();
+  double* const distance = scratch.distance_.data();
+  double* const best_d2 = scratch.best_d2_.data();
+  std::uint32_t* const best_cluster = scratch.best_cluster_.data();
+
+  for (std::size_t base = 0; base < rows.size(); base += kBlock) {
+    const std::size_t n = std::min(kBlock, rows.size() - base);
+    const T* row_ptr[kBlock];
+    for (std::size_t r = 0; r < n; ++r) {
+      assert(rows[base + r].size() == n_features);
+      row_ptr[r] = rows[base + r].data();
+    }
+
+    // Gather + scale: transpose the block into feature-major lanes,
+    // fusing the StandardScaler (same expression as transform_row, so
+    // identical rounding).
+    for (std::size_t c = 0; c < n_features; ++c) {
+      const double mean = means[c];
+      const double stddev = stddevs[c];
+      double* const lane = panel + c * kBlock;
+      for (std::size_t r = 0; r < n; ++r) {
+        lane[r] = (static_cast<double>(row_ptr[r][c]) - mean) / stddev;
+      }
+    }
+
+    // PCA: accumulate components in feature order — per row this is the
+    // scalar transform_row's exact reduction order.  (The scalar path
+    // skips exactly-zero centered values; adding their +/-0.0
+    // contribution here can only change the sign of a zero accumulator,
+    // which the squaring below erases.)
+    std::fill_n(projected, n_components * kBlock, 0.0);
+    for (std::size_t c = 0; c < n_features; ++c) {
+      const double center = pca_mean[c];
+      const double* const lane = panel + c * kBlock;
+      for (std::size_t r = 0; r < n; ++r) {
+        centered[r] = lane[r] - center;
+      }
+      const auto weights = components.row(c);  // n_components entries
+      for (std::size_t j = 0; j < n_components; ++j) {
+        const double weight = weights[j];
+        double* const proj = projected + j * kBlock;
+        for (std::size_t r = 0; r < n; ++r) {
+          proj[r] += centered[r] * weight;
+        }
+      }
+    }
+
+    // Nearest centroid: full distance per centroid, strict < argmin —
+    // the same winner and the same fully-accumulated winning distance
+    // as squared_distance_bounded with early exit (a truncated sum is
+    // already over the bound, so it can never win; ties keep the lower
+    // centroid index in both paths).
+    for (std::size_t r = 0; r < n; ++r) {
+      best_d2[r] = std::numeric_limits<double>::max();
+      best_cluster[r] = 0;
+    }
+    for (std::size_t c = 0; c < n_centroids; ++c) {
+      const auto centroid = centroids.row(c);
+      std::fill_n(distance, n, 0.0);
+      for (std::size_t j = 0; j < n_components; ++j) {
+        const double coord = centroid[j];
+        const double* const proj = projected + j * kBlock;
+        for (std::size_t r = 0; r < n; ++r) {
+          const double diff = proj[r] - coord;
+          distance[r] += diff * diff;
+        }
+      }
+      for (std::size_t r = 0; r < n; ++r) {
+        if (distance[r] < best_d2[r]) {
+          best_d2[r] = distance[r];
+          best_cluster[r] = static_cast<std::uint32_t>(c);
+        }
+      }
+    }
+
+    // Verdict tail — statement for statement the scalar score().
+    for (std::size_t r = 0; r < n; ++r) {
+      Detection detection;
+      detection.predicted_cluster = best_cluster[r];
+      detection.centroid_distance2 = best_d2[r];
+      detection.expected_cluster = table_.expected_cluster(claims[base + r]);
+      if (detection.expected_cluster.has_value() &&
+          *detection.expected_cluster != detection.predicted_cluster) {
+        detection.flagged = true;
+        detection.risk_factor =
+            risk_factor(claims[base + r], detection.predicted_cluster);
+      }
+      out[base + r] = detection;
+    }
+  }
+}
+
+void Polygraph::score_batch(std::span<const std::span<const std::int32_t>> rows,
+                            std::span<const ua::UserAgent> claims,
+                            std::span<Detection> out,
+                            BatchScratch& scratch) const {
+  score_batch_impl(rows, claims, out, scratch);
+}
+
+void Polygraph::score_batch(std::span<const std::span<const double>> rows,
+                            std::span<const ua::UserAgent> claims,
+                            std::span<Detection> out,
+                            BatchScratch& scratch) const {
+  score_batch_impl(rows, claims, out, scratch);
+}
+
 Polygraph Polygraph::from_parts(PolygraphConfig config,
                                 ml::StandardScaler scaler, ml::Pca pca,
                                 ml::KMeans kmeans, ClusterTable table) {

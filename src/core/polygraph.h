@@ -140,6 +140,34 @@ class ScoringScratch {
   std::vector<double> projected_;  // PCA output
 };
 
+// Reusable structure-of-arrays buffers for the fused batch-scoring
+// path (`Polygraph::score_batch`).  Like ScoringScratch: one instance
+// per thread, capacity sticks after the first block, so steady-state
+// batch scoring never touches the allocator.
+//
+// Layout (B = Polygraph::kScoreBatchBlock rows per block):
+//   panel_      d x B, feature-major — panel_[c*B + r] is feature c of
+//               row r, already scaled; the gather+scale pass writes a
+//               contiguous lane per feature so every later loop strides
+//               unit over rows.
+//   centered_   B — one feature lane minus the PCA mean.
+//   projected_  p x B, component-major PCA output.
+//   distance_   B — squared-distance accumulator for one centroid.
+//   best_d2_/best_cluster_  B — running argmin over centroids.
+class BatchScratch {
+ public:
+  BatchScratch() = default;
+
+ private:
+  friend class Polygraph;
+  std::vector<double> panel_;
+  std::vector<double> centered_;
+  std::vector<double> projected_;
+  std::vector<double> distance_;
+  std::vector<double> best_d2_;
+  std::vector<std::uint32_t> best_cluster_;
+};
+
 class Polygraph {
  public:
   explicit Polygraph(PolygraphConfig config = PolygraphConfig::production());
@@ -183,6 +211,38 @@ class Polygraph {
   Detection score(std::span<const std::int32_t> features,
                   const ua::UserAgent& claimed, ScoringScratch& scratch) const;
 
+  // Fused structure-of-arrays batch scoring.  Processes `rows` in
+  // blocks of kScoreBatchBlock sessions: one gather+scale pass builds a
+  // feature-major panel, PCA projection and all centroid distances then
+  // run as contiguous unit-stride loops over the row lanes
+  // (auto-vectorizable, no per-row calls), and the verdict tail
+  // (table lookup + Algorithm 1) matches the scalar path statement for
+  // statement.
+  //
+  // Equivalence guarantee: for every row i, out[i] is bit-identical to
+  // `score(rows[i], claims[i], scratch)` — same predicted/expected
+  // cluster, flag, risk factor, and centroid_distance2 down to the last
+  // mantissa bit.  This holds because every floating-point reduction
+  // (PCA accumulation in feature order, distance accumulation in
+  // component order) runs in the scalar path's exact order per row —
+  // vectorization only runs independent *rows* side by side — and the
+  // two places the scalar path's control flow diverges cannot leak into
+  // a Detection: the scalar PCA's skip of exactly-zero centered values
+  // can only flip the sign of a zero accumulator (squaring erases it),
+  // and the scalar nearest-centroid early-exit never truncates the
+  // winning distance.  Tests lock this in (core_batch_score_test).
+  //
+  // `rows`/`claims`/`out` must have equal length; every row must have
+  // feature_indices.size() entries.  Thread-safety matches score():
+  // const model, per-thread scratch.
+  static constexpr std::size_t kScoreBatchBlock = 64;
+  void score_batch(std::span<const std::span<const std::int32_t>> rows,
+                   std::span<const ua::UserAgent> claims,
+                   std::span<Detection> out, BatchScratch& scratch) const;
+  void score_batch(std::span<const std::span<const double>> rows,
+                   std::span<const ua::UserAgent> claims,
+                   std::span<Detection> out, BatchScratch& scratch) const;
+
   // Algorithm 1 verbatim: smallest UA distance within a cluster.
   int risk_factor(const ua::UserAgent& session_ua,
                   std::size_t predicted_cluster) const;
@@ -204,6 +264,13 @@ class Polygraph {
                               ClusterTable table);
 
  private:
+  // Shared SoA kernel behind both score_batch overloads; T is the raw
+  // feature element type (int32 widens exactly to double).
+  template <typename T>
+  void score_batch_impl(std::span<const std::span<const T>> rows,
+                        std::span<const ua::UserAgent> claims,
+                        std::span<Detection> out, BatchScratch& scratch) const;
+
   PolygraphConfig config_;
   ml::StandardScaler scaler_;
   ml::Pca pca_;

@@ -73,6 +73,7 @@ serve::MetricsSnapshot EngineRouter::metrics() const {
     total.shed += shard.shed;
     total.rejected += shard.rejected;
     total.batches += shard.batches;
+    total.cached += shard.cached;
     total.deadline_exceeded += shard.deadline_exceeded;
     total.degraded += shard.degraded;
     total.stalled_workers += shard.stalled_workers;
@@ -80,8 +81,30 @@ serve::MetricsSnapshot EngineRouter::metrics() const {
     for (std::size_t b = 0; b < total.latency_histogram.size(); ++b) {
       total.latency_histogram[b] += shard.latency_histogram[b];
     }
+    for (std::size_t b = 0; b < total.batch_size_histogram.size(); ++b) {
+      total.batch_size_histogram[b] += shard.batch_size_histogram[b];
+    }
   }
   total.model_version = registry_.version();
+  return total;
+}
+
+serve::CacheStats EngineRouter::shard_cache_stats(std::size_t shard) const {
+  return engines_[shard]->cache_stats();
+}
+
+serve::CacheStats EngineRouter::cache_stats() const {
+  serve::CacheStats total;
+  for (const auto& engine : engines_) {
+    const serve::CacheStats shard = engine->cache_stats();
+    total.hits += shard.hits;
+    total.misses += shard.misses;
+    total.stale += shard.stale;
+    total.evictions += shard.evictions;
+    total.inserts += shard.inserts;
+    total.occupancy += shard.occupancy;
+    total.capacity += shard.capacity;
+  }
   return total;
 }
 

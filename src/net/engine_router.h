@@ -5,9 +5,10 @@
 // shard's caches are churned by every session in the process.  The
 // router owns N engines ("shards") and routes each request by a hash
 // of its *session id*, so one session's requests always land on the
-// same shard — per-shard state (the worker's ScoringScratch, the
-// model tables in that core's caches, a future per-shard verdict
-// cache) stays hot, and queue contention divides by N.
+// same shard — per-shard state (the worker's scoring scratch, the
+// model tables in that core's caches, and the shard's verdict cache
+// when EngineConfig::cache_capacity is set) stays hot, and queue
+// contention divides by N.
 //
 // What the router coordinates, and what it deliberately does not:
 //
@@ -87,6 +88,14 @@ class EngineRouter {
   // Aggregate fold across shards: counters and histograms sum;
   // queue_depth sums; model_version is the registry's (shared).
   serve::MetricsSnapshot metrics() const;
+
+  // Per-shard verdict-cache counters (all-zero when
+  // engine.cache_capacity is 0) and their cross-shard fold.  Each shard
+  // owns an independent cache — the splitmix64 session affinity is what
+  // keeps a session's entries resident on the shard that will see its
+  // next request.
+  serve::CacheStats shard_cache_stats(std::size_t shard) const;
+  serve::CacheStats cache_stats() const;
 
   std::uint64_t model_version() const noexcept { return registry_.version(); }
 

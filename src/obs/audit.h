@@ -38,6 +38,11 @@ struct AuditRecord {
   static constexpr std::uint8_t kFlagged = 1u << 0;
   static constexpr std::uint8_t kDegraded = 1u << 1;  // UA-prior fallback
   static constexpr std::uint8_t kSampledUnflagged = 1u << 2;
+  // Verdict replayed from the serving tier's content-addressed cache.
+  // The evidence fields are byte-identical to the original scoring
+  // under the same model_version (the cache stores the full Detection),
+  // so replay_flag() is unaffected — the bit records provenance only.
+  static constexpr std::uint8_t kCached = 1u << 3;
 
   std::uint64_t session_id = 0;
   std::uint64_t model_version = 0;  // 0 = degraded (no model involved)
@@ -51,6 +56,7 @@ struct AuditRecord {
 
   bool flagged() const noexcept { return (tags & kFlagged) != 0; }
   bool degraded() const noexcept { return (tags & kDegraded) != 0; }
+  bool cached() const noexcept { return (tags & kCached) != 0; }
 };
 
 struct AuditConfig {

@@ -55,22 +55,31 @@ class BoundedQueue {
     if (items_.size() >= capacity_) {
       switch (policy_) {
         case OverflowPolicy::kBlock:
+          ++waiting_producers_;
           not_full_.wait(lock,
                          [&] { return closed_ || items_.size() < capacity_; });
+          --waiting_producers_;
           if (closed_) return PushResult::kClosed;
           break;
         case OverflowPolicy::kDropOldest:
           displaced = std::move(items_.front());
           items_.pop_front();
           items_.push_back(std::move(item));
-          not_empty_.notify_one();
+          if (waiting_consumers_ > 0) not_empty_.notify_one();
           return PushResult::kDisplacedOldest;
         case OverflowPolicy::kReject:
           return PushResult::kRejected;
       }
     }
     items_.push_back(std::move(item));
-    not_empty_.notify_one();
+    // Waiter-counted wakeups: under load the consumers are almost never
+    // parked (they drain in batches), yet every push used to issue a
+    // futex syscall anyway — per-item kernel round-trips that dominated
+    // the queue's cost once producers outnumbered cores.  The counters
+    // are mutex-protected, so a consumer that is *about to* wait is
+    // either counted (gets the notify) or hasn't released the lock yet
+    // (will see the item before waiting).
+    if (waiting_consumers_ > 0) not_empty_.notify_one();
     return PushResult::kAccepted;
   }
 
@@ -85,14 +94,23 @@ class BoundedQueue {
   bool pop_batch(std::vector<T>& out, std::size_t max_batch) {
     out.clear();
     std::unique_lock lock(mutex_);
-    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (closed_ || !items_.empty()) {
+      // Fast path: skip the wait bookkeeping entirely when work is
+      // already queued (the steady state under load).
+    } else {
+      ++waiting_consumers_;
+      not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+      --waiting_consumers_;
+    }
     if (items_.empty()) return false;  // closed and drained
     const std::size_t n = std::min(max_batch, items_.size());
     for (std::size_t i = 0; i < n; ++i) {
       out.push_back(std::move(items_.front()));
       items_.pop_front();
     }
-    if (policy_ == OverflowPolicy::kBlock) not_full_.notify_all();
+    if (policy_ == OverflowPolicy::kBlock && waiting_producers_ > 0) {
+      not_full_.notify_all();
+    }
     return true;
   }
 
@@ -135,6 +153,10 @@ class BoundedQueue {
   std::condition_variable not_full_;
   std::deque<T> items_;
   bool closed_ = false;
+  // Parked-thread counts (guarded by mutex_) so push/pop skip the
+  // condition-variable syscall when nobody is waiting.
+  std::size_t waiting_producers_ = 0;
+  std::size_t waiting_consumers_ = 0;
 };
 
 }  // namespace bp::serve

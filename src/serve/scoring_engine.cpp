@@ -42,6 +42,16 @@ ScoringEngine::ScoringEngine(const ModelRegistry& registry, EngineConfig config,
       queue_(config_.queue_capacity, config_.overflow_policy),
       metrics_(config_.workers, config_.registry, config_.metrics_prefix),
       heartbeats_(config_.workers) {
+  if (config_.cache_capacity > 0) {
+    VerdictCacheConfig cache_config;
+    cache_config.capacity = config_.cache_capacity;
+    // Same registry as the serving counters (the engine's private one
+    // when none was supplied), so `<prefix>_cache_*` exports alongside
+    // `<prefix>_scored_total` et al.
+    cache_config.registry = &metrics_.registry();
+    cache_config.metrics_prefix = config_.metrics_prefix + "_cache";
+    cache_ = std::make_unique<VerdictCache>(cache_config);
+  }
   if (config_.registry != nullptr) {
     // Callback gauges are evaluated at render time, so an exported
     // queue depth / model version is as fresh as the scrape — the
@@ -67,9 +77,63 @@ ScoringEngine::ScoringEngine(const ModelRegistry& registry, EngineConfig config,
 
 ScoringEngine::~ScoringEngine() { stop(); }
 
-SubmitResult ScoringEngine::submit(ScoreRequest request) {
+bool ScoringEngine::try_cached_submit(const ScoreRequest& request) {
+  // The submit-side fast path: answer on the submitting thread, never
+  // touching the queue or the drain accounting (the response is
+  // delivered before submit returns, so no drain() can be waiting on
+  // it).  This is where the heavy-tailed win lives, so the path is
+  // kept allocation- and syscall-free: no request copy, no snapshot
+  // shared_ptr traffic (the atomic version counter is enough — a hit
+  // is only served when its entry was minted under exactly that
+  // version), a fixed counter stripe (one submitter keeps one set of
+  // cache lines hot), and the clock only read when a trace span needs
+  // timestamps.  A repeat session costs one hash + one seqlock read.
+  if (cache_ == nullptr) return false;
+  const std::uint64_t version = registry_.version();
+  if (version == 0) return false;
+  core::Detection detection;
+  if (!cache_->lookup(VerdictCache::key_of(request.features, request.claimed),
+                      version, detection, /*stripe_hint=*/0)) {
+    return false;
+  }
+  ScoreResponse response;
+  response.id = request.id;
+  response.status = ResponseStatus::kScored;
+  response.detection = detection;
+  response.model_version = version;
+  response.worker = 0;
+  response.cached = true;
+  response.latency = std::chrono::microseconds{0};  // sub-microsecond
+  metrics_.record_cached(/*stripe=*/0, detection.flagged, 0);
+  if (on_response_) on_response_(response);
+  record_audit(request, response);
+  if (config_.trace != nullptr) {
+    const std::int64_t now_us = steady_now_us();
+    record_request_trace(request, "cache_hit", now_us, now_us);
+  }
+  return true;
+}
+
+SubmitResult ScoringEngine::submit(const ScoreRequest& request) {
   if (stopping_.load(std::memory_order_acquire)) return SubmitResult::kStopped;
+  if (try_cached_submit(request)) return SubmitResult::kAdmitted;
+  return submit_miss(ScoreRequest(request));  // miss: copy into the queue
+}
+
+SubmitResult ScoringEngine::submit(ScoreRequest&& request) {
+  if (stopping_.load(std::memory_order_acquire)) return SubmitResult::kStopped;
+  if (try_cached_submit(request)) return SubmitResult::kAdmitted;
+  return submit_miss(std::move(request));
+}
+
+SubmitResult ScoringEngine::submit_miss(ScoreRequest&& request) {
   request.admitted_at = std::chrono::steady_clock::now();
+  if (cache_ != nullptr) {
+    // Computed once here; workers re-check it against their batch's
+    // snapshot version and insert under it after scoring.
+    request.cache_key =
+        VerdictCache::key_of(request.features, request.claimed);
+  }
   // Count admission before the push: once the request is in the queue a
   // worker may complete it, and `completed_` must never overtake
   // `admitted_` or drain() would return early.
@@ -136,13 +200,25 @@ void ScoringEngine::record_audit(const ScoreRequest& request,
   if (response.status == ResponseStatus::kDegraded) {
     record.tags |= obs::AuditRecord::kDegraded;
   }
+  if (response.cached) {
+    // Replayed from the verdict cache: the evidence is byte-identical
+    // to the original scoring under the same model_version, so replay
+    // stays exact — the tag only records that no fresh scoring ran.
+    record.tags |= obs::AuditRecord::kCached;
+  }
   record.recorded_at_us = steady_now_us();
   audit->record(record);
 }
 
 void ScoringEngine::worker_loop(std::uint32_t worker_index) {
   std::vector<ScoreRequest> batch;
-  core::ScoringScratch scratch;
+  core::BatchScratch scratch;
+  // Reused per-batch staging (capacity sticks after the first batch, so
+  // the steady state stays allocation-free like the scalar path was):
+  std::vector<std::size_t> pending;  // batch indices that need scoring
+  std::vector<std::span<const std::int32_t>> rows;
+  std::vector<ua::UserAgent> claims;
+  std::vector<core::Detection> detections;
   Heartbeat& heartbeat = heartbeats_[worker_index];
   while (queue_.pop_batch(batch, config_.max_batch)) {
     heartbeat.busy_since_us.store(steady_now_us(), std::memory_order_relaxed);
@@ -201,34 +277,76 @@ void ScoringEngine::worker_loop(std::uint32_t worker_index) {
       heartbeat.busy_since_us.store(0, std::memory_order_relaxed);
       continue;
     }
-    metrics_.record_batch(worker_index);
-    std::uint64_t scored_in_batch = 0;
-    for (ScoreRequest& request : batch) {
-      const auto picked_up = std::chrono::steady_clock::now();
+    metrics_.record_batch(worker_index, batch.size());
+    const auto picked_up = std::chrono::steady_clock::now();
+    std::uint64_t answered_in_batch = 0;
+    // Triage pass: deadline misses out, repeat sessions replayed from
+    // the cache (re-checked here against the *batch's* snapshot version
+    // — a hot swap between submit and pickup must not replay an older
+    // model's verdict), the rest staged for the fused kernel.
+    pending.clear();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      ScoreRequest& request = batch[i];
       if (past_deadline(request, picked_up)) {
+        // deliver_deadline_exceeded note_completed()s itself — counting
+        // it in answered_in_batch too would overshoot completed_ and
+        // release a concurrent drain() with requests still in flight.
         deliver_deadline_exceeded(std::move(request), worker_index);
         continue;
       }
-      ScoreResponse response;
-      response.id = request.id;
-      response.status = ResponseStatus::kScored;
-      response.detection = snapshot.model->score(
-          std::span<const std::int32_t>(request.features), request.claimed,
-          scratch);
-      response.model_version = snapshot.version;
-      response.worker = worker_index;
-      const auto done = std::chrono::steady_clock::now();
-      response.latency = std::chrono::duration_cast<std::chrono::microseconds>(
-          done - request.admitted_at);
-      metrics_.record_scored(
-          worker_index, response.detection.flagged,
-          static_cast<std::uint64_t>(response.latency.count()));
-      if (on_response_) on_response_(response);
-      record_audit(request, response);
-      record_request_trace(request, "score", to_us(picked_up), to_us(done));
-      ++scored_in_batch;
+      if (cache_ != nullptr) {
+        core::Detection detection;
+        if (cache_->lookup(request.cache_key, snapshot.version, detection,
+                           worker_index)) {
+          deliver_cached(request, detection, snapshot.version, worker_index,
+                         worker_index, picked_up);
+          ++answered_in_batch;
+          continue;
+        }
+      }
+      pending.push_back(i);
     }
-    if (scored_in_batch > 0) note_completed(scored_in_batch);
+    if (!pending.empty()) {
+      rows.clear();
+      claims.clear();
+      for (const std::size_t i : pending) {
+        rows.emplace_back(batch[i].features);
+        claims.push_back(batch[i].claimed);
+      }
+      detections.resize(pending.size());
+      // The whole drain goes through the SoA kernel in one pass —
+      // bit-identical to per-request score() by the kernel's
+      // equivalence guarantee, so this is purely a layout change.
+      snapshot.model->score_batch(
+          std::span<const std::span<const std::int32_t>>(rows),
+          std::span<const ua::UserAgent>(claims),
+          std::span<core::Detection>(detections), scratch);
+      const auto done = std::chrono::steady_clock::now();
+      for (std::size_t p = 0; p < pending.size(); ++p) {
+        ScoreRequest& request = batch[pending[p]];
+        ScoreResponse response;
+        response.id = request.id;
+        response.status = ResponseStatus::kScored;
+        response.detection = detections[p];
+        response.model_version = snapshot.version;
+        response.worker = worker_index;
+        response.latency =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                done - request.admitted_at);
+        metrics_.record_scored(
+            worker_index, response.detection.flagged,
+            static_cast<std::uint64_t>(response.latency.count()));
+        if (on_response_) on_response_(response);
+        record_audit(request, response);
+        record_request_trace(request, "score", to_us(picked_up), to_us(done));
+        if (cache_ != nullptr) {
+          cache_->insert(request.cache_key, snapshot.version, detections[p],
+                         worker_index);
+        }
+        ++answered_in_batch;
+      }
+    }
+    if (answered_in_batch > 0) note_completed(answered_in_batch);
     heartbeat.busy_since_us.store(0, std::memory_order_relaxed);
   }
 }
@@ -289,10 +407,40 @@ void ScoringEngine::deliver_deadline_exceeded(ScoreRequest request,
   note_completed(1);
 }
 
+void ScoringEngine::deliver_cached(
+    const ScoreRequest& request, const core::Detection& detection,
+    std::uint64_t version, std::uint32_t worker_index, std::size_t stripe,
+    std::chrono::steady_clock::time_point picked_up) {
+  ScoreResponse response;
+  response.id = request.id;
+  response.status = ResponseStatus::kScored;
+  response.detection = detection;
+  response.model_version = version;
+  response.worker = worker_index;
+  response.cached = true;
+  const auto done = std::chrono::steady_clock::now();
+  response.latency = std::chrono::duration_cast<std::chrono::microseconds>(
+      done - request.admitted_at);
+  metrics_.record_cached(stripe, detection.flagged,
+                         static_cast<std::uint64_t>(response.latency.count()));
+  if (on_response_) on_response_(response);
+  record_audit(request, response);
+  record_request_trace(request, "cache_hit", to_us(picked_up), to_us(done));
+}
+
 void ScoringEngine::note_completed(std::uint64_t n) {
-  completed_.fetch_add(n, std::memory_order_acq_rel);
-  std::lock_guard lock(drain_mutex_);
-  drain_cv_.notify_all();
+  const std::uint64_t done =
+      completed_.fetch_add(n, std::memory_order_acq_rel) + n;
+  // Notify only when a drain() could actually be releasable.  The old
+  // unconditional lock+notify per completion put every worker through
+  // one mutex per batch item — measurable as the workers=4 throughput
+  // collapse in BENCH_serving.json.  The lock is still taken before
+  // notifying: drain() re-checks its predicate under this mutex, so a
+  // notify outside it could slip between a waiter's check and its wait.
+  if (done >= admitted_.load(std::memory_order_acquire)) {
+    std::lock_guard lock(drain_mutex_);
+    drain_cv_.notify_all();
+  }
 }
 
 void ScoringEngine::retract_admission() {

@@ -19,8 +19,16 @@
 //     snapshot is taken once per batch), and every response names the
 //     version that produced it (0 for sheds/deadline/degraded);
 //   * the worker hot path performs no per-session allocation: requests
-//     are moved through the queue and scored via the ScoringScratch
-//     overload of Polygraph::score.
+//     are moved through the queue and each drained batch is scored in
+//     one fused pass through Polygraph::score_batch (a per-worker
+//     BatchScratch holds the SoA panels) — bit-identical to per-session
+//     Polygraph::score by the kernel's equivalence guarantee;
+//   * with EngineConfig::cache_capacity > 0, a verdict cache
+//     short-circuits repeat (fingerprint, UA) sessions at submit() and
+//     again at batch pickup; cached responses are kScored with
+//     ScoreResponse::cached set, always carry the version whose model
+//     produced the verdict, and a hot swap atomically invalidates every
+//     older entry (version-keyed lookups — see serve/verdict_cache.h).
 //
 // Failure posture (the robustness layer):
 //   * `deadline` bounds how stale an answer may be: a request that
@@ -50,6 +58,7 @@
 #include "serve/bounded_queue.h"
 #include "serve/model_registry.h"
 #include "serve/serve_metrics.h"
+#include "serve/verdict_cache.h"
 #include "ua/user_agent.h"
 
 namespace bp::serve {
@@ -59,6 +68,10 @@ struct ScoreRequest {
   std::vector<std::int32_t> features;   // native session feature storage
   ua::UserAgent claimed;
   std::chrono::steady_clock::time_point admitted_at{};  // set by submit()
+  // Content address of (features, claimed); computed once by submit()
+  // when the verdict cache is enabled, so the worker-side lookup and
+  // the post-score insert never rehash.
+  VerdictCache::Key cache_key{};
 };
 
 enum class ResponseStatus : std::uint8_t {
@@ -75,6 +88,10 @@ struct ScoreResponse {
   std::uint64_t model_version = 0;  // publishing version that scored it
   std::uint32_t worker = 0;         // scoring worker (0 for sheds)
   std::chrono::microseconds latency{0};  // admission -> response
+  // kScored answered by the verdict cache — the detection was produced
+  // by `model_version` for an identical (fingerprint, UA) earlier and
+  // replayed without rescoring.  Audited with AuditRecord::kCached.
+  bool cached = false;
 };
 
 enum class SubmitResult : std::uint8_t {
@@ -88,6 +105,17 @@ struct EngineConfig {
   std::size_t queue_capacity = 4096;
   std::size_t max_batch = 32;  // requests scored per snapshot load
   OverflowPolicy overflow_policy = OverflowPolicy::kBlock;
+
+  // Slot count of the content-addressed (fingerprint, UA) -> verdict
+  // cache (rounded up to a power of two); 0 disables it.  With the
+  // cache on, submit() answers repeat sessions synchronously on the
+  // submitting thread (the response callback runs before submit
+  // returns, as it already can for displaced sheds), and workers check
+  // it again per request against the batch's snapshot version before
+  // falling through to the SoA kernel.  Version-keyed entries make a
+  // registry hot swap an atomic whole-cache invalidation.  Counters
+  // appear under `<metrics_prefix>_cache_*`.
+  std::size_t cache_capacity = 0;
 
   // Per-request deadline, measured from admission.  Zero disables: a
   // request is then scored no matter how long it queued.
@@ -142,8 +170,13 @@ class ScoringEngine {
   ScoringEngine& operator=(const ScoringEngine&) = delete;
 
   // Thread-safe admission.  On kAdmitted the engine owns the request
-  // and will deliver exactly one response for it.
-  SubmitResult submit(ScoreRequest request);
+  // and will deliver exactly one response for it.  The const& overload
+  // is the cache fast path's friend: a submit-side hit answers without
+  // ever copying the request (the rvalue overload is identical for
+  // hits; on a miss the const& form copies, exactly as a by-value
+  // parameter would have).
+  SubmitResult submit(ScoreRequest&& request);
+  SubmitResult submit(const ScoreRequest& request);
 
   // Blocks until every admitted request has been responded to.
   // Producers should be quiescent (or the wait is racy by nature).
@@ -155,6 +188,12 @@ class ScoringEngine {
 
   // Counter fold + engine context (queue depth, registry version).
   MetricsSnapshot metrics() const;
+
+  // Verdict-cache counters; all-zero when the cache is disabled.
+  CacheStats cache_stats() const {
+    return cache_ != nullptr ? cache_->stats() : CacheStats{};
+  }
+  const VerdictCache* cache() const noexcept { return cache_.get(); }
 
   const EngineConfig& config() const noexcept { return config_; }
   std::size_t queue_depth() const { return queue_.size(); }
@@ -177,6 +216,18 @@ class ScoringEngine {
                     bool from_submit);
   void deliver_deadline_exceeded(ScoreRequest request,
                                  std::uint32_t worker_index);
+  // Replay a cached detection as a kScored/cached response (shared by
+  // the submit-side fast path and the worker-side per-batch lookup).
+  // Does not touch the completion accounting; callers do.
+  void deliver_cached(const ScoreRequest& request,
+                      const core::Detection& detection, std::uint64_t version,
+                      std::uint32_t worker_index, std::size_t stripe,
+                      std::chrono::steady_clock::time_point picked_up);
+  // Submit-side cache fast path; true = answered, request not admitted.
+  bool try_cached_submit(const ScoreRequest& request);
+  // The queue path both public submit overloads fall through to after
+  // a cache miss (or with the cache off).
+  SubmitResult submit_miss(ScoreRequest&& request);
   void note_completed(std::uint64_t n);
   void retract_admission();
   bool past_deadline(
@@ -191,9 +242,15 @@ class ScoringEngine {
   ResponseCallback on_response_;
   BoundedQueue<ScoreRequest> queue_;
   ServeMetrics metrics_;
+  // Declared after metrics_: the cache registers a callback gauge into
+  // metrics_.registry() and must unhook (destruct) first.
+  std::unique_ptr<VerdictCache> cache_;
 
-  std::atomic<std::uint64_t> admitted_{0};
-  std::atomic<std::uint64_t> completed_{0};
+  // On separate cache lines: every worker bumps completed_ while every
+  // submitter bumps admitted_; sharing a line put the two hottest
+  // atomics in the process into one ping-ponging cache line.
+  alignas(64) std::atomic<std::uint64_t> admitted_{0};
+  alignas(64) std::atomic<std::uint64_t> completed_{0};
   std::mutex drain_mutex_;
   std::condition_variable drain_cv_;
 

@@ -49,10 +49,11 @@ std::string MetricsSnapshot::summary() const {
   char buf[320];
   std::snprintf(
       buf, sizeof(buf),
-      "scored=%llu flagged=%llu (%.2f%%) shed=%llu rejected=%llu "
-      "deadline=%llu degraded=%llu stalled=%llu depth=%llu model=v%llu "
-      "p50=%.0fus p95=%.0fus p99=%.0fus%s",
+      "scored=%llu cached=%llu flagged=%llu (%.2f%%) shed=%llu "
+      "rejected=%llu deadline=%llu degraded=%llu stalled=%llu depth=%llu "
+      "model=v%llu p50=%.0fus p95=%.0fus p99=%.0fus%s",
       static_cast<unsigned long long>(scored),
+      static_cast<unsigned long long>(cached),
       static_cast<unsigned long long>(flagged), 100.0 * flag_rate(),
       static_cast<unsigned long long>(shed),
       static_cast<unsigned long long>(rejected),
@@ -86,6 +87,8 @@ ServeMetrics::ServeMetrics(std::size_t n_workers,
                                   "submissions refused at admission");
   batches_ = &registry_->counter(p + "_batches_total",
                                  "worker batch iterations");
+  cached_ = &registry_->counter(
+      p + "_cached_total", "scored responses answered by the verdict cache");
   deadline_exceeded_ = &registry_->counter(
       p + "_deadline_exceeded_total", "requests answered past their deadline");
   degraded_ = &registry_->counter(p + "_degraded_total",
@@ -94,6 +97,9 @@ ServeMetrics::ServeMetrics(std::size_t n_workers,
       p + "_latency_micros",
       std::span<const std::uint64_t>(kLatencyBucketBoundsMicros),
       "queue wait + scoring per answered session, microseconds");
+  batch_size_ = &registry_->histogram(
+      p + "_batch_size", std::span<const std::uint64_t>(kBatchSizeBucketBounds),
+      "requests drained per worker batch");
   stalled_workers_ = &registry_->gauge(
       p + "_stalled_workers", "workers stuck inside one batch (watchdog)");
 }
@@ -103,6 +109,14 @@ void ServeMetrics::record_scored(std::size_t worker, bool flagged,
   scored_->increment(worker);
   if (flagged) flagged_->increment(worker);
   latency_->observe(latency_micros, worker);
+}
+
+void ServeMetrics::record_cached(std::size_t stripe, bool flagged,
+                                 std::uint64_t latency_micros) noexcept {
+  scored_->increment(stripe);
+  cached_->increment(stripe);
+  if (flagged) flagged_->increment(stripe);
+  latency_->observe(latency_micros, stripe);
 }
 
 void ServeMetrics::record_shed(std::size_t worker) noexcept {
@@ -120,8 +134,10 @@ void ServeMetrics::record_degraded(std::size_t worker, bool flagged,
   latency_->observe(latency_micros, worker);
 }
 
-void ServeMetrics::record_batch(std::size_t worker) noexcept {
+void ServeMetrics::record_batch(std::size_t worker,
+                                std::uint64_t batch_size) noexcept {
   batches_->increment(worker);
+  batch_size_->observe(batch_size, worker);
 }
 
 void ServeMetrics::record_rejected() noexcept { rejected_->increment(); }
@@ -135,6 +151,7 @@ MetricsSnapshot ServeMetrics::snapshot() const {
   out.shed = shed_->value();
   out.rejected = rejected_->value();
   out.batches = batches_->value();
+  out.cached = cached_->value();
   out.deadline_exceeded = deadline_exceeded_->value();
   out.degraded = degraded_->value();
   out.stalled_workers =
@@ -142,6 +159,10 @@ MetricsSnapshot ServeMetrics::snapshot() const {
   const std::vector<std::uint64_t> latency = latency_->bucket_counts();
   for (std::size_t b = 0; b < out.latency_histogram.size(); ++b) {
     out.latency_histogram[b] = latency[b];
+  }
+  const std::vector<std::uint64_t> batch_sizes = batch_size_->bucket_counts();
+  for (std::size_t b = 0; b < out.batch_size_histogram.size(); ++b) {
+    out.batch_size_histogram[b] = batch_sizes[b];
   }
   return out;
 }

@@ -57,6 +57,12 @@ inline constexpr std::array<std::uint64_t, 16> kLatencyBucketBoundsMicros = {
 
 std::size_t latency_bucket(std::uint64_t micros) noexcept;
 
+// Bucket upper bounds for the per-drain batch-size histogram: powers of
+// two up to 256 (max_batch is typically 32-64; the open-ended last
+// bucket catches experiments beyond that).
+inline constexpr std::array<std::uint64_t, 9> kBatchSizeBucketBounds = {
+    1, 2, 4, 8, 16, 32, 64, 128, 256};
+
 // Folded view of the engine's counters at one instant.
 struct MetricsSnapshot {
   std::uint64_t scored = 0;    // responses delivered with a detection
@@ -64,6 +70,8 @@ struct MetricsSnapshot {
   std::uint64_t shed = 0;      // responses delivered as shed (DropOldest)
   std::uint64_t rejected = 0;  // submissions refused at admission (Reject)
   std::uint64_t batches = 0;   // worker batch iterations
+  std::uint64_t cached = 0;    // scored responses answered by the
+                               // verdict cache (subset of `scored`)
   std::uint64_t deadline_exceeded = 0;  // answered past their deadline
   std::uint64_t degraded = 0;  // answered by the UA-prior fallback scorer
   std::uint64_t stalled_workers = 0;  // watchdog gauge, at snapshot time
@@ -72,6 +80,8 @@ struct MetricsSnapshot {
   std::array<std::uint64_t, kLatencyBucketBoundsMicros.size() + 1>
       latency_histogram{};  // queue wait + scoring, per answered session
                             // (model-scored and degraded)
+  std::array<std::uint64_t, kBatchSizeBucketBounds.size() + 1>
+      batch_size_histogram{};  // requests drained per worker batch
 
   double flag_rate() const noexcept {
     const std::uint64_t answered = scored + degraded;
@@ -109,8 +119,14 @@ class ServeMetrics {
   // hint).
   void record_scored(std::size_t worker, bool flagged,
                      std::uint64_t latency_micros) noexcept;
+  // A verdict-cache hit: counts as scored (the caller got a full
+  // detection) *and* bumps the cached counter.
+  void record_cached(std::size_t stripe, bool flagged,
+                     std::uint64_t latency_micros) noexcept;
   void record_shed(std::size_t worker) noexcept;
-  void record_batch(std::size_t worker) noexcept;
+  // One worker drain of `batch_size` requests (feeds the batch-size
+  // histogram, so /statusz can show how full the SoA kernel runs).
+  void record_batch(std::size_t worker, std::uint64_t batch_size) noexcept;
   void record_deadline_exceeded(std::size_t worker) noexcept;
   void record_degraded(std::size_t worker, bool flagged,
                        std::uint64_t latency_micros) noexcept;
@@ -146,9 +162,11 @@ class ServeMetrics {
   obs::Counter* shed_;
   obs::Counter* rejected_;
   obs::Counter* batches_;
+  obs::Counter* cached_;
   obs::Counter* deadline_exceeded_;
   obs::Counter* degraded_;
   obs::Histogram* latency_;
+  obs::Histogram* batch_size_;
   obs::Gauge* stalled_workers_;
 };
 

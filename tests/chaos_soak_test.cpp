@@ -119,12 +119,18 @@ TEST_F(ChaosSoakTest, SameFaultSpecReplaysSameTraceAndBehaviour) {
   (void)reseeded_log;
 }
 
-TEST_F(ChaosSoakTest, SoakLosesNothingServesNoCorruptModelAndRecovers) {
+// The soak proper, parameterized on the verdict cache: with
+// `cache_capacity` > 0 most repeat sessions are answered from the
+// cache, and the flag-parity proof then covers the cache's invalidation
+// protocol too — a cached verdict carrying version v with a flag that
+// does not match mirror[v] (version v's table) would mean a verdict
+// from one version was replayed under another.
+void run_soak(std::size_t cache_capacity, const std::string& path) {
   constexpr int kProducers = 3;
   constexpr int kPerProducer = 1'500;
   constexpr int kTotal = kProducers * kPerProducer;
+  constexpr int kPostRecovery = 200;  // scored after the final publish
   constexpr int kLifecycleIterations = 60;
-  const std::string path = "/tmp/bp_chaos_soak.model";
   std::remove(path.c_str());
   std::remove((path + ".quarantined").c_str());
 
@@ -141,15 +147,19 @@ TEST_F(ChaosSoakTest, SoakLosesNothingServesNoCorruptModelAndRecovers) {
       "model_io.read:0.1:23,registry.publish_validate:0.15:24,"
       "engine.worker_stall:0.05:25"));
 
-  std::vector<std::atomic<int>> response_count(kTotal);
-  std::vector<std::atomic<std::uint64_t>> response_version(kTotal);
-  std::vector<std::atomic<int>> response_flagged(kTotal);
-  std::vector<std::atomic<int>> response_status(kTotal);
-  for (int i = 0; i < kTotal; ++i) {
+  // +1 slot for the final guaranteed-cache-hit probe request.
+  constexpr int kIds = kTotal + kPostRecovery + 1;
+  std::vector<std::atomic<int>> response_count(kIds);
+  std::vector<std::atomic<std::uint64_t>> response_version(kIds);
+  std::vector<std::atomic<int>> response_flagged(kIds);
+  std::vector<std::atomic<int>> response_status(kIds);
+  std::vector<std::atomic<int>> response_cached(kIds);
+  for (int i = 0; i < kIds; ++i) {
     response_count[i].store(0);
     response_version[i].store(0);
     response_flagged[i].store(0);
     response_status[i].store(-1);
+    response_cached[i].store(0);
   }
 
   EngineConfig config;
@@ -159,6 +169,7 @@ TEST_F(ChaosSoakTest, SoakLosesNothingServesNoCorruptModelAndRecovers) {
   config.overflow_policy = OverflowPolicy::kBlock;
   config.watchdog_interval = std::chrono::milliseconds(5);
   config.stall_threshold = std::chrono::milliseconds(5);
+  config.cache_capacity = cache_capacity;
   ScoringEngine engine(registry, config, [&](const ScoreResponse& r) {
     response_count[r.id].fetch_add(1, std::memory_order_relaxed);
     response_version[r.id].store(r.model_version, std::memory_order_relaxed);
@@ -166,6 +177,7 @@ TEST_F(ChaosSoakTest, SoakLosesNothingServesNoCorruptModelAndRecovers) {
                                  std::memory_order_relaxed);
     response_status[r.id].store(static_cast<int>(r.status),
                                 std::memory_order_relaxed);
+    response_cached[r.id].store(r.cached ? 1 : 0, std::memory_order_relaxed);
   });
 
   std::uint64_t lifecycle_failures = 0;
@@ -253,8 +265,74 @@ TEST_F(ChaosSoakTest, SoakLosesNothingServesNoCorruptModelAndRecovers) {
                            scratch)
                    .flagged);
 
+  // --- no verdict from version K after K+1 publishes: everything ---
+  // --- scored after the final publish carries the final version  ---
+  // The engine is still live and (in the cached variant) its cache is
+  // full of entries stamped with soak-era versions <= last_version.
+  // Every one of those entries is now stale; a hit on any of them here
+  // would surface as a response with an old model_version or (worse)
+  // model B's flag from a model-A serving table.
+  for (int i = 0; i < kPostRecovery; ++i) {
+    ScoreRequest request;
+    request.id = static_cast<std::uint64_t>(kTotal + i);
+    request.features = {0, 0};
+    request.claimed = kChrome100;
+    ASSERT_EQ(engine.submit(std::move(request)), SubmitResult::kAdmitted);
+  }
+  engine.drain();
+  for (int id = kTotal; id < kTotal + kPostRecovery; ++id) {
+    ASSERT_EQ(response_count[id].load(), 1) << "id " << id;
+    ASSERT_EQ(response_status[id].load(),
+              static_cast<int>(ResponseStatus::kScored))
+        << "id " << id;
+    EXPECT_EQ(response_version[id].load(), last_version + 1) << "id " << id;
+    EXPECT_EQ(response_flagged[id].load(), 0) << "id " << id;
+  }
+
+  if (cache_capacity > 0) {
+    // drain() returned after a worker scored-and-inserted this exact
+    // key at last_version + 1, so one more submit is a guaranteed
+    // submit-side hit — and it must replay the *current* version.
+    ScoreRequest probe;
+    probe.id = static_cast<std::uint64_t>(kTotal + kPostRecovery);
+    probe.features = {0, 0};
+    probe.claimed = kChrome100;
+    ASSERT_EQ(engine.submit(std::move(probe)), SubmitResult::kAdmitted);
+    const int probe_id = kTotal + kPostRecovery;
+    ASSERT_EQ(response_count[probe_id].load(), 1);
+    EXPECT_EQ(response_cached[probe_id].load(), 1);
+    EXPECT_EQ(response_version[probe_id].load(), last_version + 1);
+    EXPECT_EQ(response_flagged[probe_id].load(), 0);
+
+    // The soak exercised the cache for real: entries were inserted,
+    // replayed, and invalidated by hot swaps (at minimum the recovery
+    // publish stales every soak-era entry for this key).
+    const CacheStats stats = engine.cache_stats();
+    EXPECT_GT(stats.inserts, 0u);
+    EXPECT_GT(stats.hits, 0u);
+    EXPECT_GT(stats.stale, 0u);
+  } else {
+    const CacheStats stats = engine.cache_stats();
+    EXPECT_EQ(stats.hits + stats.misses + stats.inserts, 0u);
+    for (int id = 0; id < kIds; ++id) {
+      ASSERT_EQ(response_cached[id].load(), 0) << "id " << id;
+    }
+  }
+
   std::remove(path.c_str());
   std::remove((path + ".quarantined").c_str());
+}
+
+TEST_F(ChaosSoakTest, SoakLosesNothingServesNoCorruptModelAndRecovers) {
+  run_soak(/*cache_capacity=*/0, "/tmp/bp_chaos_soak.model");
+}
+
+// Same soak with the verdict cache hot: flag parity per version now
+// proves the cache's version-keyed invalidation — a swap must stale
+// every prior entry atomically, and no verdict minted under version K
+// may be replayed once K+1 is published.
+TEST_F(ChaosSoakTest, CachedSoakServesNoStaleVerdictAcrossSwaps) {
+  run_soak(/*cache_capacity=*/512, "/tmp/bp_chaos_soak_cached.model");
 }
 
 }  // namespace
