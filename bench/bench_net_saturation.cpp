@@ -46,7 +46,9 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "net/chaos_proxy.h"
 #include "net/http_common.h"
+#include "net/score_client.h"
 #include "net/score_server.h"
 #include "net/wire.h"
 #include "serve/model_registry.h"
@@ -199,6 +201,94 @@ RateResult drive(std::uint16_t port,
   return result;
 }
 
+// ------------------------------------------------------------- fault arm
+//
+// The same plane under *injected* stalls: a deterministic ChaosProxy
+// (net/chaos_proxy.h) sits between client and server delaying ~1% of
+// relayed chunks by 40 ms, and a ScoreClient scores through it twice —
+// once plain, once with a 5 ms hedge.  The open-loop sweep above asks
+// "how does the plane behave at the load it is offered"; this arm asks
+// "what does tail latency cost when the network itself misbehaves, and
+// how much of that cost does hedging buy back".  The acceptance line:
+// hedged p99 < unhedged p99, with zero lost and zero corrupted calls
+// in both arms (every injected stall absorbed inside the deadline).
+
+struct FaultArmResult {
+  std::size_t calls = 0;
+  std::size_t lost = 0;       // outcome != kOk
+  std::size_t corrupted = 0;  // accepted verdict failing validation
+  double p50_us = 0.0, p99_us = 0.0;
+  double seconds = 0.0;
+  bp::net::ScoreClientStats client;  // attempts/hedges/hedge_wins
+  bp::net::ChaosProxyStats chaos;    // injected delays actually fired
+};
+
+FaultArmResult drive_fault_arm(std::uint16_t server_port,
+                               const std::vector<bp::traffic::SessionRecord>&
+                                   pool,
+                               std::size_t calls,
+                               std::chrono::milliseconds hedge_delay) {
+  FaultArmResult result;
+  result.calls = calls;
+
+  // Both arms use the same seed.  The unhedged arm reuses one pooled
+  // keep-alive connection, so its chunk sequence — and therefore its
+  // injected-stall schedule — is deterministic run to run; the hedged
+  // arm opens extra connections (new chaos streams) but draws from the
+  // same per-chunk rate.
+  bp::net::ChaosProxyConfig chaos_config;
+  chaos_config.upstream_port = server_port;
+  chaos_config.seed = 0xFA17A;
+  chaos_config.delay_probability = 0.01;
+  chaos_config.delay = std::chrono::milliseconds(40);
+  bp::net::ChaosProxy proxy(chaos_config);
+  if (!proxy.running()) {
+    std::fprintf(stderr, "chaos proxy failed: %s\n", proxy.error().c_str());
+    result.lost = calls;
+    return result;
+  }
+
+  bp::net::ScoreClientConfig client_config;
+  client_config.port = proxy.port();
+  client_config.io_timeout = std::chrono::milliseconds(1'000);
+  client_config.deadline = std::chrono::milliseconds(3'000);
+  client_config.max_attempts = 4;
+  client_config.initial_backoff = std::chrono::milliseconds(2);
+  client_config.max_backoff = std::chrono::milliseconds(20);
+  client_config.hedge_delay = hedge_delay;
+  bp::net::ScoreClient client(client_config);
+
+  std::vector<double> latencies;
+  latencies.reserve(calls);
+  const auto t0 = Clock::now();
+  for (std::size_t i = 0; i < calls; ++i) {
+    const bp::traffic::SessionRecord& session = pool[i % pool.size()];
+    const std::uint64_t session_id = i + 1;
+    const auto start = Clock::now();
+    const bp::net::ScoreCallResult call =
+        client.score(session_id, session.user_agent, session.features);
+    const auto end = Clock::now();
+    if (call.outcome != bp::net::ScoreClientOutcome::kOk) {
+      ++result.lost;
+      continue;
+    }
+    if (call.response.session_id != session_id) {
+      ++result.corrupted;
+      continue;
+    }
+    latencies.push_back(
+        std::chrono::duration<double, std::micro>(end - start).count());
+  }
+  result.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  proxy.stop();
+  result.client = client.stats();
+  result.chaos = proxy.stats();
+  std::sort(latencies.begin(), latencies.end());
+  result.p50_us = percentile(latencies, 0.50);
+  result.p99_us = percentile(latencies, 0.99);
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -304,6 +394,28 @@ int main(int argc, char** argv) {
                 r.shed, r.lost, r.corrupted);
     results.push_back(std::move(r));
   }
+  // ---- fault arm: hedged vs unhedged through the chaos proxy ----
+  const std::size_t fault_calls = smoke ? 400 : 1'500;
+  std::printf("\nfault arm: %zu calls through a chaos proxy "
+              "(1%% of chunks stalled 40ms)...\n",
+              fault_calls);
+  const FaultArmResult unhedged = drive_fault_arm(
+      server.port(), pool, fault_calls, std::chrono::milliseconds(0));
+  const FaultArmResult hedged = drive_fault_arm(
+      server.port(), pool, fault_calls, std::chrono::milliseconds(5));
+  std::printf("  unhedged: p50=%.0fus p99=%.0fus  lost=%zu corrupted=%zu  "
+              "attempts=%llu stalls_injected=%llu\n",
+              unhedged.p50_us, unhedged.p99_us, unhedged.lost,
+              unhedged.corrupted,
+              static_cast<unsigned long long>(unhedged.client.attempts),
+              static_cast<unsigned long long>(unhedged.chaos.delays));
+  std::printf("  hedged:   p50=%.0fus p99=%.0fus  lost=%zu corrupted=%zu  "
+              "hedges=%llu hedge_wins=%llu stalls_injected=%llu\n",
+              hedged.p50_us, hedged.p99_us, hedged.lost, hedged.corrupted,
+              static_cast<unsigned long long>(hedged.client.hedges),
+              static_cast<unsigned long long>(hedged.client.hedge_wins),
+              static_cast<unsigned long long>(hedged.chaos.delays));
+
   const serve::CacheStats cache = server.router().cache_stats();
   server.stop();
 
@@ -357,6 +469,30 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(cache.inserts), cache.occupancy);
     json += entry;
   }
+  {
+    const auto arm_json = [](const char* name, const FaultArmResult& arm,
+                             double hedge_delay_ms) {
+      char entry[512];
+      std::snprintf(
+          entry, sizeof(entry),
+          "    \"%s\": {\"hedge_delay_ms\": %.0f, \"calls\": %zu, "
+          "\"lost\": %zu, \"corrupted\": %zu, \"p50_micros\": %.1f, "
+          "\"p99_micros\": %.1f, \"attempts\": %llu, \"hedges\": %llu, "
+          "\"hedge_wins\": %llu, \"stalls_injected\": %llu}",
+          name, hedge_delay_ms, arm.calls, arm.lost, arm.corrupted,
+          arm.p50_us, arm.p99_us,
+          static_cast<unsigned long long>(arm.client.attempts),
+          static_cast<unsigned long long>(arm.client.hedges),
+          static_cast<unsigned long long>(arm.client.hedge_wins),
+          static_cast<unsigned long long>(arm.chaos.delays));
+      return std::string(entry);
+    };
+    json += "  \"fault_arm\": {\n";
+    json += "    \"delay_probability\": 0.01, \"delay_ms\": 40,\n";
+    json += arm_json("unhedged", unhedged, 0.0) + ",\n";
+    json += arm_json("hedged", hedged, 5.0) + "\n";
+    json += "  },\n";
+  }
   json += "  \"rates\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const RateResult& r = results[i];
@@ -402,6 +538,37 @@ int main(int argc, char** argv) {
                          "popularity-skewed traffic\n");
     return 1;
   }
-  std::printf("zero lost, zero corrupted responses across the sweep\n");
+  // Fault-arm acceptance: both arms absorb every injected stall (zero
+  // lost, zero corrupted), the chaos proxy actually injected stalls in
+  // both, and the hedge bought back tail latency.
+  if (unhedged.lost + unhedged.corrupted + hedged.lost + hedged.corrupted !=
+      0) {
+    std::fprintf(stderr,
+                 "FAIL: fault arm dropped calls (unhedged lost=%zu "
+                 "corrupted=%zu, hedged lost=%zu corrupted=%zu)\n",
+                 unhedged.lost, unhedged.corrupted, hedged.lost,
+                 hedged.corrupted);
+    return 1;
+  }
+  if (unhedged.chaos.delays == 0 || hedged.chaos.delays == 0) {
+    std::fprintf(stderr, "FAIL: chaos proxy injected no stalls — the fault "
+                         "arm measured nothing\n");
+    return 1;
+  }
+  if (hedged.client.hedge_wins == 0) {
+    std::fprintf(stderr, "FAIL: no hedge ever won — the hedged arm is "
+                         "indistinguishable from the unhedged one\n");
+    return 1;
+  }
+  if (hedged.p99_us >= unhedged.p99_us) {
+    std::fprintf(stderr,
+                 "FAIL: hedging did not improve p99 under stalls "
+                 "(hedged %.0fus >= unhedged %.0fus)\n",
+                 hedged.p99_us, unhedged.p99_us);
+    return 1;
+  }
+  std::printf("zero lost, zero corrupted responses across the sweep; "
+              "hedged p99 %.0fus < unhedged p99 %.0fus under stalls\n",
+              hedged.p99_us, unhedged.p99_us);
   return 0;
 }

@@ -1,0 +1,254 @@
+// chaos_proxy: deterministic network fault injection for the scoring
+// plane (net/chaos_proxy.h, DESIGN.md §15).
+//
+// The proxy is a byte-level TCP relay that mutilates traffic on a
+// schedule that is a pure function of (seed, stream, chunk): delays,
+// truncations, connection resets and single-byte corruption.  Because
+// the schedule is deterministic, a failure found under chaos replays
+// from the seed — chaos testing without flaky tests.
+//
+// Usage:
+//   chaos_proxy
+//     Self-contained demo, exits: starts a real ScoreServer, parks the
+//     proxy in front of it with every fault class armed on the
+//     response direction, and drives a resilient ScoreClient through
+//     the storm.  The acceptance line printed at the end is the
+//     soak's: zero lost, zero corrupted verdicts.
+//
+//   chaos_proxy --upstream <addr:port|port> [--listen <addr:port|port>]
+//       [--seed N] [--reset P] [--truncate P] [--corrupt P]
+//       [--delay P] [--delay-ms N] [--response-only]
+//     Relay mode: prints "chaos proxy listening on <addr>:<port>",
+//     relays until SIGINT/SIGTERM, then prints its fault ledger.
+//     Point it at a live ingress (e.g. fraud_detection_service
+//     --score-listen) and aim clients at the proxy's port.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/polygraph.h"
+#include "net/chaos_proxy.h"
+#include "net/score_client.h"
+#include "net/score_server.h"
+#include "serve/model_registry.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_signal = 0;
+void on_signal(int sig) { g_signal = sig; }
+
+// A two-cluster model the demo can score against: (0,0) is the known
+// Chrome 100 cluster, (10,10) is fraud.
+bp::core::Polygraph tiny_model() {
+  bp::core::PolygraphConfig config;
+  config.feature_indices = {0, 1};
+  config.pca_components = 2;
+  config.k = 2;
+  bp::ml::Matrix centroids(2, 2);
+  centroids(1, 0) = 10.0;
+  centroids(1, 1) = 10.0;
+  bp::ml::KMeansConfig kconfig;
+  kconfig.k = 2;
+  bp::core::ClusterTable table;
+  table.assign({bp::ua::Vendor::kChrome, 100, bp::ua::Os::kWindows10}, 0);
+  return bp::core::Polygraph::from_parts(
+      config,
+      bp::ml::StandardScaler::from_params({0.0, 0.0}, {1.0, 1.0}),
+      bp::ml::Pca::from_params({0.0, 0.0}, {1.0, 1.0},
+                               bp::ml::Matrix::identity(2)),
+      bp::ml::KMeans::from_centroids(std::move(centroids), kconfig),
+      std::move(table));
+}
+
+// "<addr>:<port>" or "<port>" (addr defaults to 127.0.0.1).
+bool parse_endpoint(const std::string& value, std::string* address,
+                    std::uint16_t* port) {
+  const std::size_t colon = value.rfind(':');
+  const std::string port_text =
+      colon == std::string::npos ? value : value.substr(colon + 1);
+  if (colon != std::string::npos) *address = value.substr(0, colon);
+  char* end = nullptr;
+  const long parsed = std::strtol(port_text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || parsed < 0 || parsed > 65535) {
+    return false;
+  }
+  *port = static_cast<std::uint16_t>(parsed);
+  return true;
+}
+
+void print_ledger(const bp::net::ChaosProxyStats& stats) {
+  std::printf("chaos ledger: connections=%llu chunks=%llu bytes=%llu  "
+              "delays=%llu truncates=%llu corrupts=%llu resets=%llu\n",
+              static_cast<unsigned long long>(stats.connections),
+              static_cast<unsigned long long>(stats.chunks),
+              static_cast<unsigned long long>(stats.bytes),
+              static_cast<unsigned long long>(stats.delays),
+              static_cast<unsigned long long>(stats.truncates),
+              static_cast<unsigned long long>(stats.corrupts),
+              static_cast<unsigned long long>(stats.resets));
+}
+
+int run_relay(const bp::net::ChaosProxyConfig& config) {
+  bp::net::ChaosProxy proxy(config);
+  if (!proxy.running()) {
+    std::fprintf(stderr, "chaos proxy failed: %s\n", proxy.error().c_str());
+    return 1;
+  }
+  std::printf("chaos proxy listening on %s:%u -> upstream %s:%u (seed %llu)\n",
+              config.bind_address.c_str(), proxy.port(),
+              config.upstream_host.c_str(), config.upstream_port,
+              static_cast<unsigned long long>(config.seed));
+  std::fflush(stdout);
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  while (g_signal == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::printf("signal %d: stopping relay\n", static_cast<int>(g_signal));
+  proxy.stop();
+  print_ledger(proxy.stats());
+  return 0;
+}
+
+int run_demo() {
+  std::printf("== chaos proxy demo: a scoring client under injected "
+              "network faults ==\n");
+  bp::serve::ModelRegistry models;
+  models.publish(tiny_model());
+  bp::net::ScoreServerConfig server_config;
+  server_config.router.shards = 2;
+  server_config.router.engine.workers = 1;
+  server_config.expected_features = 2;
+  server_config.listener.handler_threads = 4;
+  bp::net::ScoreServer server(models, server_config);
+  if (!server.running()) {
+    std::fprintf(stderr, "score server failed: %s\n", server.error().c_str());
+    return 1;
+  }
+
+  // Every fault class armed on the response direction (request-side
+  // mutilation can be legitimately refused 400 — a correct terminal
+  // outcome, not one the client should retry through).
+  bp::net::ChaosProxyConfig chaos_config;
+  chaos_config.upstream_port = server.port();
+  chaos_config.seed = 0xC4A05;
+  chaos_config.fault_client_to_upstream = false;
+  chaos_config.reset_probability = 0.02;
+  chaos_config.truncate_probability = 0.02;
+  chaos_config.corrupt_probability = 0.02;
+  chaos_config.delay_probability = 0.04;
+  chaos_config.delay = std::chrono::milliseconds(20);
+  bp::net::ChaosProxy proxy(chaos_config);
+  if (!proxy.running()) {
+    std::fprintf(stderr, "chaos proxy failed: %s\n", proxy.error().c_str());
+    return 1;
+  }
+  std::printf("proxy on port %u -> server on port %u: 2%% resets, "
+              "2%% truncations, 2%% corruptions, 4%% delays\n",
+              proxy.port(), server.port());
+
+  bp::net::ScoreClientConfig client_config;
+  client_config.port = proxy.port();
+  client_config.io_timeout = std::chrono::milliseconds(500);
+  client_config.deadline = std::chrono::milliseconds(4'000);
+  client_config.max_attempts = 8;
+  client_config.initial_backoff = std::chrono::milliseconds(2);
+  client_config.max_backoff = std::chrono::milliseconds(20);
+  client_config.hedge_delay = std::chrono::milliseconds(50);
+  client_config.breaker_threshold = 1000;  // let every fault be felt
+  bp::net::ScoreClient client(client_config);
+
+  constexpr int kCalls = 150;
+  int lost = 0, corrupted = 0;
+  for (int i = 0; i < kCalls; ++i) {
+    const std::uint64_t session = static_cast<std::uint64_t>(i) + 1;
+    const bool fraud = session % 2 == 0;
+    const std::int32_t clean[] = {0, 0};
+    const std::int32_t bot[] = {10, 10};
+    const bp::net::ScoreCallResult result =
+        client.score(session, "Chrome 100", fraud ? bot : clean);
+    if (result.outcome != bp::net::ScoreClientOutcome::kOk) {
+      ++lost;
+      std::printf("  session %llu LOST: %s\n",
+                  static_cast<unsigned long long>(session),
+                  result.error.c_str());
+    } else if (result.response.session_id != session ||
+               result.response.flagged != fraud) {
+      ++corrupted;
+      std::printf("  session %llu CORRUPTED verdict\n",
+                  static_cast<unsigned long long>(session));
+    }
+  }
+  proxy.stop();
+  server.stop();
+
+  const bp::net::ScoreClientStats stats = client.stats();
+  print_ledger(proxy.stats());
+  std::printf("client: calls=%llu attempts=%llu retries=%llu hedges=%llu "
+              "hedge_wins=%llu\n",
+              static_cast<unsigned long long>(stats.calls),
+              static_cast<unsigned long long>(stats.attempts),
+              static_cast<unsigned long long>(stats.retries),
+              static_cast<unsigned long long>(stats.hedges),
+              static_cast<unsigned long long>(stats.hedge_wins));
+  if (lost != 0 || corrupted != 0) {
+    std::fprintf(stderr, "FAIL: %d lost, %d corrupted of %d calls\n", lost,
+                 corrupted, kCalls);
+    return 1;
+  }
+  std::printf("zero lost, zero corrupted verdicts across %d calls under "
+              "chaos\n", kCalls);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bp::net::ChaosProxyConfig config;
+  bool relay = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--upstream" && has_value) {
+      if (!parse_endpoint(argv[++i], &config.upstream_host,
+                          &config.upstream_port)) {
+        std::fprintf(stderr, "bad --upstream '%s'\n", argv[i]);
+        return 2;
+      }
+      relay = true;
+    } else if (arg == "--listen" && has_value) {
+      if (!parse_endpoint(argv[++i], &config.bind_address, &config.port)) {
+        std::fprintf(stderr, "bad --listen '%s'\n", argv[i]);
+        return 2;
+      }
+    } else if (arg == "--seed" && has_value) {
+      config.seed = std::strtoull(argv[++i], nullptr, 0);
+    } else if (arg == "--reset" && has_value) {
+      config.reset_probability = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--truncate" && has_value) {
+      config.truncate_probability = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--corrupt" && has_value) {
+      config.corrupt_probability = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--delay" && has_value) {
+      config.delay_probability = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--delay-ms" && has_value) {
+      config.delay = std::chrono::milliseconds(
+          std::strtol(argv[++i], nullptr, 10));
+    } else if (arg == "--response-only") {
+      config.fault_client_to_upstream = false;
+    } else {
+      std::fprintf(
+          stderr,
+          "usage: %s [--upstream <addr:port|port>] [--listen <addr:port|port>]"
+          " [--seed N] [--reset P] [--truncate P] [--corrupt P] [--delay P]"
+          " [--delay-ms N] [--response-only]\n",
+          argv[0]);
+      return 2;
+    }
+  }
+  return relay ? run_relay(config) : run_demo();
+}

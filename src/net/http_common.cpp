@@ -11,28 +11,11 @@
 #include <cerrno>
 #include <cstring>
 
+#include "net/socket_ops.h"
+
 namespace bp::net {
 
 namespace {
-
-void set_io_timeout(int fd, std::chrono::milliseconds timeout) {
-  timeval tv{};
-  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
-  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-}
-
-bool send_all_fd(int fd, std::string_view data) {
-  std::size_t sent = 0;
-  while (sent < data.size()) {
-    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
-                             MSG_NOSIGNAL);
-    if (n <= 0) return false;
-    sent += static_cast<std::size_t>(n);
-  }
-  return true;
-}
 
 bool iequals(std::string_view a, std::string_view b) noexcept {
   if (a.size() != b.size()) return false;
@@ -95,6 +78,7 @@ std::string_view status_reason(int status) noexcept {
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
     case 413: return "Payload Too Large";
     case 431: return "Request Header Fields Too Large";
     case 503: return "Service Unavailable";
@@ -240,7 +224,7 @@ void HttpListener::acceptor_loop() {
       if (errno == EINTR || errno == ECONNABORTED) continue;
       break;  // listen socket is gone; stop() is the only cause
     }
-    set_io_timeout(fd, config_.io_timeout);
+    sockops::set_io_timeout(fd, config_.io_timeout);
     {
       std::lock_guard lock(queue_mutex_);
       if (pending_.size() >= config_.max_pending) {
@@ -275,27 +259,97 @@ void HttpListener::handler_loop() {
 }
 
 void HttpListener::serve_connection(int fd) {
+  using Clock = std::chrono::steady_clock;
   std::string buffer;
   char chunk[4096];
+  const Clock::time_point opened = Clock::now();
+  std::size_t served = 0;
+  const auto lifetime_expired = [&] {
+    return config_.max_connection_lifetime.count() > 0 &&
+           Clock::now() - opened >= config_.max_connection_lifetime;
+  };
   while (true) {
+    // Reap a keep-alive connection that outlived its cap between
+    // requests (a pipelined request already buffered is dropped with
+    // the connection; clients treat the close as a retryable EOF).
+    if (served > 0 && lifetime_expired()) {
+      reaped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+
     // ---- assemble one full head (pipelined data may already be here) ----
+    //
+    // The header deadline starts at the first byte of this request —
+    // waiting for a request to *begin* is idle keep-alive time, bounded
+    // by io_timeout, not slow-loris time.  While mid-head, the kernel
+    // recv timeout is clamped to the remaining window so a byte-per-
+    // second peer is cut off at the deadline, not at deadline+io_timeout.
     std::size_t head_end = buffer.find("\r\n\r\n");
+    bool recv_timeout_clamped = false;
+    Clock::time_point head_deadline{};
+    bool head_started = !buffer.empty();
+    if (head_started && config_.header_timeout.count() > 0) {
+      head_deadline = Clock::now() + config_.header_timeout;
+    }
     while (head_end == std::string::npos) {
       if (buffer.size() > config_.max_head_bytes) {
         HttpResponse too_large;
         too_large.status = 431;
         too_large.body = "request head too large\n";
         requests_.fetch_add(1, std::memory_order_relaxed);
-        send_all_fd(fd, serialize_response(too_large));
+        sockops::send_all(fd, serialize_response(too_large));
         return;
       }
       // Between requests on an idle keep-alive connection, notice a
       // shutdown instead of blocking a full io_timeout on recv.
       if (buffer.empty() && stopping_.load(std::memory_order_acquire)) return;
-      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-      if (n <= 0) return;  // timeout, EOF or error: nothing to answer
+      if (head_started && config_.header_timeout.count() > 0) {
+        const auto remaining = head_deadline - Clock::now();
+        if (remaining <= Clock::duration::zero()) {
+          slowloris_.fetch_add(1, std::memory_order_relaxed);
+          HttpResponse timed_out;
+          timed_out.status = 408;
+          timed_out.body = "request head timeout\n";
+          requests_.fetch_add(1, std::memory_order_relaxed);
+          sockops::send_all(fd, serialize_response(timed_out));
+          return;
+        }
+        sockops::set_recv_timeout(
+            fd, std::min(config_.io_timeout,
+                         std::chrono::ceil<std::chrono::milliseconds>(
+                             remaining)));
+        recv_timeout_clamped = true;
+      }
+      const ssize_t n = sockops::recv_some(fd, chunk, sizeof(chunk));
+      if (n < 0 && errno == EINTR) continue;  // signal: retry the recv
+      if (n <= 0) {
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+          // Timeout on an idle keep-alive connection is the reaper's
+          // idle path.
+          if (buffer.empty() && served > 0) {
+            reaped_.fetch_add(1, std::memory_order_relaxed);
+            return;
+          }
+          // Timeout *mid-head*: loop so the header deadline at the
+          // top decides — a clamped recv timing out IS the slow-loris
+          // cutoff firing (the deadline check answers 408).
+          if (head_started && config_.header_timeout.count() > 0) continue;
+        }
+        // EOF/error between requests is just the peer leaving;
+        // nothing to answer.
+        return;
+      }
+      if (!head_started) {
+        head_started = true;
+        if (config_.header_timeout.count() > 0) {
+          head_deadline = Clock::now() + config_.header_timeout;
+        }
+      }
       buffer.append(chunk, static_cast<std::size_t>(n));
       head_end = buffer.find("\r\n\r\n");
+    }
+    if (recv_timeout_clamped) {
+      sockops::set_recv_timeout(fd, config_.io_timeout);
     }
 
     HttpRequest request;
@@ -305,7 +359,7 @@ void HttpListener::serve_connection(int fd) {
       malformed.status = 400;
       malformed.body = "malformed request\n";
       requests_.fetch_add(1, std::memory_order_relaxed);
-      send_all_fd(fd, serialize_response(malformed));
+      sockops::send_all(fd, serialize_response(malformed));
       return;  // framing is lost; nothing downstream can be trusted
     }
     if (request.content_length > config_.max_body_bytes) {
@@ -313,14 +367,15 @@ void HttpListener::serve_connection(int fd) {
       too_large.status = 413;
       too_large.body = "request body too large\n";
       requests_.fetch_add(1, std::memory_order_relaxed);
-      send_all_fd(fd, serialize_response(too_large));
+      sockops::send_all(fd, serialize_response(too_large));
       return;
     }
 
     // ---- assemble the body ----
     const std::size_t frame_end = head_end + 4 + request.content_length;
     while (buffer.size() < frame_end) {
-      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      const ssize_t n = sockops::recv_some(fd, chunk, sizeof(chunk));
+      if (n < 0 && errno == EINTR) continue;
       if (n <= 0) return;  // truncated request: nothing to answer
       buffer.append(chunk, static_cast<std::size_t>(n));
     }
@@ -328,12 +383,27 @@ void HttpListener::serve_connection(int fd) {
         std::string_view(buffer).substr(head_end + 4, request.content_length);
 
     HttpResponse response = handler_(request);
-    response.keep_alive = config_.keep_alive && request.keep_alive &&
-                          response.status < 400 &&
-                          !stopping_.load(std::memory_order_acquire);
+    ++served;
+    const bool request_capped =
+        config_.max_requests_per_connection > 0 &&
+        served >= config_.max_requests_per_connection;
+    const bool client_keep_alive = config_.keep_alive && request.keep_alive &&
+                                   response.status < 400 &&
+                                   !stopping_.load(std::memory_order_acquire);
+    response.keep_alive =
+        client_keep_alive && !request_capped && !lifetime_expired();
     requests_.fetch_add(1, std::memory_order_relaxed);
-    if (!send_all_fd(fd, serialize_response(response))) return;
-    if (!response.keep_alive) return;
+    // A close forced by a reaper cap (not by the client, an error, or
+    // shutdown) is a reap: the client is told via Connection: close and
+    // reconnects at its leisure.  Counted *before* the response goes
+    // out so an observer that has read the response also sees the reap.
+    if (client_keep_alive && !response.keep_alive) {
+      reaped_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (!sockops::send_all(fd, serialize_response(response)) ||
+        !response.keep_alive) {
+      return;
+    }
     buffer.erase(0, frame_end);
   }
 }
@@ -376,33 +446,49 @@ HttpClient::HttpClient(std::string host, std::uint16_t port,
 HttpClient::~HttpClient() { close(); }
 
 void HttpClient::close() {
-  if (fd_ >= 0) {
-    ::close(fd_);
-    fd_ = -1;
+  {
+    std::lock_guard<std::mutex> lock(fd_mutex_);
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
   }
   rx_.clear();
 }
 
+void HttpClient::abort_connection() {
+  // shutdown() under the same lock that guards close(): an abort can
+  // never land on a descriptor number the owner already released (and
+  // the kernel may have reassigned).
+  std::lock_guard<std::mutex> lock(fd_mutex_);
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
 bool HttpClient::connect() {
   if (fd_ >= 0) return true;
-  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd_ < 0) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
     error_ = std::string("socket: ") + std::strerror(errno);
     return false;
   }
-  set_io_timeout(fd_, timeout_);
+  sockops::set_io_timeout(fd, timeout_);
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port_);
   if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
     error_ = "inet_pton: invalid literal IPv4 address '" + host_ + "'";
-    close();
+    ::close(fd);
     return false;
   }
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+  if (sockops::connect_fd(fd, reinterpret_cast<sockaddr*>(&addr),
+                          sizeof(addr)) != 0) {
     error_ = std::string("connect: ") + std::strerror(errno);
-    close();
+    ::close(fd);
     return false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(fd_mutex_);
+    fd_ = fd;
   }
   rx_.clear();
   ++connects_;
@@ -410,7 +496,7 @@ bool HttpClient::connect() {
 }
 
 bool HttpClient::send_all(std::string_view data) {
-  if (!send_all_fd(fd_, data)) {
+  if (!sockops::send_all(fd_, data)) {
     error_ = std::string("send: ") + std::strerror(errno);
     return false;
   }
@@ -445,7 +531,8 @@ HttpResult HttpClient::read_response() {
   char chunk[4096];
   std::size_t head_end;
   while ((head_end = rx_.find("\r\n\r\n")) == std::string::npos) {
-    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    const ssize_t n = sockops::recv_some(fd_, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
     if (n <= 0) {
       result.error = n == 0 ? "connection closed before response"
                             : std::string("recv: ") + std::strerror(errno);
@@ -498,7 +585,8 @@ HttpResult HttpClient::read_response() {
   if (!length_text.empty()) {
     const std::size_t frame_end = head_end + 4 + content_length;
     while (rx_.size() < frame_end) {
-      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      const ssize_t n = sockops::recv_some(fd_, chunk, sizeof(chunk));
+      if (n < 0 && errno == EINTR) continue;
       if (n <= 0) {
         result.status = -1;
         result.error = "connection closed mid-body";
@@ -512,8 +600,9 @@ HttpResult HttpClient::read_response() {
   } else {
     // No Content-Length: the body runs to EOF (HTTP/1.0 style).
     ssize_t n;
-    while ((n = ::recv(fd_, chunk, sizeof(chunk), 0)) > 0) {
-      rx_.append(chunk, static_cast<std::size_t>(n));
+    while ((n = sockops::recv_some(fd_, chunk, sizeof(chunk))) > 0 ||
+           (n < 0 && errno == EINTR)) {
+      if (n > 0) rx_.append(chunk, static_cast<std::size_t>(n));
     }
     result.body = rx_.substr(head_end + 4);
     close();

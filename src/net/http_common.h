@@ -19,7 +19,10 @@
 //     share: one acceptor thread, a handler pool draining a bounded
 //     queue of accepted connections, shed-at-accept when that queue is
 //     full, optional keep-alive with pipelining (a request already
-//     buffered behind the current one is served without another recv);
+//     buffered behind the current one is served without another recv),
+//     a header-read deadline distinct from the body deadline (the
+//     slow-loris cutoff) and keep-alive reaper caps on requests-per-
+//     connection and connection lifetime (DESIGN.md §15);
 //   * HttpClient — the blocking test/bench client, now with keep-alive
 //     connection reuse and POST.  The split send_request/read_response
 //     halves let the open-loop load generator pipeline requests from a
@@ -92,6 +95,22 @@ struct ListenerConfig {
   std::size_t handler_threads = 2;
   std::size_t max_pending = 64;  // accepted connections awaiting a handler
   std::chrono::milliseconds io_timeout{2000};  // per-connection recv/send
+  // Slow-loris cutoff, distinct from io_timeout: once the first byte
+  // of a request head arrives, the whole head must arrive within this
+  // window or the connection is answered 408 and closed (counted in
+  // slowloris()).  io_timeout alone cannot bound this — a peer
+  // trickling one header byte per io_timeout holds a handler forever.
+  // The wait for a request to *begin* (an idle keep-alive connection)
+  // is governed by io_timeout, not this.  0 disables the cutoff.
+  std::chrono::milliseconds header_timeout{1000};
+  // Keep-alive reaper caps (0 = uncapped).  A connection that has
+  // served this many requests, or lived this long, is closed after its
+  // current response (Connection: close, so the client knows) and
+  // counted in reaped() — bounding how long any one peer can pin a
+  // handler thread and letting a rebalancing ingress shed old
+  // connections gracefully.
+  std::size_t max_requests_per_connection = 0;
+  std::chrono::milliseconds max_connection_lifetime{0};
   std::size_t max_head_bytes = 8192;
   std::size_t max_body_bytes = 1 << 20;
   // Serve multiple requests per connection (HTTP keep-alive, honoring
@@ -137,6 +156,15 @@ class HttpListener {
   std::uint64_t overloaded() const noexcept {
     return overloaded_.load(std::memory_order_relaxed);
   }
+  // Connections closed by policy: idle keep-alive recv timeout, the
+  // max-requests-per-connection cap, or the lifetime cap.
+  std::uint64_t reaped() const noexcept {
+    return reaped_.load(std::memory_order_relaxed);
+  }
+  // Connections cut off by the header-read deadline (408).
+  std::uint64_t slowloris() const noexcept {
+    return slowloris_.load(std::memory_order_relaxed);
+  }
 
   // Two-phase stop, so an owner can drain downstream work between the
   // phases (the score server stops intake, drains its shards — which
@@ -164,6 +192,8 @@ class HttpListener {
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> overloaded_{0};
+  std::atomic<std::uint64_t> reaped_{0};
+  std::atomic<std::uint64_t> slowloris_{0};
 
   mutable std::mutex error_mutex_;
   std::string error_;
@@ -194,6 +224,9 @@ struct HttpResult {
 // use, exactly one thread may call send_request() while exactly one
 // other thread calls read_response() — sends and receives touch
 // disjoint state on one socket.  connect() must happen-before either.
+// abort_connection() is the one cross-thread entry point: any thread
+// may call it to wake a blocked exchange (the hedging client cancels
+// its losing request this way).
 class HttpClient {
  public:
   HttpClient(std::string host, std::uint16_t port,
@@ -208,6 +241,12 @@ class HttpClient {
   bool connect();
   bool connected() const noexcept { return fd_ >= 0; }
   void close();
+  // Shut the live connection down (both directions) without closing
+  // the descriptor, forcing any blocked send/recv on it to return.
+  // Safe to call from another thread while the owning thread is inside
+  // an exchange; the owner then observes a transport error and closes.
+  // The connection is unusable afterwards until the next connect().
+  void abort_connection();
   std::string error() const { return error_; }
 
   // One request-response exchange, reusing the live connection when
@@ -240,6 +279,10 @@ class HttpClient {
   std::string host_;
   std::uint16_t port_;
   std::chrono::milliseconds timeout_;
+  // fd lifecycle (connect/close/abort_connection) is serialized by
+  // fd_mutex_ so a cross-thread abort can never race a close into a
+  // reused descriptor; plain reads stay on the owning thread.
+  mutable std::mutex fd_mutex_;
   int fd_ = -1;
   std::string rx_;  // bytes received beyond the last parsed response
   std::string error_;

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/export.h"
+
 namespace bp::net {
 
 namespace {
@@ -40,12 +42,22 @@ ScoreServer::ScoreServer(const serve::ModelRegistry& models,
                     [this](const HttpRequest& request) {
                       return handle(request);
                     });
+  if (config_.registry != nullptr) {
+    // The listener's serving + hardening counters (reaps, slow-loris
+    // cutoffs) ride the same exposition as the ingress gauges.
+    obs::register_http_listener_metrics(*config_.registry, *listener_,
+                                        config_.metrics_prefix + "_http");
+  }
 }
 
 ScoreServer::~ScoreServer() {
   stop();
   if (gauge_registered_ && config_.registry != nullptr) {
     config_.registry->remove(config_.metrics_prefix + "_inflight");
+  }
+  if (config_.registry != nullptr) {
+    obs::remove_http_listener_metrics(*config_.registry,
+                                      config_.metrics_prefix + "_http");
   }
 }
 

@@ -76,8 +76,10 @@ struct ScoreServerConfig {
   std::chrono::milliseconds response_timeout{10'000};
 
   // Ingress counters land here when set ("<metrics_prefix>_ingress_*",
-  // plus an "<metrics_prefix>_inflight" callback gauge); the router's
-  // per-shard instruments are configured via router.engine.registry.
+  // plus an "<metrics_prefix>_inflight" callback gauge and the
+  // listener's "<metrics_prefix>_http_*" hardening gauges via
+  // obs/export.h); the router's per-shard instruments are configured
+  // via router.engine.registry.
   obs::MetricsRegistry* registry = nullptr;
   std::string metrics_prefix = "bp_net";
 };

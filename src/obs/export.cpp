@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "net/http_common.h"
 #include "util/fault.h"
 
 namespace bp::obs {
@@ -84,6 +85,35 @@ void register_fault_metrics(MetricsRegistry& registry) {
             bp::util::FaultRegistry::instance().total_fires());
       },
       "injected faults fired across all points");
+}
+
+void register_http_listener_metrics(MetricsRegistry& registry,
+                                    const net::HttpListener& listener,
+                                    const std::string& prefix) {
+  registry.gauge_callback(
+      prefix + "_requests_total",
+      [&listener] { return static_cast<double>(listener.requests()); },
+      "HTTP requests answered");
+  registry.gauge_callback(
+      prefix + "_overloaded_total",
+      [&listener] { return static_cast<double>(listener.overloaded()); },
+      "connections shed at accept (pending queue full)");
+  registry.gauge_callback(
+      prefix + "_reaped_total",
+      [&listener] { return static_cast<double>(listener.reaped()); },
+      "keep-alive connections closed by the idle/lifetime/request reaper");
+  registry.gauge_callback(
+      prefix + "_slowloris_total",
+      [&listener] { return static_cast<double>(listener.slowloris()); },
+      "request heads cut off 408 at the header deadline");
+}
+
+void remove_http_listener_metrics(MetricsRegistry& registry,
+                                  const std::string& prefix) {
+  registry.remove(prefix + "_requests_total");
+  registry.remove(prefix + "_overloaded_total");
+  registry.remove(prefix + "_reaped_total");
+  registry.remove(prefix + "_slowloris_total");
 }
 
 }  // namespace bp::obs

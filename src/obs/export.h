@@ -24,6 +24,10 @@
 
 #include "obs/metrics_registry.h"
 
+namespace bp::net {
+class HttpListener;
+}  // namespace bp::net
+
 namespace bp::obs {
 
 enum class DumpFormat : std::uint8_t { kPrometheus, kJson };
@@ -80,5 +84,18 @@ class PeriodicDumper {
 // gauges: bp_fault_points_armed and bp_fault_fires_total.  Values are
 // read live at render time.
 void register_fault_metrics(MetricsRegistry& registry);
+
+// Export an HttpListener's serving + hardening counters through
+// `registry` as callback gauges: "<prefix>_requests_total",
+// "<prefix>_overloaded_total" (connections shed at accept),
+// "<prefix>_reaped_total" (keep-alive connections closed by the idle /
+// lifetime / request-cap reaper) and "<prefix>_slowloris_total" (heads
+// cut off 408 at the header deadline).  The listener must outlive the
+// registration — call remove_http_listener_metrics before it dies.
+void register_http_listener_metrics(MetricsRegistry& registry,
+                                    const net::HttpListener& listener,
+                                    const std::string& prefix = "bp_http");
+void remove_http_listener_metrics(MetricsRegistry& registry,
+                                  const std::string& prefix = "bp_http");
 
 }  // namespace bp::obs

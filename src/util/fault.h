@@ -108,6 +108,23 @@ class FaultRegistry {
   std::atomic<int> armed_count_{0};
 };
 
+// RAII arming for tests: arm a spec (same grammar as BP_FAULTS /
+// arm_from_spec) on construction, disarm *all* points and clear the
+// counters on destruction — one test's chaos never leaks into the
+// next, even when an assertion throws mid-test.
+class ScopedFaults {
+ public:
+  explicit ScopedFaults(std::string_view spec) {
+    FaultRegistry::instance().arm_from_spec(spec);
+  }
+  ~ScopedFaults() {
+    FaultRegistry::instance().disarm_all();
+    FaultRegistry::instance().reset_counters();
+  }
+  ScopedFaults(const ScopedFaults&) = delete;
+  ScopedFaults& operator=(const ScopedFaults&) = delete;
+};
+
 }  // namespace bp::util
 
 // True iff the named fault point is armed and fires on this evaluation.

@@ -411,5 +411,35 @@ TEST(NetHttpClient, TransparentReconnectAfterServerSideClose) {
   EXPECT_GE(client.connects(), 2u);
 }
 
+// The listener's hardening counters ride the registry exposition while
+// the server lives, and unregister cleanly when it dies (the gauges
+// capture a reference to the listener).
+TEST(NetScoreServerMetrics, ListenerGaugesRegisterAndUnregister) {
+  obs::MetricsRegistry registry;
+  serve::ModelRegistry models;
+  ASSERT_TRUE(models.publish(tiny_model()));
+  {
+    ScoreServerConfig config = small_config();
+    config.registry = &registry;
+    ScoreServer server(models, std::move(config));
+    ASSERT_TRUE(server.running()) << server.error();
+
+    std::string frame;
+    render_score_request(1, "Chrome 100", std::vector<std::int32_t>{0, 0},
+                         &frame);
+    ASSERT_EQ(http_post("127.0.0.1", server.port(), "/score", frame).status,
+              200);
+    EXPECT_EQ(registry.read_value("bp_net_http_requests_total"), 1.0);
+    EXPECT_EQ(registry.read_value("bp_net_http_reaped_total"), 0.0);
+    EXPECT_EQ(registry.read_value("bp_net_http_slowloris_total"), 0.0);
+    EXPECT_EQ(registry.read_value("bp_net_http_overloaded_total"), 0.0);
+  }
+  // Server gone: every listener gauge (and the inflight gauge) is gone
+  // from the exposition — rendering must not touch a dead listener.
+  const std::string rendered = registry.render_prometheus();
+  EXPECT_EQ(rendered.find("bp_net_http_"), std::string::npos) << rendered;
+  EXPECT_EQ(rendered.find("bp_net_inflight"), std::string::npos) << rendered;
+}
+
 }  // namespace
 }  // namespace bp::net

@@ -1,0 +1,174 @@
+// Seeded mutation fuzz for the wire parsers (net/wire.h): byte flips,
+// truncations, insertions and random garbage against
+// parse_score_request / parse_score_response.  The contract under
+// fuzz: the parser never crashes and always returns a typed WireError;
+// when a mutation happens to leave a frame valid, the parsed result
+// still satisfies the grammar's invariants.  Mutations are drawn from
+// a splitmix64 stream, so a failing case replays from the seed.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/wire.h"
+#include "util/rng.h"
+
+namespace bp::net {
+namespace {
+
+// One deterministic mutation of `frame` drawn from `state`.
+std::string mutate(const std::string& frame, std::uint64_t& state) {
+  std::string out = frame;
+  const std::uint64_t op = util::splitmix64(state) % 4;
+  const std::uint64_t a = util::splitmix64(state);
+  const std::uint64_t b = util::splitmix64(state);
+  switch (op) {
+    case 0: {  // flip one byte
+      if (out.empty()) break;
+      char flip = static_cast<char>(b & 0xff);
+      if (flip == 0) flip = 1;
+      out[a % out.size()] ^= flip;
+      break;
+    }
+    case 1:  // truncate
+      out.resize(a % (out.size() + 1));
+      break;
+    case 2:  // insert a byte
+      out.insert(out.begin() + static_cast<std::ptrdiff_t>(a % (out.size() + 1)),
+                 static_cast<char>(b & 0xff));
+      break;
+    default: {  // duplicate a span (framing confusion)
+      if (out.empty()) break;
+      const std::size_t begin = a % out.size();
+      const std::size_t len = 1 + b % (out.size() - begin);
+      out.insert(begin, out.substr(begin, len));
+      break;
+    }
+  }
+  return out;
+}
+
+std::string valid_request() {
+  // Production-shaped: 28 features, a real-looking UA.
+  std::vector<std::int32_t> features;
+  for (int i = 0; i < 28; ++i) features.push_back(i * 37 - 40);
+  std::string frame;
+  render_score_request(
+      0x1234567890ABCDEFull,
+      "Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 "
+      "(KHTML, like Gecko) Chrome/112.0.0.0 Safari/537.36",
+      features, &frame);
+  return frame;
+}
+
+std::string valid_response() {
+  WireScoreResponse response;
+  response.session_id = 0xFEDCBA9876543210ull;
+  response.status = serve::ResponseStatus::kScored;
+  response.flagged = true;
+  response.risk_factor = 3;
+  response.predicted_cluster = 17;
+  response.model_version = 42;
+  response.latency_micros = 1234;
+  std::string frame;
+  render_score_response(response, &frame);
+  return frame;
+}
+
+TEST(WireFuzz, MutatedRequestsNeverCrashAndStayTyped) {
+  const std::string frame = valid_request();
+  std::uint64_t state = 0xF00D;
+  WireScoreRequest parsed;  // reused, like the ingress does
+  int accepted = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const std::string mutated = mutate(frame, state);
+    const WireError error = parse_score_request(mutated, &parsed);
+    ASSERT_FALSE(wire_error_name(error).empty()) << "iteration " << i;
+    if (error != WireError::kOk) continue;
+    ++accepted;
+    // A mutation that stays valid must still satisfy the grammar.
+    ASSERT_FALSE(parsed.features.empty()) << "iteration " << i;
+    ASSERT_LE(parsed.features.size(), kMaxWireFeatures) << "iteration " << i;
+  }
+  // Most single mutations of a 28-feature frame break it; a few are
+  // benign (a flipped UA byte, a truncated feature list).  Both sides
+  // must occur for the fuzz to mean anything.
+  EXPECT_GT(accepted, 0);
+  EXPECT_LT(accepted, 2500);
+}
+
+TEST(WireFuzz, MutatedResponsesNeverCrashAndStayTyped) {
+  const std::string frame = valid_response();
+  std::uint64_t state = 0xBEEF;
+  WireScoreResponse parsed;
+  for (int i = 0; i < 5000; ++i) {
+    const std::string mutated = mutate(frame, state);
+    const WireError error = parse_score_response(mutated, &parsed);
+    ASSERT_FALSE(wire_error_name(error).empty()) << "iteration " << i;
+  }
+}
+
+// Stacked mutations: each round mutates the previous round's output,
+// drifting arbitrarily far from a valid frame.
+TEST(WireFuzz, StackedMutationsStayTyped) {
+  std::uint64_t state = 0xCAFE;
+  std::string frame = valid_request();
+  WireScoreRequest parsed;
+  for (int round = 0; round < 1500; ++round) {
+    frame = mutate(frame, state);
+    if (frame.size() > kMaxFrameBytes + 64) frame = valid_request();
+    const WireError error = parse_score_request(frame, &parsed);
+    ASSERT_FALSE(wire_error_name(error).empty()) << "round " << round;
+  }
+}
+
+TEST(WireFuzz, RandomGarbageIsRefusedNotCrashed) {
+  std::uint64_t state = 0xD15EA5E;
+  WireScoreRequest request;
+  WireScoreResponse response;
+  for (int i = 0; i < 1000; ++i) {
+    const std::size_t len = util::splitmix64(state) % 300;
+    std::string garbage(len, '\0');
+    for (char& c : garbage) {
+      c = static_cast<char>(util::splitmix64(state) & 0xff);
+    }
+    EXPECT_NE(parse_score_request(garbage, &request), WireError::kOk);
+    // (An all-random frame alias of the response grammar is
+    // astronomically unlikely; refusal is the expected outcome.)
+    EXPECT_NE(parse_score_response(garbage, &response), WireError::kOk);
+  }
+}
+
+TEST(WireFuzz, EveryPrefixOfAValidFrameIsHandled) {
+  const std::string request = valid_request();
+  WireScoreRequest parsed_request;
+  for (std::size_t len = 0; len < request.size(); ++len) {
+    const WireError error =
+        parse_score_request(request.substr(0, len), &parsed_request);
+    // A strict prefix may itself be a valid frame (fewer features);
+    // anything else must be a typed refusal.
+    ASSERT_FALSE(wire_error_name(error).empty()) << "prefix " << len;
+    if (error == WireError::kOk) {
+      ASSERT_LE(parsed_request.features.size(), 28u);
+    }
+  }
+  const std::string response = valid_response();
+  WireScoreResponse parsed_response;
+  for (std::size_t len = 0; len < response.size(); ++len) {
+    ASSERT_FALSE(
+        wire_error_name(parse_score_response(response.substr(0, len),
+                                             &parsed_response))
+            .empty())
+        << "prefix " << len;
+  }
+}
+
+TEST(WireFuzz, EveryWireErrorHasAName) {
+  for (int e = 0; e <= static_cast<int>(WireError::kBadStatus); ++e) {
+    EXPECT_FALSE(wire_error_name(static_cast<WireError>(e)).empty());
+  }
+}
+
+}  // namespace
+}  // namespace bp::net
