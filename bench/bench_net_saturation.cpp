@@ -51,9 +51,11 @@
 #include "net/score_client.h"
 #include "net/score_server.h"
 #include "net/wire.h"
+#include "obs/trace.h"
 #include "serve/model_registry.h"
 #include "traffic/session_generator.h"
 #include "util/csv.h"
+#include "util/rng.h"
 #include "util/table.h"
 
 namespace {
@@ -289,6 +291,91 @@ FaultArmResult drive_fault_arm(std::uint16_t server_port,
   return result;
 }
 
+// ------------------------------------------------------------ trace arm
+//
+// What does cross-hop tracing cost the plane?  Two fresh servers with
+// identical configs — one with a trace sink on its engines, one
+// without — each driven flat out (closed loop: every arrival scheduled
+// in the past, so the senders pipeline as fast as the sockets allow).
+// The traced arm's frames all carry a t: wire segment, so every
+// request pays the extension parse + adoption; the sink's head
+// sampling (production-shaped 1%) decides which also pay the span
+// recording.  Best-of-N per arm absorbs scheduler noise; the
+// acceptance line is <3% throughput overhead.
+
+struct TraceArmResult {
+  double off_rps_best = 0.0;
+  double on_rps_best = 0.0;
+  double overhead_pct = 0.0;  // (off - on) / off * 100; negative = noise
+  std::size_t lost = 0;       // both arms, all runs
+  std::size_t corrupted = 0;
+  std::uint64_t spans_recorded = 0;  // server-side, traced arm
+};
+
+TraceArmResult drive_trace_arm(const bp::serve::ModelRegistry& registry,
+                               const bp::net::ScoreServerConfig& base_config,
+                               const std::vector<std::string>& frames,
+                               std::size_t connections, std::size_t total,
+                               int runs) {
+  TraceArmResult result;
+
+  bp::obs::TraceSinkConfig sink_config;
+  sink_config.capacity = 8192;
+  sink_config.sample_rate = 0.01;  // production posture
+  bp::obs::TraceSink sink(sink_config);
+
+  bp::net::ScoreServerConfig off_config = base_config;
+  off_config.router.engine.trace = nullptr;
+  bp::net::ScoreServerConfig on_config = base_config;
+  on_config.router.engine.trace = &sink;
+  bp::net::ScoreServer off_server(registry, off_config);
+  bp::net::ScoreServer on_server(registry, on_config);
+  if (!off_server.running() || !on_server.running()) {
+    std::fprintf(stderr, "trace-arm server failed: %s%s\n",
+                 off_server.error().c_str(), on_server.error().c_str());
+    result.lost = total;
+    return result;
+  }
+
+  // Every traced frame carries a context minted the way ScoreClient
+  // does: deterministic id, parent = the first attempt's primary span,
+  // sampled = the sink's own head-sampling decision for that id.
+  std::vector<std::string> traced;
+  traced.reserve(frames.size());
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    std::uint64_t state = i + 1;
+    const std::uint64_t trace_id =
+        std::max<std::uint64_t>(1, bp::util::splitmix64(state));
+    std::string frame = frames[i];
+    bp::net::append_trace_context({trace_id, 10, sink.sampled(trace_id)},
+                                  &frame);
+    traced.push_back(std::move(frame));
+  }
+
+  // Interleave the arms run for run so drift (thermal, other tenants)
+  // lands on both; run 1 of each also warms its server's verdict cache
+  // to the same popularity profile, and best-of-N keeps the warm runs.
+  for (int run = 0; run < runs; ++run) {
+    const RateResult off = drive(off_server.port(), frames, 1e7,
+                                 connections, total);
+    const RateResult on = drive(on_server.port(), traced, 1e7,
+                                connections, total);
+    result.off_rps_best = std::max(result.off_rps_best, off.achieved_rps);
+    result.on_rps_best = std::max(result.on_rps_best, on.achieved_rps);
+    result.lost += off.lost + on.lost;
+    result.corrupted += off.corrupted + on.corrupted;
+  }
+  result.overhead_pct =
+      result.off_rps_best > 0.0
+          ? (result.off_rps_best - result.on_rps_best) /
+                result.off_rps_best * 100.0
+          : 0.0;
+  result.spans_recorded = sink.recorded();
+  off_server.stop();
+  on_server.stop();
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -416,6 +503,20 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(hedged.client.hedge_wins),
               static_cast<unsigned long long>(hedged.chaos.delays));
 
+  // ---- trace arm: what does cross-hop tracing cost at saturation? ----
+  const std::size_t trace_total = smoke ? 1'000 : 4'000;
+  const int trace_runs = 3;
+  std::printf("\ntrace arm: %zu closed-loop calls per run, best of %d, "
+              "traced vs untraced...\n",
+              trace_total, trace_runs);
+  const TraceArmResult trace_arm = drive_trace_arm(
+      registry, config, frames, connections, trace_total, trace_runs);
+  std::printf("  tracing off: %7.0f rps   tracing on: %7.0f rps   "
+              "overhead %.2f%%  (spans recorded server-side: %llu)\n",
+              trace_arm.off_rps_best, trace_arm.on_rps_best,
+              trace_arm.overhead_pct,
+              static_cast<unsigned long long>(trace_arm.spans_recorded));
+
   const serve::CacheStats cache = server.router().cache_stats();
   server.stop();
 
@@ -493,6 +594,20 @@ int main(int argc, char** argv) {
     json += arm_json("hedged", hedged, 5.0) + "\n";
     json += "  },\n";
   }
+  {
+    char entry[512];
+    std::snprintf(
+        entry, sizeof(entry),
+        "  \"trace_arm\": {\"runs\": %d, \"calls_per_run\": %zu, "
+        "\"sample_rate\": 0.01, \"off_rps_best\": %.1f, "
+        "\"on_rps_best\": %.1f, \"overhead_pct\": %.2f, "
+        "\"spans_recorded\": %llu, \"lost\": %zu, \"corrupted\": %zu},\n",
+        trace_runs, trace_total, trace_arm.off_rps_best,
+        trace_arm.on_rps_best, trace_arm.overhead_pct,
+        static_cast<unsigned long long>(trace_arm.spans_recorded),
+        trace_arm.lost, trace_arm.corrupted);
+    json += entry;
+  }
   json += "  \"rates\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const RateResult& r = results[i];
@@ -567,8 +682,33 @@ int main(int argc, char** argv) {
                  hedged.p99_us, unhedged.p99_us);
     return 1;
   }
+  // Trace-arm acceptance: tracing is free enough to leave on — every
+  // request pays the wire-segment parse, 1% pay span recording, and
+  // the plane must not give up more than 3% of its peak throughput.
+  // Both arms must also stay lossless, and the sink must actually have
+  // recorded spans (a zero here means the arm measured nothing).
+  if (trace_arm.lost != 0 || trace_arm.corrupted != 0) {
+    std::fprintf(stderr,
+                 "FAIL: trace arm dropped calls (lost=%zu corrupted=%zu)\n",
+                 trace_arm.lost, trace_arm.corrupted);
+    return 1;
+  }
+  if (trace_arm.spans_recorded == 0) {
+    std::fprintf(stderr, "FAIL: trace arm recorded no server-side spans — "
+                         "the traced frames were not adopted\n");
+    return 1;
+  }
+  if (trace_arm.overhead_pct >= 3.0) {
+    std::fprintf(stderr,
+                 "FAIL: tracing overhead %.2f%% >= 3%% "
+                 "(off %.0f rps, on %.0f rps)\n",
+                 trace_arm.overhead_pct, trace_arm.off_rps_best,
+                 trace_arm.on_rps_best);
+    return 1;
+  }
   std::printf("zero lost, zero corrupted responses across the sweep; "
-              "hedged p99 %.0fus < unhedged p99 %.0fus under stalls\n",
-              hedged.p99_us, unhedged.p99_us);
+              "hedged p99 %.0fus < unhedged p99 %.0fus under stalls; "
+              "tracing overhead %.2f%% < 3%%\n",
+              hedged.p99_us, unhedged.p99_us, trace_arm.overhead_pct);
   return 0;
 }

@@ -414,6 +414,11 @@ int main(int argc, char** argv) {
     score_config.router.engine.degrade_without_model = true;
     score_config.router.engine.registry = &metrics;
     score_config.router.engine.metrics_prefix = "bp_net";
+    // Cross-hop tracing: frames arriving with a t: trace context get
+    // their server-side spans (slot admission, queue wait, kernel,
+    // serialize) recorded into the same sink /tracez serves — paste a
+    // client's trace id into /tracez?trace=<id> to see this half.
+    score_config.router.engine.trace = &request_trace;
     score_config.registry = &metrics;
     // Arm the wire-layer feature-count check with the production width
     // (PolygraphConfig's *default-constructed* index list is empty; the

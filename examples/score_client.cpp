@@ -18,19 +18,134 @@
 //
 // Every call ends in a *typed* outcome — the demo exits non-zero if
 // any call hangs past its deadline or a verdict fails validation.
+//
+// Cross-hop mode (--connect <host:port>): instead of the in-process
+// demo, score production-width sessions against an external ingress
+// (e.g. fraud_detection_service --score-listen) with tracing armed —
+// every call prints its minted trace id, and with --listen the
+// client's own introspection plane serves /tracez?trace=<id> so the
+// same id can be pulled up on both sides of the wire.
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
+#include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/polygraph.h"
 #include "net/chaos_proxy.h"
 #include "net/score_client.h"
 #include "net/score_server.h"
+#include "obs/introspect/server.h"
 #include "obs/metrics_registry.h"
+#include "obs/trace.h"
 #include "serve/model_registry.h"
 #include "util/fault.h"
 
 namespace {
+
+std::atomic<bool> g_stop{false};
+void handle_signal(int) { g_stop.store(true, std::memory_order_release); }
+
+// "<addr>:<port>" or "<port>" (addr defaults to 127.0.0.1).
+bool parse_host_port(const std::string& value, std::string* addr,
+                     std::uint16_t* port) {
+  std::string port_part = value;
+  const std::size_t colon = value.rfind(':');
+  if (colon != std::string::npos) {
+    *addr = value.substr(0, colon);
+    port_part = value.substr(colon + 1);
+  }
+  if (port_part.empty()) return false;
+  char* end = nullptr;
+  const unsigned long parsed = std::strtoul(port_part.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || parsed > 65535) return false;
+  *port = static_cast<std::uint16_t>(parsed);
+  return true;
+}
+
+void print_stats(const char* label, const bp::net::ScoreClientStats& stats);
+
+// Cross-hop mode: trace-armed calls against an external ingress.
+int run_connect(const std::string& host, std::uint16_t port, int calls,
+                bool listen_enabled, const std::string& listen_addr,
+                std::uint16_t listen_port) {
+  bp::obs::TraceSinkConfig trace_config;
+  trace_config.capacity = 4096;
+  trace_config.sample_rate = 1.0;  // the demo wants every trace visible
+  bp::obs::TraceSink trace(trace_config);
+  bp::obs::MetricsRegistry registry;
+
+  bp::net::ScoreClientConfig config;
+  config.host = host;
+  config.port = port;
+  config.io_timeout = std::chrono::milliseconds(2'000);
+  config.deadline = std::chrono::milliseconds(5'000);
+  config.max_attempts = 8;
+  config.initial_backoff = std::chrono::milliseconds(5);
+  config.max_backoff = std::chrono::milliseconds(100);
+  config.hedge_delay = std::chrono::milliseconds(50);
+  config.trace = &trace;
+  config.registry = &registry;
+  bp::net::ScoreClient client(config);
+
+  // Production-width frames: the external ingress arms its wire-layer
+  // feature-count check with the Table 8 set.
+  const std::vector<std::int32_t> features(
+      bp::core::PolygraphConfig::production().feature_indices.size(), 0);
+
+  int failures = 0;
+  for (int i = 0; i < calls; ++i) {
+    const std::uint64_t session = static_cast<std::uint64_t>(i) + 1;
+    const bp::net::ScoreCallResult result =
+        client.score(session, "Chrome 112", features);
+    const bool ok = result.outcome == bp::net::ScoreClientOutcome::kOk &&
+                    result.response.session_id == session;
+    if (!ok) ++failures;
+    std::printf("session %llu trace=%llu sampled=%d attempts=%d %s\n",
+                static_cast<unsigned long long>(session),
+                static_cast<unsigned long long>(result.trace_id),
+                result.trace_sampled ? 1 : 0, result.attempts,
+                ok ? "scored"
+                   : std::string(bp::net::score_client_outcome_name(
+                                     result.outcome))
+                         .c_str());
+  }
+  print_stats("cross-hop", client.stats());
+  std::fflush(stdout);
+
+  // With --listen, keep the client half of the trace scrapeable until
+  // SIGINT: /tracez?trace=<id> here shows the client_call/attempt
+  // spans, the same query on the server's introspection port shows the
+  // slot/queue/kernel half.
+  if (listen_enabled) {
+    bp::obs::introspect::Sources sources;
+    sources.metrics = &registry;
+    sources.trace = &trace;
+    bp::obs::introspect::ServerConfig server_config;
+    server_config.bind_address = listen_addr;
+    server_config.port = listen_port;
+    bp::obs::introspect::IntrospectionServer server(sources, server_config);
+    if (!server.running()) {
+      std::fprintf(stderr, "client introspection failed: %s\n",
+                   server.error().c_str());
+      return 1;
+    }
+    std::printf("client introspection listening on %s:%u\n",
+                listen_addr.c_str(), server.port());
+    std::fflush(stdout);
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+    while (!g_stop.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    server.stop();
+  }
+  return failures == 0 ? 0 : 1;
+}
 
 bp::core::Polygraph tiny_model() {
   bp::core::PolygraphConfig config;
@@ -101,7 +216,47 @@ void print_stats(const char* label, const bp::net::ScoreClientStats& stats) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string connect_host = "127.0.0.1";
+  std::uint16_t connect_port = 0;
+  bool connect_mode = false;
+  std::string listen_addr = "127.0.0.1";
+  std::uint16_t listen_port = 0;
+  bool listen_enabled = false;
+  int calls = 10;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--connect" && i + 1 < argc) {
+      if (!parse_host_port(argv[++i], &connect_host, &connect_port)) {
+        std::fprintf(stderr, "bad --connect value: %s\n", argv[i]);
+        return 2;
+      }
+      connect_mode = true;
+    } else if (arg == "--listen" && i + 1 < argc) {
+      if (!parse_host_port(argv[++i], &listen_addr, &listen_port)) {
+        std::fprintf(stderr, "bad --listen value: %s\n", argv[i]);
+        return 2;
+      }
+      listen_enabled = true;
+    } else if (arg == "--calls" && i + 1 < argc) {
+      calls = std::atoi(argv[++i]);
+      if (calls <= 0) {
+        std::fprintf(stderr, "bad --calls value: %s\n", argv[i]);
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--connect <host:port> [--calls N] "
+                   "[--listen <addr:port|port>]]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (connect_mode) {
+    return run_connect(connect_host, connect_port, calls, listen_enabled,
+                       listen_addr, listen_port);
+  }
+
   bp::serve::ModelRegistry models;
   models.publish(tiny_model());
   bp::net::ScoreServerConfig server_config;

@@ -89,6 +89,42 @@ case "${verdict}" in
   * ) smoke_fail "POST /score -> '${verdict}' (want bp1|1|scored|...)" ;;
 esac
 
+# Cross-hop tracing: the traced score_client scores through the same
+# ingress, then the SAME trace id must be assembled on both sides —
+# client_call/attempt spans on the client's /tracez, the
+# server_request/queue/kernel block on the service's.
+client_log=/tmp/bp_trace_client.log
+rm -f "${client_log}"
+./build/examples/score_client --connect "127.0.0.1:${score_port}" \
+  --calls 3 --listen 127.0.0.1:0 > "${client_log}" 2>&1 &
+client_pid=$!
+trace_fail() {
+  echo "FAIL: $1" >&2
+  kill "${client_pid}" 2>/dev/null || true
+  kill "${svc_pid}" 2>/dev/null || true
+  exit 1
+}
+client_port=""
+for _ in $(seq 1 100); do
+  client_port=$(sed -n 's/^client introspection listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+         "${client_log}" | head -n 1)
+  [[ -n "${client_port}" ]] && break
+  sleep 0.2
+done
+[[ -n "${client_port}" ]] || trace_fail "traced client never announced its introspection port"
+trace_id=$(sed -n 's/^session 1 trace=\([0-9]*\) .*/\1/p' "${client_log}" | head -n 1)
+[[ -n "${trace_id}" && "${trace_id}" != "0" ]] \
+  || trace_fail "traced client never printed a minted trace id"
+curl -s "http://127.0.0.1:${client_port}/tracez?trace=${trace_id}" \
+  | grep -q "trace=${trace_id} span=1 parent=0 name=client_call" \
+  || trace_fail "client /tracez missing the client_call root for trace ${trace_id}"
+curl -s "http://127.0.0.1:${port}/tracez?trace=${trace_id}" \
+  | grep -q "trace=${trace_id} .*name=server_request" \
+  || trace_fail "service /tracez missing server_request for trace ${trace_id}"
+kill -INT "${client_pid}"
+wait "${client_pid}" || trace_fail "traced client exited non-zero"
+echo "cross-hop tracing smoke ok (trace ${trace_id} assembled on both sides)"
+
 kill -INT "${svc_pid}"
 if wait "${svc_pid}"; then
   echo "introspection + scoring smoke ok (ports ${port}/${score_port}, clean SIGINT shutdown)"
@@ -180,6 +216,6 @@ if [[ -n "${BP_SANITIZE:-}" ]]; then
   # chaos-hardening layer (socket seam, listener reaper/slow-loris,
   # resilient ScoreClient, chaos proxy, wire fuzz).
   ctest --test-dir "${san_dir}" \
-    -R 'Serve|BoundedQueue|Parallel|TrainingDeterminism|Fault|RetrainSupervisor|ModelIntegrity|Chaos|Client|SockOps|HttpListener|WireFuzz|Obs|Audit|Introspect|Slo|Health|Net|Router|Batch|Cache' \
+    -R 'Serve|BoundedQueue|Parallel|TrainingDeterminism|Fault|RetrainSupervisor|ModelIntegrity|Chaos|Client|SockOps|HttpListener|WireFuzz|Obs|Audit|Introspect|Slo|Health|Net|Router|Batch|Cache|DistTrace' \
     --output-on-failure
 fi

@@ -22,6 +22,12 @@
 //   * stop()   — ordered: shard 0 first, then 1, ... so teardown is
 //     deterministic and a stuck shard is identifiable by index.
 //
+// Cross-hop tracing passes through untouched: an adopted trace context
+// rides inside the ScoreRequest (trace_id/trace_parent/trace_sampled),
+// so whichever shard the session hashes to records its spans under the
+// client's trace id into the shared EngineConfig::trace sink — the
+// router adds no spans and needs no tracing state of its own.
+//
 // Per-shard metrics: each shard registers its instruments under
 // "<metrics_prefix>_shard<i>_..." in the registry the EngineConfig
 // template names, so an exporter shows per-shard queue depth, scored

@@ -154,6 +154,32 @@ std::uint64_t query_uint(std::string_view query, std::string_view key,
   return fallback;
 }
 
+QueryParam query_uint_checked(std::string_view query, std::string_view key,
+                              std::uint64_t* out) noexcept {
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    std::size_t amp = query.find('&', pos);
+    if (amp == std::string_view::npos) amp = query.size();
+    const std::string_view pair = query.substr(pos, amp - pos);
+    const std::size_t eq = pair.find('=');
+    if (eq != std::string_view::npos && pair.substr(0, eq) == key) {
+      const std::string_view value = pair.substr(eq + 1);
+      if (value.empty()) return QueryParam::kMalformed;
+      std::uint64_t parsed = 0;
+      for (char c : value) {
+        if (c < '0' || c > '9') return QueryParam::kMalformed;
+        const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+        if (parsed > (UINT64_MAX - digit) / 10) return QueryParam::kMalformed;
+        parsed = parsed * 10 + digit;
+      }
+      *out = parsed;
+      return QueryParam::kOk;
+    }
+    pos = amp + 1;
+  }
+  return QueryParam::kAbsent;
+}
+
 // ---------------------------------------------------------------- listener
 
 HttpListener::HttpListener(ListenerConfig config, Handler handler)

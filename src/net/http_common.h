@@ -87,6 +87,14 @@ std::string serialize_response(const HttpResponse& response);
 std::uint64_t query_uint(std::string_view query, std::string_view key,
                          std::uint64_t fallback) noexcept;
 
+// Like query_uint, but distinguishes the three cases an endpoint that
+// must 400 on malformed input needs to tell apart: key absent (kAbsent,
+// *out untouched), present and a valid non-negative integer (kOk, *out
+// set), present but empty/non-numeric/overflowing (kMalformed).
+enum class QueryParam : std::uint8_t { kAbsent, kOk, kMalformed };
+QueryParam query_uint_checked(std::string_view query, std::string_view key,
+                              std::uint64_t* out) noexcept;
+
 // ---------------------------------------------------------------- listener
 
 struct ListenerConfig {

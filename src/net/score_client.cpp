@@ -61,7 +61,7 @@ struct ScoreClient::RaceState {
 };
 
 ScoreClient::ScoreClient(ScoreClientConfig config)
-    : config_(std::move(config)), jitter_state_(config_.jitter_seed) {
+    : config_(std::move(config)) {
   if (config_.registry != nullptr) {
     obs::MetricsRegistry& r = *config_.registry;
     const std::string& p = config_.metrics_prefix;
@@ -84,6 +84,9 @@ ScoreClient::ScoreClient(ScoreClientConfig config)
                                    "calls short-circuited by the breaker");
     m_breaker_opens_ = &r.counter(p + "_breaker_opens_total",
                                   "breaker open transitions");
+    m_trace_propagated_ = &r.counter(
+        "bp_trace_propagated_total",
+        "frames sent carrying a t: trace context (primaries and hedges)");
     r.gauge_callback(
         p + "_breaker_open",
         [this] { return breaker_open() ? 1.0 : 0.0; },
@@ -172,17 +175,20 @@ void ScoreClient::release_connection(std::unique_ptr<HttpClient> connection,
   // else: dropped; its destructor closes the socket.
 }
 
-std::chrono::milliseconds ScoreClient::next_backoff(int retry_index) {
+std::chrono::milliseconds ScoreClient::next_backoff(std::uint64_t session_id,
+                                                    int retry_index) const {
   double base = static_cast<double>(config_.initial_backoff.count()) *
                 std::pow(config_.backoff_multiplier,
                          static_cast<double>(retry_index));
   base = std::min(base, static_cast<double>(config_.max_backoff.count()));
-  double factor;
-  {
-    std::lock_guard<std::mutex> lock(jitter_mutex_);
-    const std::uint64_t draw = util::splitmix64(jitter_state_);
-    factor = 0.5 + 0.5 * (static_cast<double>(draw >> 11) * 0x1.0p-53);
-  }
+  // Pure pre-split streams (the PR-2/PR-3 determinism discipline): the
+  // jitter of retry k of session s is the same on every run and every
+  // thread interleaving, so a chaos soak's backoff schedule — and the
+  // trace it produces — replays bit-for-bit.
+  util::Rng stream = util::Rng(config_.jitter_seed)
+                         .split(session_id)
+                         .split(static_cast<std::uint64_t>(retry_index) + 1);
+  const double factor = 0.5 + 0.5 * stream.uniform();
   const auto jittered = static_cast<std::int64_t>(base * factor);
   return std::chrono::milliseconds(std::max<std::int64_t>(jittered, 0));
 }
@@ -259,24 +265,61 @@ ScoreClient::AttemptResult ScoreClient::exchange_once(
 }
 
 ScoreClient::AttemptResult ScoreClient::attempt(
-    const std::string& frame, std::uint64_t session_id,
-    Clock::time_point deadline, ScoreCallResult* call) {
+    const std::string& frame, std::uint64_t session_id, std::uint64_t trace_id,
+    bool trace_sampled, int attempt_index, Clock::time_point deadline,
+    ScoreCallResult* call) {
+  const bool tracing = trace_id != 0;
+  const std::uint32_t primary_span =
+      8u * static_cast<std::uint32_t>(attempt_index) + 2;
+  const std::uint32_t hedge_span = primary_span + 1;
+
+  // Each runner sends the base frame plus its *own* t: segment (parent
+  // = that runner's span id), so the server-side spans parent under the
+  // exact attempt — primary or hedged twin — that reached the ingress.
+  std::string primary_frame_storage;
+  const std::string* primary_frame = &frame;
+  if (tracing) {
+    primary_frame_storage = frame;
+    append_trace_context({trace_id, primary_span, trace_sampled},
+                         &primary_frame_storage);
+    primary_frame = &primary_frame_storage;
+    bump(&ScoreClientStats::trace_propagated, m_trace_propagated_);
+  }
+
   std::unique_ptr<HttpClient> primary = acquire_connection();
 
   if (config_.hedge_delay.count() == 0) {
-    AttemptResult result = exchange_once(*primary, frame, session_id);
+    const std::int64_t start_us = tracing ? obs::steady_now_us() : 0;
+    AttemptResult result = exchange_once(*primary, *primary_frame, session_id);
     release_connection(std::move(primary), !result.poison_connection);
+    if (tracing && trace_sampled) {
+      // A lone runner wins its attempt when it settled the call with a
+      // definitive server answer a retry will not supersede.
+      const bool winner = result.kind == AttemptResult::Kind::kOk ||
+                          result.kind == AttemptResult::Kind::kRejected;
+      config_.trace->record({trace_id, primary_span, 1,
+                             winner ? "attempt_winner" : "attempt", start_us,
+                             obs::steady_now_us()});
+    }
     return result;
   }
 
   RaceState state;
+  std::int64_t primary_start_us = 0;
+  std::int64_t primary_end_us = 0;
   std::thread primary_thread([&] {
-    state.settle(exchange_once(*primary, frame, session_id),
-                 /*is_hedge=*/false);
+    if (tracing) primary_start_us = obs::steady_now_us();
+    AttemptResult result = exchange_once(*primary, *primary_frame, session_id);
+    if (tracing) primary_end_us = obs::steady_now_us();
+    state.settle(std::move(result), /*is_hedge=*/false);
   });
 
   std::unique_ptr<HttpClient> hedge;
   std::thread hedge_thread;
+  std::string hedge_frame_storage;
+  const std::string* hedge_frame = &frame;
+  std::int64_t hedge_start_us = 0;
+  std::int64_t hedge_end_us = 0;
   bool launched_hedge = false;
   AttemptResult winner;
   bool hedge_won = false;
@@ -290,12 +333,21 @@ ScoreClient::AttemptResult ScoreClient::attempt(
       ++state.outstanding;
       lock.unlock();
       hedge = acquire_connection();
+      if (tracing) {
+        hedge_frame_storage = frame;
+        append_trace_context({trace_id, hedge_span, trace_sampled},
+                             &hedge_frame_storage);
+        hedge_frame = &hedge_frame_storage;
+        bump(&ScoreClientStats::trace_propagated, m_trace_propagated_);
+      }
       launched_hedge = true;
       call->hedged = true;
       bump(&ScoreClientStats::hedges, m_hedges_);
       hedge_thread = std::thread([&] {
-        state.settle(exchange_once(*hedge, frame, session_id),
-                     /*is_hedge=*/true);
+        if (tracing) hedge_start_us = obs::steady_now_us();
+        AttemptResult result = exchange_once(*hedge, *hedge_frame, session_id);
+        if (tracing) hedge_end_us = obs::steady_now_us();
+        state.settle(std::move(result), /*is_hedge=*/true);
       });
       lock.lock();
     }
@@ -338,6 +390,24 @@ ScoreClient::AttemptResult ScoreClient::attempt(
     call->hedge_won = true;
     bump(&ScoreClientStats::hedge_wins, m_hedge_wins_);
   }
+
+  if (tracing && trace_sampled) {
+    // Both runners are joined, so their timestamps are final; exactly
+    // the race-settling runner — and only on a definitive answer —
+    // carries the *_winner name.
+    const bool definitive_win =
+        !timed_out && (winner.kind == AttemptResult::Kind::kOk ||
+                       winner.kind == AttemptResult::Kind::kRejected);
+    obs::TraceSink* sink = config_.trace;
+    sink->record({trace_id, primary_span, 1,
+                  definitive_win && !hedge_won ? "attempt_winner" : "attempt",
+                  primary_start_us, primary_end_us});
+    if (launched_hedge) {
+      sink->record({trace_id, hedge_span, 1,
+                    definitive_win && hedge_won ? "hedge_winner" : "hedge",
+                    hedge_start_us, hedge_end_us});
+    }
+  }
   return winner;
 }
 
@@ -368,6 +438,26 @@ ScoreCallResult ScoreClient::score(std::uint64_t session_id,
 
   std::string frame;
   render_score_request(session_id, claimed_ua, features, &frame);
+
+  // Mint the call's trace id: pure in (trace_seed, session_id), so a
+  // deterministic replay of the same session stream yields the same
+  // trace ids in the same order, whatever the thread interleaving.
+  obs::TraceSink* sink = config_.trace;
+  std::int64_t call_start_us = 0;
+  if (sink != nullptr) {
+    util::Rng stream = util::Rng(config_.trace_seed).split(session_id);
+    call.trace_id = stream.next();
+    if (call.trace_id == 0) call.trace_id = 1;  // 0 means "no context"
+    call.trace_sampled = sink->sampled(call.trace_id);
+    call_start_us = obs::steady_now_us();
+  }
+  const auto finish_trace = [&] {
+    if (sink != nullptr && call.trace_sampled) {
+      sink->record({call.trace_id, 1, 0, "client_call", call_start_us,
+                    obs::steady_now_us()});
+    }
+  };
+
   const Clock::time_point deadline = Clock::now() + config_.deadline;
   const int max_attempts = std::max(config_.max_attempts, 1);
 
@@ -384,7 +474,7 @@ ScoreCallResult ScoreClient::score(std::uint64_t session_id,
           std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
                                                                 now);
       const std::chrono::milliseconds backoff =
-          std::min(next_backoff(a - 1), remaining);
+          std::min(next_backoff(session_id, a - 1), remaining);
       if (backoff.count() > 0) {
         if (config_.sleep_fn) {
           config_.sleep_fn(backoff);
@@ -400,12 +490,14 @@ ScoreCallResult ScoreClient::score(std::uint64_t session_id,
     }
     ++call.attempts;
     bump(&ScoreClientStats::attempts, m_attempts_);
-    last = attempt(frame, session_id, deadline, &call);
+    last = attempt(frame, session_id, call.trace_id, call.trace_sampled, a + 1,
+                   deadline, &call);
     if (last.kind == AttemptResult::Kind::kOk) {
       call.outcome = ScoreClientOutcome::kOk;
       call.response = last.response;
       breaker_on_success();
       bump(&ScoreClientStats::ok, m_ok_);
+      finish_trace();
       return call;
     }
     if (last.kind == AttemptResult::Kind::kRejected) {
@@ -415,6 +507,7 @@ ScoreCallResult ScoreClient::score(std::uint64_t session_id,
       call.error = last.error;
       breaker_on_success();
       bump(&ScoreClientStats::rejected, m_rejected_);
+      finish_trace();
       return call;
     }
     if (last.kind == AttemptResult::Kind::kTimedOut) {
@@ -439,6 +532,7 @@ ScoreCallResult ScoreClient::score(std::uint64_t session_id,
     call.outcome = ScoreClientOutcome::kTransportError;
     bump(&ScoreClientStats::transport_errors, m_transport_);
   }
+  finish_trace();
   return call;
 }
 

@@ -14,9 +14,11 @@
 //                          (never hangs) when it is exhausted;
 //   2. retries + backoff — transport errors, 503 sheds and corrupt
 //                          responses are retried with exponential
-//                          backoff whose jitter is drawn from a seeded
-//                          stream (util/rng.h splitmix64), so a chaos
-//                          run's retry schedule replays exactly;
+//                          backoff whose jitter is a pure function of
+//                          (jitter_seed, session_id, retry index) via
+//                          Rng::split — no shared mutable stream — so a
+//                          chaos run's retry schedule replays exactly,
+//                          per call, regardless of thread interleaving;
 //   3. hedging           — optionally, a second request is launched on
 //                          a different pooled connection once the
 //                          primary has been quiet for hedge_delay; the
@@ -36,8 +38,9 @@
 // to the pool, so a desynchronized HTTP stream can never leak bytes
 // into a later exchange.
 //
-// Thread model: score() is thread-safe (the pool, breaker and jitter
-// stream are internally locked); each in-flight call owns the
+// Thread model: score() is thread-safe (the pool and breaker are
+// internally locked; backoff jitter and trace ids are pure per-call
+// functions needing no lock at all); each in-flight call owns the
 // connections it acquired.
 #pragma once
 
@@ -55,6 +58,7 @@
 #include "net/http_common.h"
 #include "net/wire.h"
 #include "obs/metrics_registry.h"
+#include "obs/trace.h"
 
 namespace bp::net {
 
@@ -91,6 +95,23 @@ struct ScoreClientConfig {
   std::string metrics_prefix = "bp_client";
   // Injectable backoff sleep (tests assert schedules without waiting).
   std::function<void(std::chrono::milliseconds)> sleep_fn;
+
+  // ---- cross-hop tracing (null = no tracing, no wire segment) ----
+  // With a sink set, every score() call mints a deterministic trace id
+  // — pure in (trace_seed, session_id) via Rng::split, so a chaos-soak
+  // trace replays bit-for-bit — and records:
+  //   1      "client_call"  root span, whole call                (parent 0)
+  //   8k+2   attempt k's primary request                          (parent 1)
+  //   8k+3   attempt k's hedged twin, when launched               (parent 1)
+  // The span that settled the call is named "attempt_winner" /
+  // "hedge_winner"; the others keep "attempt" / "hedge".  Every frame
+  // sent carries the context as a wire t: segment (parent = that
+  // runner's span id), so the server's slot/queue/cache/kernel spans
+  // join this trace — see serve::adopted_span_base.  The sink's
+  // deterministic head-sampling decides whether the trace records;
+  // the decision rides the wire, so both sides agree span-for-span.
+  obs::TraceSink* trace = nullptr;
+  std::uint64_t trace_seed = 0x51ace;
 };
 
 enum class ScoreClientOutcome : std::uint8_t {
@@ -112,6 +133,11 @@ struct ScoreCallResult {
   bool hedged = false;           // a hedge was launched on some attempt
   bool hedge_won = false;        // ... and the hedge's response won
   std::string error;             // human-readable detail on failure
+  // The call's minted trace id (0 when no trace sink is configured)
+  // and whether the sink's head sampling kept it — what to paste into
+  // /tracez?trace=<id> on either side of the wire.
+  std::uint64_t trace_id = 0;
+  bool trace_sampled = false;
 };
 
 struct ScoreClientStats {
@@ -128,6 +154,8 @@ struct ScoreClientStats {
   std::uint64_t deadline_exhausted = 0;
   std::uint64_t breaker_short_circuits = 0;
   std::uint64_t breaker_opens = 0;
+  // Frames sent carrying a t: trace context (primary + hedge each).
+  std::uint64_t trace_propagated = 0;
 };
 
 class ScoreClient {
@@ -166,10 +194,18 @@ class ScoreClient {
                           bool healthy);
   AttemptResult exchange_once(HttpClient& connection, const std::string& frame,
                               std::uint64_t session_id);
+  // One attempt of the retry loop.  `attempt_index` is 1-based — it
+  // fixes the attempt's span ids (8k+2 primary, 8k+3 hedge) and
+  // `trace_id` (0 = tracing off for this call) rides every frame as a
+  // wire t: segment.
   AttemptResult attempt(const std::string& frame, std::uint64_t session_id,
+                        std::uint64_t trace_id, bool trace_sampled,
+                        int attempt_index,
                         std::chrono::steady_clock::time_point deadline,
                         ScoreCallResult* call);
-  std::chrono::milliseconds next_backoff(int retry_index);
+  // Pure in (jitter_seed, session_id, retry_index): no shared state.
+  std::chrono::milliseconds next_backoff(std::uint64_t session_id,
+                                         int retry_index) const;
   void breaker_on_success();
   void breaker_on_failure();
   void bump(std::uint64_t ScoreClientStats::* field, obs::Counter* counter);
@@ -183,9 +219,6 @@ class ScoreClient {
   bool breaker_open_ = false;
   int consecutive_failures_ = 0;
   int cooldown_remaining_ = 0;
-
-  std::mutex jitter_mutex_;
-  std::uint64_t jitter_state_;
 
   mutable std::mutex stats_mutex_;
   ScoreClientStats stats_;
@@ -204,6 +237,10 @@ class ScoreClient {
   obs::Counter* m_deadline_ = nullptr;
   obs::Counter* m_short_circuits_ = nullptr;
   obs::Counter* m_breaker_opens_ = nullptr;
+  // bp_trace_propagated_total: frames sent carrying a t: trace context
+  // (one per primary and per hedge) — the client half of the server's
+  // bp_trace_adopted_total.
+  obs::Counter* m_trace_propagated_ = nullptr;
   bool gauge_registered_ = false;
 };
 

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "obs/export.h"
+#include "obs/trace.h"
 
 namespace bp::net {
 
@@ -35,6 +36,9 @@ ScoreServer::ScoreServer(const serve::ModelRegistry& models,
         config_.metrics_prefix + "_inflight",
         [this] { return static_cast<std::int64_t>(inflight()); });
     gauge_registered_ = true;
+    trace_adopted_ = &config_.registry->counter(
+        "bp_trace_adopted_total",
+        "request frames whose t: trace context this ingress adopted");
   }
   ListenerConfig listener_config = config_.listener;
   listener_config.keep_alive = true;
@@ -139,6 +143,23 @@ HttpResponse ScoreServer::handle(const HttpRequest& request) {
     return plain(400, std::move(body));
   }
 
+  // Adopted cross-hop trace context (the wire's t: segment): the
+  // engine's spans for this request join the client's trace, and the
+  // ingress contributes slot_admission/serialize spans of its own into
+  // the shards' shared sink.  The client's sampling decision is final —
+  // an unsampled context is adopted (counted, propagated to the engine)
+  // but records nothing.
+  const WireTraceContext trace = wire_request.trace;
+  obs::TraceSink* trace_sink =
+      trace.present() ? config_.router.engine.trace : nullptr;
+  const bool trace_record = trace_sink != nullptr && trace.sampled;
+  const std::uint32_t span_base = serve::adopted_span_base(trace.parent_span);
+  if (trace.present() && trace_adopted_ != nullptr) {
+    trace_adopted_->increment();
+  }
+
+  const std::int64_t admission_start_us =
+      trace_record ? obs::steady_now_us() : 0;
   const auto slot_index = acquire_slot();
   if (!slot_index) {
     admission_rejected_.fetch_add(1, std::memory_order_relaxed);
@@ -150,6 +171,9 @@ HttpResponse ScoreServer::handle(const HttpRequest& request) {
   score_request.id = *slot_index;
   score_request.features = wire_request.features;  // copy; engine owns it
   score_request.claimed = wire_request.claimed;
+  score_request.trace_id = trace.trace_id;
+  score_request.trace_parent = trace.parent_span;
+  score_request.trace_sampled = trace.sampled;
   const serve::SubmitResult submit =
       router_.submit(wire_request.session_id, std::move(score_request));
   if (submit != serve::SubmitResult::kAdmitted) {
@@ -159,6 +183,14 @@ HttpResponse ScoreServer::handle(const HttpRequest& request) {
     return plain(503, submit == serve::SubmitResult::kStopped
                           ? "shutting down\n"
                           : "shard queue full\n");
+  }
+  if (trace_record) {
+    // Recorded only once the request is truly admitted, so the span's
+    // parent ("server_request", base+1) is guaranteed to follow from
+    // the engine — a refused admission leaves no dangling child.
+    trace_sink->record_forced({trace.trace_id, span_base + 4, span_base + 1,
+                               "slot_admission", admission_start_us,
+                               obs::steady_now_us()});
   }
 
   Slot& slot = slots_[*slot_index];
@@ -187,7 +219,14 @@ HttpResponse ScoreServer::handle(const HttpRequest& request) {
   wire_response.model_version = engine_response.model_version;
   wire_response.latency_micros =
       static_cast<std::uint64_t>(engine_response.latency.count());
+  const std::int64_t serialize_start_us =
+      trace_record ? obs::steady_now_us() : 0;
   render_score_response(wire_response, &wire_body);
+  if (trace_record) {
+    trace_sink->record_forced({trace.trace_id, span_base + 5, span_base + 1,
+                               "serialize", serialize_start_us,
+                               obs::steady_now_us()});
+  }
   responses_.fetch_add(1, std::memory_order_relaxed);
 
   HttpResponse response;

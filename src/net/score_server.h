@@ -159,6 +159,10 @@ class ScoreServer {
   std::atomic<std::uint64_t> responses_{0};
   std::atomic<std::size_t> inflight_{0};
   bool gauge_registered_ = false;
+  // bp_trace_adopted_total: request frames carrying a t: trace context
+  // this ingress adopted (the server half of the client's
+  // bp_trace_propagated_total).  Null when no registry is configured.
+  obs::Counter* trace_adopted_ = nullptr;
 
   // Router before listener: handlers reference the router, so it must
   // outlive (and be constructed before) the listener that runs them.

@@ -69,6 +69,64 @@ void append_i64(std::string* out, std::int64_t value) {
   out->append(buf, ptr);
 }
 
+// One t:<trace_id>:<parent_span>:<sampled> payload (the part after
+// "t:").  Exactly three ':'-separated numerics; trace_id must be
+// nonzero, sampled must be the literal '0' or '1'.
+bool parse_trace_payload(std::string_view payload,
+                         WireTraceContext* out) noexcept {
+  const std::size_t first = payload.find(':');
+  if (first == std::string_view::npos) return false;
+  const std::size_t second = payload.find(':', first + 1);
+  if (second == std::string_view::npos) return false;
+  if (payload.find(':', second + 1) != std::string_view::npos) return false;
+  std::uint64_t trace_id = 0;
+  if (!parse_u64(payload.substr(0, first), &trace_id) || trace_id == 0) {
+    return false;
+  }
+  std::uint64_t parent = 0;
+  if (!parse_u64(payload.substr(first + 1, second - first - 1), &parent) ||
+      parent > std::numeric_limits<std::uint32_t>::max()) {
+    return false;
+  }
+  const std::string_view flag = payload.substr(second + 1);
+  if (flag != "0" && flag != "1") return false;
+  out->trace_id = trace_id;
+  out->parent_span = static_cast<std::uint32_t>(parent);
+  out->sampled = flag == "1";
+  return true;
+}
+
+// Everything after the last grammar field: one or more '|'-separated
+// `<tag>:<payload>` extension segments (the caller strips the leading
+// '|', so an empty `rest` here means a dangling separator).  Well-
+// formed unknown tags are skipped (version tolerance); the `t` tag is
+// validated into *trace.
+WireError parse_extensions(std::string_view rest,
+                           WireTraceContext* trace) noexcept {
+  while (true) {
+    const std::size_t bar = rest.find('|');
+    const std::string_view segment =
+        bar == std::string_view::npos ? rest : rest.substr(0, bar);
+    const std::size_t colon = segment.find(':');
+    if (colon == 0 || colon == std::string_view::npos) {
+      return WireError::kBadExtension;
+    }
+    const std::string_view tag = segment.substr(0, colon);
+    for (char c : tag) {
+      if (c < 'a' || c > 'z') return WireError::kBadExtension;
+    }
+    if (tag == "t") {
+      if (trace->present()) return WireError::kBadTraceContext;
+      if (!parse_trace_payload(segment.substr(colon + 1), trace)) {
+        return WireError::kBadTraceContext;
+      }
+    }
+    // else: unknown well-formed tag — a newer peer's segment; skip it.
+    if (bar == std::string_view::npos) return WireError::kOk;
+    rest.remove_prefix(bar + 1);
+  }
+}
+
 }  // namespace
 
 std::string_view wire_error_name(WireError error) noexcept {
@@ -85,6 +143,8 @@ std::string_view wire_error_name(WireError error) noexcept {
     case WireError::kBadFeature: return "bad_feature";
     case WireError::kTooManyFeatures: return "too_many_features";
     case WireError::kBadStatus: return "bad_status";
+    case WireError::kBadExtension: return "bad_extension";
+    case WireError::kBadTraceContext: return "bad_trace_context";
   }
   return "unknown";
 }
@@ -115,15 +175,19 @@ WireError parse_score_request(std::string_view frame, WireScoreRequest* out) {
     out->claimed = ua::parse_user_agent(ua_field);
   }
 
-  // `frame` is now the feature field — the last one, so a further '|'
-  // is a malformed feature, not another field.
-  if (frame.empty()) return WireError::kNoFeatures;
+  // `frame` is now the feature field, running to the next '|' (the
+  // start of the optional extension segments) or the end of the frame.
+  out->trace = WireTraceContext{};
+  const std::size_t ext_bar = frame.find('|');
+  const std::string_view feature_field =
+      ext_bar == std::string_view::npos ? frame : frame.substr(0, ext_bar);
+  if (feature_field.empty()) return WireError::kNoFeatures;
   out->features.clear();
   std::size_t pos = 0;
-  while (pos <= frame.size()) {
-    std::size_t space = frame.find(' ', pos);
-    if (space == std::string_view::npos) space = frame.size();
-    const std::string_view token = frame.substr(pos, space - pos);
+  while (pos <= feature_field.size()) {
+    std::size_t space = feature_field.find(' ', pos);
+    if (space == std::string_view::npos) space = feature_field.size();
+    const std::string_view token = feature_field.substr(pos, space - pos);
     std::int32_t value = 0;
     if (!parse_i32(token, &value)) return WireError::kBadFeature;
     if (out->features.size() >= kMaxWireFeatures) {
@@ -131,6 +195,9 @@ WireError parse_score_request(std::string_view frame, WireScoreRequest* out) {
     }
     out->features.push_back(value);
     pos = space + 1;
+  }
+  if (ext_bar != std::string_view::npos) {
+    return parse_extensions(frame.substr(ext_bar + 1), &out->trace);
   }
   return WireError::kOk;
 }
@@ -152,6 +219,19 @@ void render_score_request(std::uint64_t session_id,
     append_i64(out, features[i]);
   }
   out->push_back('\n');
+}
+
+void append_trace_context(const WireTraceContext& trace, std::string* frame) {
+  if (!trace.present()) return;
+  const bool had_newline = !frame->empty() && frame->back() == '\n';
+  if (had_newline) frame->pop_back();
+  frame->append("|t:");
+  append_u64(frame, trace.trace_id);
+  frame->push_back(':');
+  append_u64(frame, trace.parent_span);
+  frame->push_back(':');
+  frame->push_back(trace.sampled ? '1' : '0');
+  if (had_newline) frame->push_back('\n');
 }
 
 std::string_view wire_status_token(serve::ResponseStatus status) noexcept {
@@ -232,11 +312,18 @@ WireError parse_score_response(std::string_view frame,
   if (!next_field(&frame, &field)) return WireError::kTruncated;
   if (!parse_u64(field, &out->model_version)) return WireError::kBadStatus;
 
-  // Latency is the last field: the remaining tail, no further '|'.
-  if (frame.find('|') != std::string_view::npos) {
+  // Latency runs to the next '|' (optional extension segments) or the
+  // end of the frame.
+  out->trace = WireTraceContext{};
+  const std::size_t ext_bar = frame.find('|');
+  const std::string_view latency_field =
+      ext_bar == std::string_view::npos ? frame : frame.substr(0, ext_bar);
+  if (!parse_u64(latency_field, &out->latency_micros)) {
     return WireError::kBadStatus;
   }
-  if (!parse_u64(frame, &out->latency_micros)) return WireError::kBadStatus;
+  if (ext_bar != std::string_view::npos) {
+    return parse_extensions(frame.substr(ext_bar + 1), &out->trace);
+  }
   return WireError::kOk;
 }
 

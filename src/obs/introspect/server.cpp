@@ -83,7 +83,28 @@ HttpResponse IntrospectionServer::handle(const HttpRequest& request) const {
       response.body = "no trace sink attached\n";
       return response;
     }
-    response.body = sources_.trace->render(/*include_timing=*/true);
+    // ?trace=<id> keeps one trace (the cross-hop drill-down: paste the
+    // id a ScoreCallResult or an exemplar reported, on either side of
+    // the wire); ?n=K keeps the K most recent matching events.  A
+    // present-but-unparseable value is the operator's typo — 400, not
+    // a silently unfiltered dump.
+    std::uint64_t trace_filter = 0;
+    std::uint64_t limit = 0;
+    if (net::query_uint_checked(request.query, "trace", &trace_filter) ==
+        net::QueryParam::kMalformed) {
+      response.status = 400;
+      response.body = "bad query: trace must be a non-negative integer\n";
+      return response;
+    }
+    if (net::query_uint_checked(request.query, "n", &limit) ==
+        net::QueryParam::kMalformed) {
+      response.status = 400;
+      response.body = "bad query: n must be a non-negative integer\n";
+      return response;
+    }
+    response.body = sources_.trace->render(/*include_timing=*/true,
+                                           trace_filter,
+                                           static_cast<std::size_t>(limit));
     return response;
   }
   if (request.path == "/auditz") {
@@ -101,7 +122,7 @@ HttpResponse IntrospectionServer::handle(const HttpRequest& request) const {
   response.status = 404;
   response.body =
       "not found; endpoints: /metrics /metrics.json /healthz /readyz "
-      "/statusz /tracez /auditz?n=K\n";
+      "/statusz /tracez?trace=ID&n=K /auditz?n=K\n";
   return response;
 }
 

@@ -20,7 +20,10 @@
 //                  before and after a hot swap
 //   /statusz       human-readable rollup: health signals, SLO rule
 //                  states, recent alert transitions, app extras
-//   /tracez        TraceSink render (with timing)
+//   /tracez        TraceSink render (with timing); ?trace=ID keeps one
+//                  trace id (the cross-hop drill-down), ?n=K keeps the
+//                  K most recent matching events; a malformed value in
+//                  either is refused 400
 //   /auditz?n=K    most recent K AuditTrail records as JSONL
 //
 // Design constraints, in order: never perturb the scoring hot path

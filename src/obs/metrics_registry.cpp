@@ -52,6 +52,10 @@ Histogram::Histogram(std::vector<std::uint64_t> bounds)
       stripe.buckets[b].store(0, std::memory_order_relaxed);
     }
   }
+  exemplars_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t b = 0; b <= bounds_.size(); ++b) {
+    exemplars_[b].store(0, std::memory_order_relaxed);
+  }
 }
 
 std::vector<std::uint64_t> Histogram::bucket_counts() const {
@@ -76,6 +80,14 @@ std::uint64_t Histogram::sum() const {
     total += stripe.sum.load(std::memory_order_relaxed);
   }
   return total;
+}
+
+std::vector<std::uint64_t> Histogram::exemplar_trace_ids() const {
+  std::vector<std::uint64_t> out(n_buckets(), 0);
+  for (std::size_t b = 0; b < out.size(); ++b) {
+    out[b] = exemplars_[b].load(std::memory_order_relaxed);
+  }
+  return out;
 }
 
 MetricsRegistry& MetricsRegistry::global() {
@@ -271,7 +283,21 @@ std::string MetricsRegistry::render_json() const {
         histograms += "\"" + name + "\": {\"bounds\": [" + bounds +
                       "], \"counts\": [" + counts +
                       "], \"sum\": " + std::to_string(h.sum()) +
-                      ", \"count\": " + std::to_string(h.count()) + "}";
+                      ", \"count\": " + std::to_string(h.count());
+        // Exemplars are emitted only when at least one bucket has one,
+        // so histograms without tracing keep their exact prior shape.
+        const std::vector<std::uint64_t> exemplar_ids = h.exemplar_trace_ids();
+        bool any_exemplar = false;
+        for (std::uint64_t id : exemplar_ids) any_exemplar |= id != 0;
+        if (any_exemplar) {
+          std::string exemplars;
+          for (std::uint64_t id : exemplar_ids) {
+            if (!exemplars.empty()) exemplars += ", ";
+            exemplars += std::to_string(id);
+          }
+          histograms += ", \"exemplars\": [" + exemplars + "]";
+        }
+        histograms += "}";
         break;
       }
     }

@@ -112,6 +112,20 @@ class Histogram {
     stripe.sum.fetch_add(value, std::memory_order_relaxed);
   }
 
+  // observe() plus an exemplar: remembers `trace_id` as the last
+  // sampled trace that landed in this sample's bucket (last write wins;
+  // trace_id 0 = no exemplar, slot untouched).  The JSON exporter
+  // surfaces these so an operator can jump from a p99 bucket straight
+  // to /tracez?trace=<id>.
+  void observe_exemplar(std::uint64_t value, std::uint64_t trace_id,
+                        std::size_t stripe_hint = 0) noexcept {
+    observe(value, stripe_hint);
+    if (trace_id != 0) {
+      exemplars_[bucket_index(value)].store(trace_id,
+                                            std::memory_order_relaxed);
+    }
+  }
+
   std::size_t bucket_index(std::uint64_t value) const noexcept;
   std::span<const std::uint64_t> bounds() const noexcept { return bounds_; }
   std::size_t n_buckets() const noexcept { return bounds_.size() + 1; }
@@ -120,6 +134,8 @@ class Histogram {
   std::vector<std::uint64_t> bucket_counts() const;
   std::uint64_t count() const;
   std::uint64_t sum() const;
+  // Per-bucket last-exemplar trace ids (size n_buckets(); 0 = none).
+  std::vector<std::uint64_t> exemplar_trace_ids() const;
 
  private:
   friend class MetricsRegistry;
@@ -132,6 +148,8 @@ class Histogram {
 
   std::vector<std::uint64_t> bounds_;
   std::array<Stripe, Counter::kStripes> stripes_;
+  // Unstriped: exemplars are last-write-wins markers, not counts.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> exemplars_;
 };
 
 class MetricsRegistry {
@@ -184,8 +202,10 @@ class MetricsRegistry {
 
   // One JSON object: {"counters": {...}, "gauges": {...},
   // "histograms": {name: {"bounds": [...], "counts": [...], "sum": n,
-  // "count": n}}}.  Name-ordered, hence deterministic given quiescent
-  // writers.
+  // "count": n[, "exemplars": [...]]}}}.  "exemplars" (per-bucket last
+  // sampled trace id, 0 = none) appears only when a histogram has
+  // recorded at least one via observe_exemplar.  Name-ordered, hence
+  // deterministic given quiescent writers.
   std::string render_json() const;
 
   std::size_t size() const;

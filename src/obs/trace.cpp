@@ -24,6 +24,10 @@ bool TraceSink::sampled(std::uint64_t trace_id) const noexcept {
 
 void TraceSink::record(const TraceEvent& event) {
   if (!sampled(event.trace_id)) return;
+  record_forced(event);
+}
+
+void TraceSink::record_forced(const TraceEvent& event) {
   std::lock_guard lock(mutex_);
   if (size_ == ring_.size()) {
     overwritten_.fetch_add(1, std::memory_order_relaxed);
@@ -55,9 +59,32 @@ std::vector<TraceEvent> TraceSink::events() const {
   return out;
 }
 
-std::string TraceSink::render(bool include_timing) const {
+std::string TraceSink::render(bool include_timing, std::uint64_t trace_filter,
+                              std::size_t limit) const {
+  std::vector<TraceEvent> kept;
+  {
+    std::lock_guard lock(mutex_);
+    kept.reserve(size_);
+    // Oldest-first ring walk, so "the most recent `limit` events" is a
+    // suffix of this vector.
+    const std::size_t begin = size_ == ring_.size() ? next_ : 0;
+    for (std::size_t i = 0; i < size_; ++i) {
+      const TraceEvent& e = ring_[(begin + i) % ring_.size()];
+      if (trace_filter != 0 && e.trace_id != trace_filter) continue;
+      kept.push_back(e);
+    }
+  }
+  if (limit != 0 && kept.size() > limit) {
+    kept.erase(kept.begin(),
+               kept.begin() + static_cast<std::ptrdiff_t>(kept.size() - limit));
+  }
+  std::sort(kept.begin(), kept.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.trace_id != b.trace_id) return a.trace_id < b.trace_id;
+              return a.span_id < b.span_id;
+            });
   std::string out;
-  for (const TraceEvent& e : events()) {
+  for (const TraceEvent& e : kept) {
     char line[256];
     if (include_timing) {
       std::snprintf(line, sizeof(line),

@@ -68,6 +68,13 @@ class TraceSink {
   // of unsampled traces; overwrites the oldest event when full.
   void record(const TraceEvent& event);
 
+  // Record one finished span unconditionally, bypassing the local
+  // head-sampling decision.  For spans of a trace whose sampling was
+  // decided upstream (an adopted cross-hop context): the whole trace
+  // must land or none of it, regardless of what this sink's own seed
+  // would have decided for the id.
+  void record_forced(const TraceEvent& event);
+
   // Snapshot of the ring in (trace_id, span_id) order.
   std::vector<TraceEvent> events() const;
 
@@ -76,7 +83,13 @@ class TraceSink {
   // With include_timing=false the output is a pure function of the
   // recorded (trace, span, parent, name) tuples — the determinism
   // surface the tests byte-compare.
-  std::string render(bool include_timing = true) const;
+  //
+  // trace_filter != 0 keeps only that trace id's events; limit != 0
+  // keeps only the most recent `limit` matching events (recording
+  // order, before the sort) — the /tracez?trace=<id>&n=K surface.
+  std::string render(bool include_timing = true,
+                     std::uint64_t trace_filter = 0,
+                     std::size_t limit = 0) const;
 
   std::uint64_t recorded() const noexcept {
     return recorded_.load(std::memory_order_relaxed);

@@ -104,7 +104,8 @@ bool ScoringEngine::try_cached_submit(const ScoreRequest& request) {
   response.worker = 0;
   response.cached = true;
   response.latency = std::chrono::microseconds{0};  // sub-microsecond
-  metrics_.record_cached(/*stripe=*/0, detection.flagged, 0);
+  metrics_.record_cached(/*stripe=*/0, detection.flagged, 0,
+                         exemplar_trace_id(request));
   if (on_response_) on_response_(response);
   record_audit(request, response);
   if (config_.trace != nullptr) {
@@ -163,14 +164,40 @@ void ScoringEngine::record_request_trace(const ScoreRequest& request,
                                          std::int64_t picked_up_us,
                                          std::int64_t done_us) const {
   obs::TraceSink* sink = config_.trace;
-  if (sink == nullptr || !sink->sampled(request.id)) return;
+  if (sink == nullptr) return;
   const std::int64_t admitted_us = to_us(request.admitted_at);
+  if (request.trace_id != 0) {
+    // Adopted cross-hop context: the client already decided sampling
+    // for the whole trace — honor it in both directions (record_forced
+    // bypasses the local head-sampling that would otherwise tear the
+    // assembled trace apart; an unsampled trace records nothing here).
+    if (!request.trace_sampled) return;
+    const std::uint32_t base = adopted_span_base(request.trace_parent);
+    sink->record_forced({request.trace_id, base + 1, request.trace_parent,
+                         "server_request", admitted_us, done_us});
+    sink->record_forced({request.trace_id, base + 2, base + 1, "queue_wait",
+                         admitted_us, picked_up_us});
+    sink->record_forced(
+        {request.trace_id, base + 3, base + 1, terminal, picked_up_us, done_us});
+    return;
+  }
+  if (!sink->sampled(request.id)) return;
   // Span ids are fixed by convention (see EngineConfig::trace) so the
   // rendered trace is deterministic given a request id, regardless of
   // which worker picked the request up.
   sink->record({request.id, 1, 0, "request", admitted_us, done_us});
   sink->record({request.id, 2, 1, "queue_wait", admitted_us, picked_up_us});
   sink->record({request.id, 3, 1, terminal, picked_up_us, done_us});
+}
+
+std::uint64_t ScoringEngine::exemplar_trace_id(
+    const ScoreRequest& request) const noexcept {
+  const obs::TraceSink* sink = config_.trace;
+  if (sink == nullptr) return 0;
+  if (request.trace_id != 0) {
+    return request.trace_sampled ? request.trace_id : 0;
+  }
+  return sink->sampled(request.id) ? request.id : 0;
 }
 
 void ScoringEngine::record_audit(const ScoreRequest& request,
@@ -253,7 +280,8 @@ void ScoringEngine::worker_loop(std::uint32_t worker_index) {
                 done - request.admitted_at);
         metrics_.record_degraded(
             worker_index, response.detection.flagged,
-            static_cast<std::uint64_t>(response.latency.count()));
+            static_cast<std::uint64_t>(response.latency.count()),
+            exemplar_trace_id(request));
         if (on_response_) on_response_(response);
         record_audit(request, response);
         record_request_trace(request, "degrade", to_us(picked_up), to_us(done));
@@ -335,7 +363,8 @@ void ScoringEngine::worker_loop(std::uint32_t worker_index) {
                 done - request.admitted_at);
         metrics_.record_scored(
             worker_index, response.detection.flagged,
-            static_cast<std::uint64_t>(response.latency.count()));
+            static_cast<std::uint64_t>(response.latency.count()),
+            exemplar_trace_id(request));
         if (on_response_) on_response_(response);
         record_audit(request, response);
         record_request_trace(request, "score", to_us(picked_up), to_us(done));
@@ -422,7 +451,8 @@ void ScoringEngine::deliver_cached(
   response.latency = std::chrono::duration_cast<std::chrono::microseconds>(
       done - request.admitted_at);
   metrics_.record_cached(stripe, detection.flagged,
-                         static_cast<std::uint64_t>(response.latency.count()));
+                         static_cast<std::uint64_t>(response.latency.count()),
+                         exemplar_trace_id(request));
   if (on_response_) on_response_(response);
   record_audit(request, response);
   record_request_trace(request, "cache_hit", to_us(picked_up), to_us(done));

@@ -72,7 +72,30 @@ struct ScoreRequest {
   // when the verdict cache is enabled, so the worker-side lookup and
   // the post-score insert never rehash.
   VerdictCache::Key cache_key{};
+  // Cross-hop trace context adopted from the wire (net/wire.h `t:`
+  // segment).  trace_id == 0: no inbound context — local tracing rules
+  // apply (trace id = request id, the sink's own sampling decision,
+  // spans 1/2/3).  trace_id != 0: the request's spans join the client's
+  // trace, parented under trace_parent in the adopted span-id block
+  // (see adopted_span_base), and trace_sampled — the *client's*
+  // head-sampling decision — overrides the local sink's in both
+  // directions, so a sampled trace assembles completely or not at all.
+  std::uint64_t trace_id = 0;
+  std::uint32_t trace_parent = 0;
+  bool trace_sampled = false;
 };
+
+// Span-id block for an adopted trace context: each distinct client
+// parent span owns a disjoint 16-wide id range on the server side, so
+// the two server visits of a hedged twin (distinct attempt parent
+// spans, one shared trace id) can never collide.  Within a block:
+// base+1 "server_request" (parented under the client span), base+2
+// "queue_wait", base+3 terminal, base+4 "slot_admission", base+5
+// "serialize" (the last two recorded by net::ScoreServer).
+inline constexpr std::uint32_t adopted_span_base(
+    std::uint32_t trace_parent) noexcept {
+  return trace_parent * 16u;
+}
 
 enum class ResponseStatus : std::uint8_t {
   kScored,
@@ -148,6 +171,10 @@ struct EngineConfig {
   //   1 "request"    admission -> response          (root)
   //   2 "queue_wait" admission -> batch pickup      (parent 1)
   //   3 terminal     "score" | "degrade" | "shed" | "deadline" (parent 1)
+  // A request carrying an adopted cross-hop context (trace_id != 0)
+  // instead records "server_request"/"queue_wait"/terminal at
+  // adopted_span_base(trace_parent)+{1,2,3} under the client's trace
+  // id, honoring the client's sampling decision over the local sink's.
   obs::TraceSink* trace = nullptr;
 
   // Decision audit trail: every flagged (and sampled unflagged) scored
@@ -211,6 +238,9 @@ class ScoringEngine {
   void record_request_trace(const ScoreRequest& request, const char* terminal,
                             std::int64_t picked_up_us,
                             std::int64_t done_us) const;
+  // The trace id this request's spans land under when its trace is
+  // sampled, 0 otherwise — the latency histogram's exemplar.
+  std::uint64_t exemplar_trace_id(const ScoreRequest& request) const noexcept;
   void record_audit(const ScoreRequest& request, const ScoreResponse& response);
   void deliver_shed(ScoreRequest request, std::uint32_t worker_index,
                     bool from_submit);

@@ -105,18 +105,20 @@ ServeMetrics::ServeMetrics(std::size_t n_workers,
 }
 
 void ServeMetrics::record_scored(std::size_t worker, bool flagged,
-                                 std::uint64_t latency_micros) noexcept {
+                                 std::uint64_t latency_micros,
+                                 std::uint64_t exemplar_trace_id) noexcept {
   scored_->increment(worker);
   if (flagged) flagged_->increment(worker);
-  latency_->observe(latency_micros, worker);
+  latency_->observe_exemplar(latency_micros, exemplar_trace_id, worker);
 }
 
 void ServeMetrics::record_cached(std::size_t stripe, bool flagged,
-                                 std::uint64_t latency_micros) noexcept {
+                                 std::uint64_t latency_micros,
+                                 std::uint64_t exemplar_trace_id) noexcept {
   scored_->increment(stripe);
   cached_->increment(stripe);
   if (flagged) flagged_->increment(stripe);
-  latency_->observe(latency_micros, stripe);
+  latency_->observe_exemplar(latency_micros, exemplar_trace_id, stripe);
 }
 
 void ServeMetrics::record_shed(std::size_t worker) noexcept {
@@ -128,10 +130,11 @@ void ServeMetrics::record_deadline_exceeded(std::size_t worker) noexcept {
 }
 
 void ServeMetrics::record_degraded(std::size_t worker, bool flagged,
-                                   std::uint64_t latency_micros) noexcept {
+                                   std::uint64_t latency_micros,
+                                   std::uint64_t exemplar_trace_id) noexcept {
   degraded_->increment(worker);
   if (flagged) flagged_->increment(worker);
-  latency_->observe(latency_micros, worker);
+  latency_->observe_exemplar(latency_micros, exemplar_trace_id, worker);
 }
 
 void ServeMetrics::record_batch(std::size_t worker,

@@ -116,20 +116,25 @@ class ServeMetrics {
 
   // Hot-path recording; `worker` < n_workers, callable concurrently
   // from distinct workers without contention (worker index = stripe
-  // hint).
+  // hint).  `exemplar_trace_id` (nonzero only for a request whose trace
+  // is sampled) is remembered as the latency histogram's per-bucket
+  // exemplar, linking the JSON exporter's buckets back to /tracez.
   void record_scored(std::size_t worker, bool flagged,
-                     std::uint64_t latency_micros) noexcept;
+                     std::uint64_t latency_micros,
+                     std::uint64_t exemplar_trace_id = 0) noexcept;
   // A verdict-cache hit: counts as scored (the caller got a full
   // detection) *and* bumps the cached counter.
   void record_cached(std::size_t stripe, bool flagged,
-                     std::uint64_t latency_micros) noexcept;
+                     std::uint64_t latency_micros,
+                     std::uint64_t exemplar_trace_id = 0) noexcept;
   void record_shed(std::size_t worker) noexcept;
   // One worker drain of `batch_size` requests (feeds the batch-size
   // histogram, so /statusz can show how full the SoA kernel runs).
   void record_batch(std::size_t worker, std::uint64_t batch_size) noexcept;
   void record_deadline_exceeded(std::size_t worker) noexcept;
   void record_degraded(std::size_t worker, bool flagged,
-                       std::uint64_t latency_micros) noexcept;
+                       std::uint64_t latency_micros,
+                       std::uint64_t exemplar_trace_id = 0) noexcept;
 
   // Admission-side events (any thread).
   void record_rejected() noexcept;

@@ -165,8 +165,111 @@ TEST(WireFuzz, EveryPrefixOfAValidFrameIsHandled) {
 }
 
 TEST(WireFuzz, EveryWireErrorHasAName) {
-  for (int e = 0; e <= static_cast<int>(WireError::kBadStatus); ++e) {
+  for (int e = 0; e <= static_cast<int>(WireError::kBadTraceContext); ++e) {
     EXPECT_FALSE(wire_error_name(static_cast<WireError>(e)).empty());
+  }
+}
+
+// ------------------- trace-context extension segment -------------------
+
+std::string valid_traced_request() {
+  std::string frame = valid_request();
+  append_trace_context({0xABCDEF0123456789ull, 10, true}, &frame);
+  return frame;
+}
+
+// The adoption contract under fuzz: a mutated trace segment either
+// parses to exactly the context the frame carries, or is refused with a
+// typed error — a bogus trace id is never silently adopted.
+TEST(WireFuzz, MutatedTracedRequestsNeverCrashOrAdoptBogusContext) {
+  const std::string frame = valid_traced_request();
+  std::uint64_t state = 0x7A5ED;
+  WireScoreRequest parsed;
+  int accepted = 0;
+  int accepted_with_trace = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const std::string mutated = mutate(frame, state);
+    const WireError error = parse_score_request(mutated, &parsed);
+    ASSERT_FALSE(wire_error_name(error).empty()) << "iteration " << i;
+    if (error != WireError::kOk) {
+      // Refusals must leave no half-adopted context behind on reuse:
+      // the next successful parse decides trace presence from scratch.
+      continue;
+    }
+    ++accepted;
+    ASSERT_FALSE(parsed.features.empty()) << "iteration " << i;
+    if (parsed.trace.present()) {
+      ++accepted_with_trace;
+      // Whatever survived the mutation, the adopted context obeys the
+      // grammar: nonzero id and a boolean sampled flag by construction.
+      ASSERT_NE(parsed.trace.trace_id, 0u) << "iteration " << i;
+    }
+  }
+  EXPECT_GT(accepted, 0);
+  EXPECT_GT(accepted_with_trace, 0);
+  EXPECT_LT(accepted, 2500);
+}
+
+// Targeted corpus: every structural way a t: segment can go wrong —
+// flips of the separators, truncations inside the payload, duplicated
+// separators — must yield a typed WireError, never a crash.
+TEST(WireFuzz, TraceSegmentStructuralMutations) {
+  const std::string frame = valid_traced_request();
+  const std::size_t bar = frame.rfind('|');
+  ASSERT_NE(bar, std::string::npos);
+  WireScoreRequest parsed;
+
+  // Truncate at every offset inside the extension segment.
+  for (std::size_t len = bar; len < frame.size(); ++len) {
+    const WireError error = parse_score_request(frame.substr(0, len), &parsed);
+    ASSERT_FALSE(wire_error_name(error).empty()) << "truncate " << len;
+    if (error == WireError::kOk && parsed.trace.present()) {
+      // A cut anywhere inside the payload drops a ':'-part and is
+      // refused; the only accepted-with-trace truncation is the one
+      // that merely shaved the trailing newline — so an adopted
+      // context is always the full original, never a digit-prefix id.
+      ASSERT_EQ(parsed.trace.trace_id, 0xABCDEF0123456789ull)
+          << "truncate " << len;
+      ASSERT_EQ(parsed.trace.parent_span, 10u) << "truncate " << len;
+      ASSERT_TRUE(parsed.trace.sampled) << "truncate " << len;
+    }
+  }
+
+  // Flip every byte of the segment, one at a time.
+  for (std::size_t i = bar; i < frame.size(); ++i) {
+    for (const char flip : {'\x01', '\x20', '\x7f'}) {
+      std::string mutated = frame;
+      mutated[i] = static_cast<char>(mutated[i] ^ flip);
+      ASSERT_FALSE(
+          wire_error_name(parse_score_request(mutated, &parsed)).empty())
+          << "flip at " << i;
+    }
+  }
+
+  // Duplicated separators around and inside the segment.
+  for (const char* mutated :
+       {"bp1|1|Chrome 100|1 2||t:1:2:1", "bp1|1|Chrome 100|1 2|t::1:2:1",
+        "bp1|1|Chrome 100|1 2|t:1::2:1", "bp1|1|Chrome 100|1 2|t:1:2:1||"}) {
+    const WireError error = parse_score_request(mutated, &parsed);
+    EXPECT_NE(error, WireError::kOk) << mutated;
+    EXPECT_FALSE(wire_error_name(error).empty()) << mutated;
+  }
+}
+
+// Stacked mutations drifting from a traced frame: same always-typed
+// contract, now with the extension grammar in the blast radius.
+TEST(WireFuzz, StackedTracedMutationsStayTyped) {
+  std::uint64_t state = 0x7AC3D;
+  std::string frame = valid_traced_request();
+  WireScoreRequest parsed;
+  for (int round = 0; round < 1500; ++round) {
+    frame = mutate(frame, state);
+    if (frame.size() > kMaxFrameBytes + 64) frame = valid_traced_request();
+    const WireError error = parse_score_request(frame, &parsed);
+    ASSERT_FALSE(wire_error_name(error).empty()) << "round " << round;
+    if (error == WireError::kOk && parsed.trace.present()) {
+      ASSERT_NE(parsed.trace.trace_id, 0u) << "round " << round;
+    }
   }
 }
 

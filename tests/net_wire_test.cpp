@@ -178,8 +178,6 @@ TEST(NetWireErrors, BadFeature) {
             WireError::kBadFeature);
   EXPECT_EQ(parse_score_request("bp1|1|Chrome 100|1  3", &request),
             WireError::kBadFeature);  // double space = empty token
-  EXPECT_EQ(parse_score_request("bp1|1|Chrome 100|1 2|3", &request),
-            WireError::kBadFeature);  // '|' is reserved, not a 5th field
   EXPECT_EQ(parse_score_request("bp1|1|Chrome 100|99999999999", &request),
             WireError::kBadFeature);  // int32 overflow
 }
@@ -200,8 +198,95 @@ TEST(NetWireErrors, BadStatus) {
             WireError::kBadStatus);  // flagged must be 0/1
   EXPECT_EQ(parse_score_response("bp1|1|scored|0|x|0|1|10", &response),
             WireError::kBadStatus);  // risk not an int
-  EXPECT_EQ(parse_score_response("bp1|1|scored|0|0|0|1|10|extra", &response),
-            WireError::kBadStatus);  // trailing field
+}
+
+// --------------------- trace-context extension segment ---------------------
+
+TEST(NetWireTrace, RequestRoundTrip) {
+  std::string frame;
+  render_score_request(42, "Chrome 100", std::vector<std::int32_t>{1, 2, 3},
+                       &frame);
+  append_trace_context({0xABCDEF, 7, true}, &frame);
+  WireScoreRequest request;
+  ASSERT_EQ(parse_score_request(frame, &request), WireError::kOk);
+  EXPECT_EQ(request.session_id, 42u);
+  EXPECT_EQ(request.features, (std::vector<std::int32_t>{1, 2, 3}));
+  ASSERT_TRUE(request.trace.present());
+  EXPECT_EQ(request.trace.trace_id, 0xABCDEFu);
+  EXPECT_EQ(request.trace.parent_span, 7u);
+  EXPECT_TRUE(request.trace.sampled);
+}
+
+TEST(NetWireTrace, ResponseCarriesContext) {
+  WireScoreResponse out;
+  out.session_id = 9;
+  out.status = serve::ResponseStatus::kScored;
+  out.model_version = 1;
+  out.latency_micros = 10;
+  std::string frame;
+  render_score_response(out, &frame);
+  append_trace_context({123, 3, false}, &frame);
+  WireScoreResponse response;
+  ASSERT_EQ(parse_score_response(frame, &response), WireError::kOk);
+  ASSERT_TRUE(response.trace.present());
+  EXPECT_EQ(response.trace.trace_id, 123u);
+  EXPECT_EQ(response.trace.parent_span, 3u);
+  EXPECT_FALSE(response.trace.sampled);
+}
+
+TEST(NetWireTrace, AbsentContextLeavesDefault) {
+  WireScoreRequest request;
+  request.trace = WireTraceContext{99, 1, true};  // stale from a prior parse
+  ASSERT_EQ(parse_score_request("bp1|1|Chrome 100|1 2", &request),
+            WireError::kOk);
+  EXPECT_FALSE(request.trace.present());
+}
+
+TEST(NetWireTrace, UnknownExtensionTagsAreIgnored) {
+  // Version tolerance: a newer peer may append segments we do not know;
+  // well-formed unknown tags must parse cleanly, before or after t:.
+  WireScoreRequest request;
+  ASSERT_EQ(parse_score_request("bp1|1|Chrome 100|1 2|zz:whatever", &request),
+            WireError::kOk);
+  EXPECT_FALSE(request.trace.present());
+  ASSERT_EQ(parse_score_request(
+                "bp1|1|Chrome 100|1 2|zz:x|t:5:2:1|aa:y", &request),
+            WireError::kOk);
+  EXPECT_EQ(request.trace.trace_id, 5u);
+}
+
+TEST(NetWireTrace, MalformedExtensionShape) {
+  WireScoreRequest request;
+  // No colon, empty segment, dangling separator, uppercase tag: all the
+  // shapes that are not <lowercase-tag>:<payload>.
+  EXPECT_EQ(parse_score_request("bp1|1|Chrome 100|1 2|3", &request),
+            WireError::kBadExtension);
+  EXPECT_EQ(parse_score_request("bp1|1|Chrome 100|1 2|", &request),
+            WireError::kBadExtension);
+  EXPECT_EQ(parse_score_request("bp1|1|Chrome 100|1 2|t:1:2:1|", &request),
+            WireError::kBadExtension);
+  EXPECT_EQ(parse_score_request("bp1|1|Chrome 100|1 2|T:1:2:1", &request),
+            WireError::kBadExtension);
+  EXPECT_EQ(parse_score_request("bp1|1|Chrome 100|1 2|:payload", &request),
+            WireError::kBadExtension);
+}
+
+TEST(NetWireTrace, MalformedTracePayload) {
+  WireScoreRequest request;
+  const char* bad[] = {
+      "bp1|1|Chrome 100|1 2|t:1:2",        // too few parts
+      "bp1|1|Chrome 100|1 2|t:1:2:1:9",    // too many parts
+      "bp1|1|Chrome 100|1 2|t:0:2:1",      // zero trace id reserved
+      "bp1|1|Chrome 100|1 2|t:x:2:1",      // id not a number
+      "bp1|1|Chrome 100|1 2|t:1:99999999999:1",  // parent overflows u32
+      "bp1|1|Chrome 100|1 2|t:1:2:2",      // sampled must be 0/1
+      "bp1|1|Chrome 100|1 2|t:1:2:1|t:3:4:1",    // duplicate t segment
+  };
+  for (const char* frame : bad) {
+    EXPECT_EQ(parse_score_request(frame, &request),
+              WireError::kBadTraceContext)
+        << frame;
+  }
 }
 
 TEST(NetWireErrors, EveryErrorHasAName) {
@@ -210,7 +295,8 @@ TEST(NetWireErrors, EveryErrorHasAName) {
         WireError::kBadMagic, WireError::kBadVersion, WireError::kTruncated,
         WireError::kBadSessionId, WireError::kBadUserAgent,
         WireError::kNoFeatures, WireError::kBadFeature,
-        WireError::kTooManyFeatures, WireError::kBadStatus}) {
+        WireError::kTooManyFeatures, WireError::kBadStatus,
+        WireError::kBadExtension, WireError::kBadTraceContext}) {
     EXPECT_FALSE(wire_error_name(error).empty());
     EXPECT_NE(wire_error_name(error), "unknown");
   }

@@ -118,6 +118,24 @@ TEST(ObsIntrospectHttp, QueryUint) {
   EXPECT_EQ(query_uint("n=", "n", 7), 7u);
 }
 
+TEST(ObsIntrospectHttp, QueryUintChecked) {
+  std::uint64_t value = 99;
+  EXPECT_EQ(net::query_uint_checked("n=50", "n", &value),
+            net::QueryParam::kOk);
+  EXPECT_EQ(value, 50u);
+  value = 99;
+  EXPECT_EQ(net::query_uint_checked("a=1", "n", &value),
+            net::QueryParam::kAbsent);
+  EXPECT_EQ(value, 99u);  // untouched on absent
+  EXPECT_EQ(net::query_uint_checked("n=abc", "n", &value),
+            net::QueryParam::kMalformed);
+  EXPECT_EQ(net::query_uint_checked("n=", "n", &value),
+            net::QueryParam::kMalformed);
+  EXPECT_EQ(net::query_uint_checked("n=99999999999999999999", "n", &value),
+            net::QueryParam::kMalformed);  // overflow is a typo, not 0
+  EXPECT_EQ(value, 99u);
+}
+
 // ------------------------------- endpoints -------------------------------
 
 TEST(ObsIntrospect, ServesAllEndpointsOverRealTcp) {
@@ -127,6 +145,8 @@ TEST(ObsIntrospect, ServesAllEndpointsOverRealTcp) {
 
   TraceSink trace;
   Span(&trace, 1, 1, 0, "request").finish();
+  Span(&trace, 2, 1, 0, "request").finish();
+  Span(&trace, 2, 2, 1, "queue_wait").finish();
 
   AuditTrail audit;
   audit.record(audit_record(7, true));
@@ -192,6 +212,30 @@ TEST(ObsIntrospect, ServesAllEndpointsOverRealTcp) {
   ASSERT_EQ(tracez.status, 200);
   EXPECT_NE(tracez.body.find("trace=1 span=1 parent=0 name=request"),
             std::string::npos);
+  EXPECT_NE(tracez.body.find("trace=2 span=2 parent=1 name=queue_wait"),
+            std::string::npos);
+
+  // ?trace=<id> keeps exactly that trace's events.
+  const HttpResult filtered = get("/tracez?trace=2");
+  ASSERT_EQ(filtered.status, 200);
+  EXPECT_EQ(filtered.body.find("trace=1 "), std::string::npos);
+  EXPECT_NE(filtered.body.find("trace=2 span=1 parent=0 name=request"),
+            std::string::npos);
+  EXPECT_NE(filtered.body.find("trace=2 span=2 parent=1 name=queue_wait"),
+            std::string::npos);
+
+  // ?n=K keeps the K most recent matching events.
+  const HttpResult limited = get("/tracez?trace=2&n=1");
+  ASSERT_EQ(limited.status, 200);
+  EXPECT_EQ(limited.body.find("span=1"), std::string::npos);
+  EXPECT_NE(limited.body.find("trace=2 span=2"), std::string::npos);
+
+  // A filter that matches nothing is an empty 200, not an error; a
+  // malformed value is the operator's typo and is refused 400.
+  EXPECT_EQ(get("/tracez?trace=777").status, 200);
+  EXPECT_TRUE(get("/tracez?trace=777").body.empty());
+  EXPECT_EQ(get("/tracez?trace=bogus").status, 400);
+  EXPECT_EQ(get("/tracez?n=bogus").status, 400);
 
   const HttpResult auditz = get("/auditz?n=10");
   ASSERT_EQ(auditz.status, 200);
