@@ -51,6 +51,7 @@
 #include "net/score_client.h"
 #include "net/score_server.h"
 #include "net/wire.h"
+#include "obs/prof/prof.h"
 #include "obs/trace.h"
 #include "serve/model_registry.h"
 #include "traffic/session_generator.h"
@@ -503,6 +504,55 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(hedged.client.hedge_wins),
               static_cast<unsigned long long>(hedged.chaos.delays));
 
+  // ---- profiler attribution arm ----
+  //
+  // /profilez's question, asked under load: when the continuous
+  // profiler wall-samples the plane while it serves real traffic, do
+  // serve-side samples land on named PROF_SCOPE stages or in
+  // unattributed dark matter?  "Serve-side" is every thread the engine
+  // registered under "serve." (workers and watchdogs — including the
+  // watchdog keeps the denominator honest); "attributed" means the
+  // sample carries at least one tag.  Attribution is a ratio, not a
+  // timing, so the gate arms on sample count, not core count.
+  constexpr double kAttributionGate = 0.5;
+  constexpr std::uint64_t kAttributionMinSamples = 64;
+  const double prof_rate = smoke ? 500.0 : 2'000.0;
+  const std::size_t prof_total = static_cast<std::size_t>(prof_rate * 2.0);
+  std::printf("\nprofiler arm: wall-sampling the plane under %.0f rps of "
+              "offered load...\n",
+              prof_rate);
+  obs::prof::Profiler profiler;
+  profiler.start({});
+  const obs::prof::ProfileSnapshot prof_before = profiler.snapshot();
+  const RateResult prof_run =
+      drive(server.port(), frames, prof_rate, connections, prof_total);
+  const obs::prof::ProfileSnapshot prof_after = profiler.snapshot();
+  profiler.stop();
+  const obs::prof::ProfileSnapshot prof_window =
+      obs::prof::Profiler::diff(prof_before, prof_after);
+  std::uint64_t serve_samples = 0;
+  std::uint64_t serve_tagged = 0;
+  for (const obs::prof::Sample& sample : prof_window.samples) {
+    if (std::strncmp(sample.thread_name, "serve.", 6) != 0) continue;
+    serve_samples += sample.count;
+    if (sample.n_tags > 0) serve_tagged += sample.count;
+  }
+  const double attributed_fraction =
+      serve_samples > 0
+          ? static_cast<double>(serve_tagged) /
+                static_cast<double>(serve_samples)
+          : 0.0;
+  const bool attribution_enforced = serve_samples >= kAttributionMinSamples;
+  const bool attribution_ok = attributed_fraction >= kAttributionGate;
+  std::printf("  %llu samples in the window, %llu serve-side, %llu tagged "
+              "-> %.1f%% attributed (gate >= %.0f%%, %s) -> %s\n",
+              static_cast<unsigned long long>(prof_window.total()),
+              static_cast<unsigned long long>(serve_samples),
+              static_cast<unsigned long long>(serve_tagged),
+              100.0 * attributed_fraction, 100.0 * kAttributionGate,
+              attribution_enforced ? "enforced" : "too few samples to arm",
+              attribution_ok ? "ok" : "FAIL");
+
   // ---- trace arm: what does cross-hop tracing cost at saturation? ----
   const std::size_t trace_total = smoke ? 1'000 : 4'000;
   const int trace_runs = 3;
@@ -608,6 +658,24 @@ int main(int argc, char** argv) {
         trace_arm.lost, trace_arm.corrupted);
     json += entry;
   }
+  {
+    char entry[512];
+    std::snprintf(
+        entry, sizeof(entry),
+        "  \"profiler_arm\": {\"offered_rps\": %.0f, \"requests\": %zu, "
+        "\"window_samples\": %llu, \"serve_samples\": %llu, "
+        "\"serve_tagged\": %llu, \"attributed_fraction\": %.4f, "
+        "\"gate_fraction\": %.2f, \"within_gate\": %s, \"enforced\": %s, "
+        "\"lost\": %zu, \"corrupted\": %zu},\n",
+        prof_rate, prof_total,
+        static_cast<unsigned long long>(prof_window.total()),
+        static_cast<unsigned long long>(serve_samples),
+        static_cast<unsigned long long>(serve_tagged), attributed_fraction,
+        kAttributionGate, attribution_ok ? "true" : "false",
+        attribution_enforced ? "true" : "false", prof_run.lost,
+        prof_run.corrupted);
+    json += entry;
+  }
   json += "  \"rates\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const RateResult& r = results[i];
@@ -682,6 +750,29 @@ int main(int argc, char** argv) {
                  hedged.p99_us, unhedged.p99_us);
     return 1;
   }
+  // Profiler-arm acceptance: the plane must stay lossless while being
+  // sampled, the sampler must actually have watched it (zero serve-side
+  // samples means the arm measured nothing), and — once the window
+  // holds enough samples to mean anything — at least half of the
+  // serve-side samples must land on a named stage.
+  if (prof_run.lost != 0 || prof_run.corrupted != 0) {
+    std::fprintf(stderr,
+                 "FAIL: profiler arm dropped calls (lost=%zu corrupted=%zu)\n",
+                 prof_run.lost, prof_run.corrupted);
+    return 1;
+  }
+  if (serve_samples == 0) {
+    std::fprintf(stderr, "FAIL: profiler saw no serve-side samples — the "
+                         "attribution arm measured nothing\n");
+    return 1;
+  }
+  if (attribution_enforced && !attribution_ok) {
+    std::fprintf(stderr,
+                 "FAIL: only %.1f%% of serve-side samples attributed to "
+                 "tagged stages (gate >= %.0f%%)\n",
+                 100.0 * attributed_fraction, 100.0 * kAttributionGate);
+    return 1;
+  }
   // Trace-arm acceptance: tracing is free enough to leave on — every
   // request pays the wire-segment parse, 1% pay span recording, and
   // the plane must not give up more than 3% of its peak throughput.
@@ -708,7 +799,9 @@ int main(int argc, char** argv) {
   }
   std::printf("zero lost, zero corrupted responses across the sweep; "
               "hedged p99 %.0fus < unhedged p99 %.0fus under stalls; "
-              "tracing overhead %.2f%% < 3%%\n",
-              hedged.p99_us, unhedged.p99_us, trace_arm.overhead_pct);
+              "tracing overhead %.2f%% < 3%%; %.1f%% of serve-side "
+              "profile samples attributed\n",
+              hedged.p99_us, unhedged.p99_us, trace_arm.overhead_pct,
+              100.0 * attributed_fraction);
   return 0;
 }

@@ -6,8 +6,10 @@
 // worker / batch 1 configuration is the baseline; on a 4+ core machine
 // the pool is expected to clear >= 3x its throughput.
 //
-// Beyond the worker/batch sweep, two more arms:
-//   * observability overhead (full plane on vs off, < 3% gate), and
+// Beyond the worker/batch sweep, three more arms:
+//   * observability overhead (full plane on vs off, < 3% gate),
+//   * continuous-profiler overhead (wall+cpu sampler on vs off,
+//     < 3% gate — the cost of leaving /profilez armed in production),
 //   * the verdict cache under release-popularity traffic — the same
 //     few fingerprints dominating the stream, as browser releases do
 //     in production — where cached serving must clear >= 5x the
@@ -43,6 +45,7 @@
 #include "obs/introspect/http.h"
 #include "obs/introspect/server.h"
 #include "obs/metrics_registry.h"
+#include "obs/prof/prof.h"
 #include "obs/trace.h"
 #include "serve/model_registry.h"
 #include "serve/scoring_engine.h"
@@ -429,6 +432,42 @@ int main(int argc, char** argv) {
               100.0 * scrape_overhead, 100.0 * kObsOverheadGate,
               scrape_within_gate ? "ok" : "FAIL");
 
+  // ---- profiler overhead arm ----
+  //
+  // The continuous profiler (src/obs/prof) in its production posture:
+  // 100 Hz wall sampler over the registered worker threads, SIGPROF
+  // self-capture per tick, plus the CPU itimer.  Gated on the marginal
+  // cost vs the uninstrumented baseline — "always on" is only a
+  // defensible default if being sampled costs < 3% throughput.
+  constexpr double kProfilerOverheadGate = 0.03;
+  std::printf("measuring profiler overhead (wall+cpu sampling, same "
+              "config, best of 3)...\n");
+  double profiled_sps = 0.0;
+  std::uint64_t prof_wall_samples = 0;
+  std::uint64_t prof_cpu_samples = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    obs::prof::Profiler profiler;
+    profiler.start({});
+    profiled_sps = std::max(
+        profiled_sps,
+        run_configuration(registry, stream, gate_workers, kGateBatch, nullptr,
+                          gate_reps)
+            .sessions_per_second);
+    profiler.stop();
+    prof_wall_samples += profiler.wall_samples();
+    prof_cpu_samples += profiler.cpu_samples();
+  }
+  const double profiler_overhead = 1.0 - profiled_sps / baseline_sps;
+  const bool profiler_within_gate = profiler_overhead < kProfilerOverheadGate;
+  std::printf("  profiled:  %10.0f sessions/s "
+              "(%llu wall + %llu cpu samples)\n"
+              "  overhead:  %+.2f%% vs baseline (gate < %.0f%%) -> %s\n",
+              profiled_sps,
+              static_cast<unsigned long long>(prof_wall_samples),
+              static_cast<unsigned long long>(prof_cpu_samples),
+              100.0 * profiler_overhead, 100.0 * kProfilerOverheadGate,
+              profiler_within_gate ? "ok" : "FAIL");
+
   // ---- verdict-cache arm (release-popularity traffic) ----
   //
   // The same engine configuration, cache off vs on, over a stream
@@ -465,9 +504,10 @@ int main(int argc, char** argv) {
   // ---- gate verdicts ----
   //
   // Always armed: the p99 latency budget and both cache gates.
-  // Armed on 4+ hardware threads: pool scaling and the two
-  // observability overhead gates (below that, submitter, workers and
-  // scraper time-share cores and the measurement is scheduler noise).
+  // Armed on 4+ hardware threads: pool scaling and the three
+  // overhead gates — observability, scrape-under-load, profiler
+  // (below that, submitter, workers, scraper and sampler time-share
+  // cores and the measurement is scheduler noise).
   double best_speedup = 1.0;
   bool all_within_budget = true;
   for (const RunResult& r : results) {
@@ -479,7 +519,8 @@ int main(int argc, char** argv) {
   const bool gates_enforced =
       all_within_budget && cache_speedup_ok && cache_hit_rate_ok &&
       (!concurrency_armed ||
-       (scaling_ok && obs_within_gate && scrape_within_gate));
+       (scaling_ok && obs_within_gate && scrape_within_gate &&
+        profiler_within_gate));
 
   std::string json = "{\n";
   json += "  \"hardware_threads\": " + std::to_string(hardware) + ",\n";
@@ -534,6 +575,22 @@ int main(int argc, char** argv) {
         concurrency_armed ? "true" : "false");
     json += obs_entry;
   }
+  {
+    char prof_entry[384];
+    std::snprintf(
+        prof_entry, sizeof(prof_entry),
+        "  \"profiler\": {\"baseline_sessions_per_second\": %.1f, "
+        "\"profiled_sessions_per_second\": %.1f, "
+        "\"overhead_fraction\": %.4f, \"gate_fraction\": %.2f, "
+        "\"wall_samples\": %llu, \"cpu_samples\": %llu, "
+        "\"within_gate\": %s, \"enforced\": %s},\n",
+        baseline_sps, profiled_sps, profiler_overhead, kProfilerOverheadGate,
+        static_cast<unsigned long long>(prof_wall_samples),
+        static_cast<unsigned long long>(prof_cpu_samples),
+        profiler_within_gate ? "true" : "false",
+        concurrency_armed ? "true" : "false");
+    json += prof_entry;
+  }
   json += "  \"runs\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const RunResult& r = results[i];
@@ -584,6 +641,11 @@ int main(int argc, char** argv) {
                  "FAIL: scrape-under-load overhead %.2f%% exceeds the %.0f%% "
                  "gate\n",
                  100.0 * scrape_overhead, 100.0 * kObsOverheadGate);
+  }
+  if (concurrency_armed && !profiler_within_gate) {
+    std::fprintf(stderr,
+                 "FAIL: profiler overhead %.2f%% exceeds the %.0f%% gate\n",
+                 100.0 * profiler_overhead, 100.0 * kProfilerOverheadGate);
   }
   if (!concurrency_armed) {
     std::printf("(scaling and overhead gates measured but not armed on %u "

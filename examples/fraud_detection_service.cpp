@@ -58,6 +58,8 @@
 #include "obs/export.h"
 #include "obs/introspect/server.h"
 #include "obs/metrics_registry.h"
+#include "obs/prof/contention.h"
+#include "obs/prof/prof.h"
 #include "obs/slo/health.h"
 #include "obs/slo/slo_engine.h"
 #include "obs/slo/time_series.h"
@@ -106,7 +108,7 @@ bool parse_listen_value(const char* flag, const std::string& value,
 }
 
 bool parse_args(int argc, char** argv, ListenSpec* listen,
-                ListenSpec* score_listen) {
+                ListenSpec* score_listen, bool* soak) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--listen" && i + 1 < argc) {
@@ -119,9 +121,13 @@ bool parse_args(int argc, char** argv, ListenSpec* listen,
       }
       continue;
     }
+    if (arg == "--soak") {
+      *soak = true;
+      continue;
+    }
     std::fprintf(stderr,
                  "usage: %s [--listen <addr:port|port>] "
-                 "[--score-listen <addr:port|port>]\n",
+                 "[--score-listen <addr:port|port>] [--soak]\n",
                  argv[0]);
     return false;
   }
@@ -163,7 +169,8 @@ int main(int argc, char** argv) {
 
   ListenSpec listen;
   ListenSpec score_listen;
-  if (!parse_args(argc, argv, &listen, &score_listen)) return 2;
+  bool soak = false;
+  if (!parse_args(argc, argv, &listen, &score_listen, &soak)) return 2;
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
 
@@ -215,7 +222,11 @@ int main(int argc, char** argv) {
         ++dashboard.scored_by_version[response.model_version];
         if (!response.detection.flagged) return;
         ++dashboard.flagged;
-        dashboard.flagged_ato += session_ato[response.id];
+        // Soak-mode ids start past the pipeline's range; they carry no
+        // ground-truth label.
+        if (response.id < session_ato.size()) {
+          dashboard.flagged_ato += session_ato[response.id];
+        }
         ++dashboard.risk_histogram[response.detection.risk_factor];
       });
 
@@ -321,6 +332,14 @@ int main(int argc, char** argv) {
   // reads the router's cache stats per scrape) is destroyed first.
   std::optional<net::ScoreServer> score_server;
 
+  // ---- continuous profiler: wall + CPU sampling over every plane ----
+  // Started only alongside --listen (its consumers are /profilez and
+  // /profilez.json); batch runs pay nothing.
+  obs::prof::Profiler profiler;
+  if (listen.enabled) {
+    profiler.start({});
+  }
+
   // ---- live introspection (--listen): up before the first publish ----
   std::optional<obs::introspect::IntrospectionServer> server;
   if (listen.enabled) {
@@ -330,6 +349,8 @@ int main(int argc, char** argv) {
     sources.audit = &audit;
     sources.health = &health;
     sources.slo = &slo;
+    sources.profiler = &profiler;
+    sources.contention = &obs::prof::ContentionRegistry::instance();
     sources.statusz_extra = [&] {
       std::string extra;
       {
@@ -378,6 +399,15 @@ int main(int argc, char** argv) {
         extra += line;
       }
       extra += any ? "\n" : " (none)\n";
+      // Present only when the interposing operator-new TU is linked
+      // into this binary (it is — see examples/CMakeLists.txt).
+      if (obs::prof::alloc_hook_linked()) {
+        const obs::prof::AllocCounts allocs = obs::prof::alloc_counts();
+        extra += "alloc hook: linked, counting " +
+                 std::string(obs::prof::alloc_counting() ? "on" : "off") +
+                 ", allocations=" + std::to_string(allocs.allocations) +
+                 " bytes=" + std::to_string(allocs.bytes) + "\n";
+      }
       return extra;
     };
     obs::introspect::ServerConfig server_config;
@@ -663,11 +693,40 @@ int main(int argc, char** argv) {
                   server ? "" : "\npipeline complete; ",
                   score_listen.address.c_str(), score_server->port());
     }
+    // --soak keeps the scoring kernel hot while listening: a background
+    // stream of sessions, each with one feature perturbed so the
+    // content-addressed verdict cache never absorbs it.  A /profilez
+    // window opened against the live service then has real serve.*
+    // work to attribute instead of an idle queue.
+    std::thread soak_thread;
+    if (soak) {
+      soak_thread = std::thread([&] {
+        traffic::TrafficConfig soak_config;
+        soak_config.seed = 0x50AC;
+        traffic::SessionGenerator soak_traffic(soak_config);
+        std::uint64_t soak_id = kStream;
+        std::int32_t spin = 0;
+        while (!signalled()) {
+          traffic::SessionRecord session = soak_traffic.next_session(indices);
+          serve::ScoreRequest request;
+          request.id = soak_id++;
+          request.features = std::move(session.features);
+          if (!request.features.empty()) request.features[0] ^= ++spin;
+          request.claimed = session.claimed;
+          // kBlock overflow self-paces against the workers; anything
+          // short of admission just means the next iteration retries.
+          (void)engine.submit(std::move(request));
+        }
+      });
+      std::printf("soak traffic running: cache-busting sessions keep the "
+                  "scoring kernel busy for live profiling\n");
+    }
     std::fflush(stdout);
     while (!signalled()) {
       std::this_thread::sleep_for(std::chrono::milliseconds(100));
     }
     std::printf("shutdown signal received; stopping\n");
+    if (soak_thread.joinable()) soak_thread.join();
   }
   graceful_shutdown();
   return 0;

@@ -34,12 +34,25 @@ echo "== live introspection + scoring smoke (HTTP over ephemeral ports) =="
 smoke_log=/tmp/bp_introspect_smoke.log
 rm -f "${smoke_log}"
 ./build/examples/fraud_detection_service --listen 127.0.0.1:0 \
-  --score-listen 127.0.0.1:0 \
+  --score-listen 127.0.0.1:0 --soak \
   > "${smoke_log}" 2>&1 &
 svc_pid=$!
+# Stop a background process: SIGINT for a graceful teardown, a bounded
+# grace period, then SIGKILL so a wedged shutdown can neither hang the
+# suite nor leak a process into later runs.  Returns the exit status.
+stop_pid() {  # stop_pid <pid> [grace_seconds]
+  local pid=$1 grace=${2:-30}
+  kill -INT "${pid}" 2>/dev/null || true
+  for _ in $(seq 1 $((grace * 5))); do
+    kill -0 "${pid}" 2>/dev/null || break
+    sleep 0.2
+  done
+  kill -9 "${pid}" 2>/dev/null || true
+  wait "${pid}"
+}
 smoke_fail() {
   echo "FAIL: $1" >&2
-  kill "${svc_pid}" 2>/dev/null || true
+  stop_pid "${svc_pid}" 5 > /dev/null 2>&1 || true
   exit 1
 }
 port=""
@@ -78,6 +91,28 @@ done
 [[ "${ready}" == "200" ]] || smoke_fail "/readyz never flipped to 200"
 fetch /readyz 200
 fetch /statusz 200
+grep -q -- '-- build --' /tmp/bp_introspect_body \
+  || smoke_fail "/statusz missing the build-info block"
+
+# Continuous profiler: open a 15 s /profilez window in the background.
+# The model just published, so the demo pipeline's live-scoring phases
+# (plus the POST /score and traced-client load below) run inside the
+# window; the collapsed-stack output must attribute serve-side samples
+# to the scoring kernel by tag.  Collected after the trace smoke.
+profilez_out=/tmp/bp_profilez.out
+rm -f "${profilez_out}"
+curl -s --max-time 60 "http://127.0.0.1:${port}/profilez?seconds=15" \
+  > "${profilez_out}" &
+profilez_pid=$!
+# Typed 400 on malformed query params, uniform across the text routes.
+for bad in "/profilez?seconds=bogus" "/tracez?n=bogus" "/auditz?n=bogus"; do
+  code=$(curl -s -o /tmp/bp_introspect_body -w '%{http_code}' \
+         "http://127.0.0.1:${port}${bad}" || true)
+  [[ "${code}" == "400" ]] \
+    || smoke_fail "GET ${bad} -> '${code}' (want a typed 400)"
+  grep -q "bad query" /tmp/bp_introspect_body \
+    || smoke_fail "GET ${bad} 400 body lacks the typed error"
+done
 
 # POST one session over the scoring plane; after /readyz the model is
 # published, so the verdict must be a scored frame echoing the session.
@@ -100,8 +135,8 @@ rm -f "${client_log}"
 client_pid=$!
 trace_fail() {
   echo "FAIL: $1" >&2
-  kill "${client_pid}" 2>/dev/null || true
-  kill "${svc_pid}" 2>/dev/null || true
+  kill -9 "${client_pid}" 2>/dev/null || true
+  stop_pid "${svc_pid}" 5 > /dev/null 2>&1 || true
   exit 1
 }
 client_port=""
@@ -125,8 +160,20 @@ kill -INT "${client_pid}"
 wait "${client_pid}" || trace_fail "traced client exited non-zero"
 echo "cross-hop tracing smoke ok (trace ${trace_id} assembled on both sides)"
 
-kill -INT "${svc_pid}"
-if wait "${svc_pid}"; then
+# Collect the /profilez window opened above: the collapsed-stack output
+# must contain serve-side samples tagged with the scoring kernel, and
+# /contentionz must name the serving sites wired this build.
+wait "${profilez_pid}" || smoke_fail "/profilez capture exited non-zero"
+[[ -s "${profilez_out}" ]] || smoke_fail "/profilez window came back empty"
+grep -q 'serve\.kernel' "${profilez_out}" \
+  || smoke_fail "/profilez window has no serve.kernel-tagged samples"
+curl -s "http://127.0.0.1:${port}/contentionz" > /tmp/bp_contentionz.out \
+  || smoke_fail "GET /contentionz failed"
+grep -q 'site serve\.' /tmp/bp_contentionz.out \
+  || smoke_fail "/contentionz names no serving contention sites"
+echo "profiling smoke ok ($(grep -c 'serve\.' "${profilez_out}") serve-tagged collapsed stacks; contention sites live)"
+
+if stop_pid "${svc_pid}" 60; then
   echo "introspection + scoring smoke ok (ports ${port}/${score_port}, clean SIGINT shutdown)"
 else
   smoke_fail "service exited non-zero after SIGINT"
@@ -147,8 +194,9 @@ BP_FAULTS='net.sock.recv.short:0.05:11,net.sock.send.partial:0.05:12' \
 chaos_svc_pid=$!
 chaos_fail() {
   echo "FAIL: $1" >&2
-  kill "${chaos_proxy_pid:-}" 2>/dev/null || true
-  kill "${chaos_svc_pid}" 2>/dev/null || true
+  [[ -n "${chaos_proxy_pid:-}" ]] \
+    && stop_pid "${chaos_proxy_pid}" 5 > /dev/null 2>&1 || true
+  stop_pid "${chaos_svc_pid}" 5 > /dev/null 2>&1 || true
   exit 1
 }
 score_port=""
@@ -191,12 +239,10 @@ for i in $(seq 1 600); do
 done
 [[ -n "${scored}" ]] || chaos_fail "no scored verdict ever survived the relay"
 
-kill -INT "${chaos_proxy_pid}"
-wait "${chaos_proxy_pid}" || chaos_fail "chaos proxy exited non-zero"
+stop_pid "${chaos_proxy_pid}" 60 || chaos_fail "chaos proxy exited non-zero"
 grep -q '^chaos ledger:' "${chaos_log}" \
   || chaos_fail "chaos proxy never printed its fault ledger"
-kill -INT "${chaos_svc_pid}"
-wait "${chaos_svc_pid}" || chaos_fail "service exited non-zero under BP_FAULTS"
+stop_pid "${chaos_svc_pid}" 60 || chaos_fail "service exited non-zero under BP_FAULTS"
 echo "network chaos smoke ok (scored verdicts through an armed relay)"
 
 if [[ -n "${BP_SANITIZE:-}" ]]; then
@@ -214,8 +260,11 @@ if [[ -n "${BP_SANITIZE:-}" ]]; then
   # concurrent TCP soak over POST /score), the SoA batch-scoring
   # kernel's equivalence suite, the seqlock verdict cache, and the
   # chaos-hardening layer (socket seam, listener reaper/slow-loris,
-  # resilient ScoreClient, chaos proxy, wire fuzz).
+  # resilient ScoreClient, chaos proxy, wire fuzz), and the continuous
+  # profiling plane (sampler start/stop against live registered
+  # workers, remote tag reads, contention sites, and the callback-gauge
+  # unregistration race).
   ctest --test-dir "${san_dir}" \
-    -R 'Serve|BoundedQueue|Parallel|TrainingDeterminism|Fault|RetrainSupervisor|ModelIntegrity|Chaos|Client|SockOps|HttpListener|WireFuzz|Obs|Audit|Introspect|Slo|Health|Net|Router|Batch|Cache|DistTrace' \
+    -R 'Serve|BoundedQueue|Parallel|TrainingDeterminism|Fault|RetrainSupervisor|ModelIntegrity|Chaos|Client|SockOps|HttpListener|WireFuzz|Obs|Audit|Introspect|Slo|Health|Net|Router|Batch|Cache|DistTrace|Prof|Contention' \
     --output-on-failure
 fi

@@ -5,10 +5,12 @@
 #include <chrono>
 #include <cmath>
 #include <limits>
+#include <optional>
 
 #include "browser/engine_timelines.h"
 #include "browser/release_db.h"
 #include "obs/metrics_registry.h"
+#include "obs/prof/prof.h"
 
 namespace bp::core {
 
@@ -104,6 +106,13 @@ TrainingSummary Polygraph::train(const ml::Matrix& features,
     stage_begin_us = now_us;
   };
 
+  // Profiler attribution: the active stage is marked by re-emplacing one
+  // tag scope (destroy pops the old tag, construct pushes the new one),
+  // so samples landing in this thread carry train.<stage>.
+  PROF_SCOPE("train");
+  std::optional<obs::prof::TagScope> stage_scope;
+  stage_scope.emplace("train.scale");
+
   // 1. Scale.  Deviation-based columns are standardized; time-based
   //    presence bits pass through (§6.4.1).
   const auto& catalog = browser::FeatureCatalog::instance();
@@ -117,6 +126,7 @@ TrainingSummary Polygraph::train(const ml::Matrix& features,
   const ml::Matrix scaled = scaler_.transform(features);
   summary.timings.scale = lap();
   emit_span("scale", 2);
+  stage_scope.emplace("train.filter");
 
   // 2. Outlier filtering (§6.4.1).
   ml::IsolationForestConfig forest_config;
@@ -135,12 +145,14 @@ TrainingSummary Polygraph::train(const ml::Matrix& features,
   }
   summary.timings.filter = lap();
   emit_span("filter", 3);
+  stage_scope.emplace("train.pca");
 
   // 3. PCA (§6.4.2).
   const ml::Matrix projected =
       pca_.fit_transform(filtered, config_.pca_components);
   summary.timings.pca = lap();
   emit_span("pca", 4);
+  stage_scope.emplace("train.kmeans");
 
   // 4. k-means (§6.4.3).
   ml::KMeansConfig kconfig;
@@ -152,6 +164,7 @@ TrainingSummary Polygraph::train(const ml::Matrix& features,
   summary.wcss = kmeans_.inertia();
   summary.timings.kmeans = lap();
   emit_span("kmeans", 5);
+  stage_scope.emplace("train.table");
 
   // 5. Majority-cluster table + training accuracy (Appendix-4 Formula 1).
   std::vector<std::uint32_t> keys;
@@ -191,6 +204,7 @@ TrainingSummary Polygraph::train(const ml::Matrix& features,
   }
   summary.timings.table = lap();
   emit_span("table", 6);
+  stage_scope.reset();
   summary.timings.total =
       std::chrono::duration<double>(Clock::now() - stage_start).count();
 

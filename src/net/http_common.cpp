@@ -12,6 +12,7 @@
 #include <cstring>
 
 #include "net/socket_ops.h"
+#include "obs/prof/prof.h"
 
 namespace bp::net {
 
@@ -230,7 +231,7 @@ HttpListener::HttpListener(ListenerConfig config, Handler handler)
       std::max<std::size_t>(config_.handler_threads, 1);
   handlers_.reserve(n_handlers);
   for (std::size_t i = 0; i < n_handlers; ++i) {
-    handlers_.emplace_back([this] { handler_loop(); });
+    handlers_.emplace_back([this, i] { handler_loop(i); });
   }
   acceptor_ = std::thread([this] { acceptor_loop(); });
 }
@@ -243,6 +244,7 @@ std::string HttpListener::error() const {
 }
 
 void HttpListener::acceptor_loop() {
+  obs::prof::ThreadHandle prof_handle("net.http_acceptor", 0);
   while (!stopping_.load(std::memory_order_acquire)) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
@@ -267,7 +269,9 @@ void HttpListener::acceptor_loop() {
   }
 }
 
-void HttpListener::handler_loop() {
+void HttpListener::handler_loop(std::size_t lane) {
+  obs::prof::ThreadHandle prof_handle("net.http_handler",
+                                      static_cast<std::uint32_t>(lane));
   while (true) {
     int fd = -1;
     {
@@ -408,7 +412,10 @@ void HttpListener::serve_connection(int fd) {
     request.body =
         std::string_view(buffer).substr(head_end + 4, request.content_length);
 
-    HttpResponse response = handler_(request);
+    HttpResponse response = [&] {
+      PROF_SCOPE("net.handle");
+      return handler_(request);
+    }();
     ++served;
     const bool request_capped =
         config_.max_requests_per_connection > 0 &&
@@ -426,8 +433,12 @@ void HttpListener::serve_connection(int fd) {
     if (client_keep_alive && !response.keep_alive) {
       reaped_.fetch_add(1, std::memory_order_relaxed);
     }
-    if (!sockops::send_all(fd, serialize_response(response)) ||
-        !response.keep_alive) {
+    bool sent;
+    {
+      PROF_SCOPE("net.serialize");
+      sent = sockops::send_all(fd, serialize_response(response));
+    }
+    if (!sent || !response.keep_alive) {
       return;
     }
     buffer.erase(0, frame_end);

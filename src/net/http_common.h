@@ -188,7 +188,7 @@ class HttpListener {
 
  private:
   void acceptor_loop();
-  void handler_loop();
+  void handler_loop(std::size_t lane);
   void serve_connection(int fd);
 
   ListenerConfig config_;

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "obs/export.h"
+#include "obs/prof/prof.h"
 #include "obs/trace.h"
 
 namespace bp::net {
@@ -124,7 +125,10 @@ HttpResponse ScoreServer::handle(const HttpRequest& request) {
   // thread, so the steady-state path allocates nothing.
   thread_local WireScoreRequest wire_request;
   thread_local std::string wire_body;
-  const WireError parse = parse_score_request(request.body, &wire_request);
+  const WireError parse = [&] {
+    PROF_SCOPE("net.parse");
+    return parse_score_request(request.body, &wire_request);
+  }();
   if (parse != WireError::kOk) {
     malformed_.fetch_add(1, std::memory_order_relaxed);
     std::string body("bad frame: ");
@@ -196,6 +200,7 @@ HttpResponse ScoreServer::handle(const HttpRequest& request) {
   Slot& slot = slots_[*slot_index];
   serve::ScoreResponse engine_response;
   {
+    PROF_SCOPE("net.await");
     std::unique_lock<std::mutex> lock(slot.mutex);
     if (!slot.cv.wait_for(lock, config_.response_timeout,
                           [&slot] { return slot.done; })) {
@@ -221,7 +226,10 @@ HttpResponse ScoreServer::handle(const HttpRequest& request) {
       static_cast<std::uint64_t>(engine_response.latency.count());
   const std::int64_t serialize_start_us =
       trace_record ? obs::steady_now_us() : 0;
-  render_score_response(wire_response, &wire_body);
+  {
+    PROF_SCOPE("net.serialize");
+    render_score_response(wire_response, &wire_body);
+  }
   if (trace_record) {
     trace_sink->record_forced({trace.trace_id, span_base + 5, span_base + 1,
                                "serialize", serialize_start_us,

@@ -1,0 +1,61 @@
+#include "obs/introspect/build_info.h"
+
+#include <thread>
+
+// The CMakeLists for this library injects BP_GIT_DESCRIBE,
+// BP_BUILD_TYPE and BP_SANITIZE_NAME on this TU only; missing values
+// (e.g. a source tarball with no .git) degrade to "unknown".
+#ifndef BP_GIT_DESCRIBE
+#define BP_GIT_DESCRIBE "unknown"
+#endif
+#ifndef BP_BUILD_TYPE
+#define BP_BUILD_TYPE "unknown"
+#endif
+#ifndef BP_SANITIZE_NAME
+#define BP_SANITIZE_NAME "none"
+#endif
+
+namespace bp::obs::introspect {
+
+namespace {
+
+// Stringified compiler identity, preferring the most specific macro
+// (clang defines __GNUC__ too).
+const char* compiler_id() noexcept {
+#if defined(__clang__)
+  return "clang " __clang_version__;
+#elif defined(__GNUC__)
+  return "gcc " __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+}  // namespace
+
+BuildInfo build_info() noexcept {
+  BuildInfo info;
+  info.git_describe = BP_GIT_DESCRIBE;
+  info.compiler = compiler_id();
+  info.build_type = BP_BUILD_TYPE;
+  info.sanitizer = BP_SANITIZE_NAME;
+  info.hardware_threads = std::thread::hardware_concurrency();
+  return info;
+}
+
+std::string render_build_info() {
+  const BuildInfo info = build_info();
+  std::string out;
+  out += "git: ";
+  out += info.git_describe;
+  out += "\ncompiler: ";
+  out += info.compiler;
+  out += "\nbuild_type: ";
+  out += info.build_type;
+  out += "\nsanitizer: ";
+  out += info.sanitizer;
+  out += "\nhardware_threads: " + std::to_string(info.hardware_threads) + "\n";
+  return out;
+}
+
+}  // namespace bp::obs::introspect

@@ -1,0 +1,29 @@
+// Compile-time build identity for /statusz.
+//
+// When "which binary is this?" comes up mid-incident, the answer must
+// come from the process itself, not from deploy records.  The values
+// here are baked in at compile time (git describe is captured at CMake
+// configure time and injected as a definition on build_info.cpp only,
+// so touching the git head recompiles one TU, not the tree) and
+// rendered as a block in /statusz.
+#pragma once
+
+#include <string>
+
+namespace bp::obs::introspect {
+
+struct BuildInfo {
+  const char* git_describe;     // `git describe --always --dirty` at configure
+  const char* compiler;         // compiler id + version string
+  const char* build_type;       // CMAKE_BUILD_TYPE
+  const char* sanitizer;        // BP_SANITIZE value, "none" when unset
+  unsigned hardware_threads;    // std::thread::hardware_concurrency()
+};
+
+// The identity of this binary; every field is always non-null.
+BuildInfo build_info() noexcept;
+
+// The /statusz "-- build --" block (trailing newline included).
+std::string render_build_info();
+
+}  // namespace bp::obs::introspect

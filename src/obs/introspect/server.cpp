@@ -1,6 +1,10 @@
 #include "obs/introspect/server.h"
 
+#include <algorithm>
+#include <thread>
 #include <utility>
+
+#include "obs/introspect/build_info.h"
 
 namespace bp::obs::introspect {
 
@@ -113,22 +117,78 @@ HttpResponse IntrospectionServer::handle(const HttpRequest& request) const {
       response.body = "no audit trail attached\n";
       return response;
     }
-    const std::uint64_t n = query_uint(request.query, "n", 100);
+    // Same typed-400 contract as /tracez and /profilez: a malformed
+    // value is the operator's typo, never silently the default.
+    std::uint64_t n = 100;
+    if (net::query_uint_checked(request.query, "n", &n) ==
+        net::QueryParam::kMalformed) {
+      response.status = 400;
+      response.body = "bad query: n must be a non-negative integer\n";
+      return response;
+    }
     response.content_type = "application/jsonl";
     response.body = sources_.audit->render_jsonl(
         /*include_timing=*/true, static_cast<std::size_t>(n));
     return response;
   }
+  if (request.path == "/profilez") {
+    if (sources_.profiler == nullptr) {
+      response.status = 404;
+      response.body = "no profiler attached\n";
+      return response;
+    }
+    std::uint64_t seconds = 1;
+    if (net::query_uint_checked(request.query, "seconds", &seconds) ==
+        net::QueryParam::kMalformed) {
+      response.status = 400;
+      response.body = "bad query: seconds must be a non-negative integer\n";
+      return response;
+    }
+    // The capture window is the diff of two snapshots of the profiler's
+    // monotonic table, so concurrent /profilez requests never disturb
+    // each other.  The handler sleeps the window out — introspection
+    // handlers are cheap and pooled, and the clamp keeps one slow
+    // request from parking a handler for minutes.
+    seconds = std::clamp<std::uint64_t>(seconds, 1, 30);
+    const prof::ProfileSnapshot before = sources_.profiler->snapshot();
+    std::this_thread::sleep_for(std::chrono::seconds(seconds));
+    const prof::ProfileSnapshot after = sources_.profiler->snapshot();
+    response.body = prof::Profiler::render_collapsed(
+        prof::Profiler::diff(before, after));
+    return response;
+  }
+  if (request.path == "/profilez.json") {
+    if (sources_.profiler == nullptr) {
+      response.status = 404;
+      response.body = "no profiler attached\n";
+      return response;
+    }
+    response.content_type = "application/json";
+    response.body =
+        prof::Profiler::render_tag_tree_json(sources_.profiler->snapshot());
+    return response;
+  }
+  if (request.path == "/contentionz") {
+    if (sources_.contention == nullptr) {
+      response.status = 404;
+      response.body = "no contention registry attached\n";
+      return response;
+    }
+    response.body = sources_.contention->render();
+    return response;
+  }
   response.status = 404;
   response.body =
       "not found; endpoints: /metrics /metrics.json /healthz /readyz "
-      "/statusz /tracez?trace=ID&n=K /auditz?n=K\n";
+      "/statusz /tracez?trace=ID&n=K /auditz?n=K /profilez?seconds=N "
+      "/profilez.json /contentionz\n";
   return response;
 }
 
 std::string IntrospectionServer::render_statusz() const {
   std::string out = "browser-polygraph introspection\n";
   out += "requests_served: " + std::to_string(requests()) + "\n";
+  out += "\n-- build --\n" + render_build_info();
   if (sources_.health != nullptr) {
     out += "\n-- health --\n" + sources_.health->evaluate().detail;
   }

@@ -25,6 +25,13 @@
 //                  K most recent matching events; a malformed value in
 //                  either is refused 400
 //   /auditz?n=K    most recent K AuditTrail records as JSONL
+//   /profilez      collapsed-stack profile (flamegraph.pl input);
+//                  ?seconds=N (default 1, clamped to [1,30]) windows
+//                  the capture by diffing two table snapshots
+//   /profilez.json tag-attribution tree (self/total sample counts)
+//                  over the whole profiler run
+//   /contentionz   named contention sites: queue block time, registry
+//                  swap stalls, cache CAS losses, with log2 histograms
 //
 // Design constraints, in order: never perturb the scoring hot path
 // (handlers only call the registry/sink render functions, which take
@@ -46,6 +53,8 @@
 #include "obs/audit.h"
 #include "obs/introspect/http.h"
 #include "obs/metrics_registry.h"
+#include "obs/prof/contention.h"
+#include "obs/prof/prof.h"
 #include "obs/slo/health.h"
 #include "obs/slo/slo_engine.h"
 #include "obs/trace.h"
@@ -62,6 +71,10 @@ struct Sources {
   const AuditTrail* audit = nullptr;
   const slo::HealthModel* health = nullptr;
   const slo::SloEngine* slo = nullptr;
+  // Continuous profiler (for /profilez and /profilez.json) and the
+  // process-wide contention-site registry (for /contentionz).
+  const prof::Profiler* profiler = nullptr;
+  const prof::ContentionRegistry* contention = nullptr;
   // Extra app-specific lines appended to /statusz (may be empty).
   std::function<std::string()> statusz_extra;
 };

@@ -1,0 +1,123 @@
+// Optional allocation-count hook: global operator new/delete
+// interposition that *counts* (never captures stacks, never samples).
+//
+// Built as the bp_prof_alloc OBJECT library so linking it is an
+// explicit per-target decision, and the object file is always pulled
+// into the link (no archive-member-selection surprises for a symbol
+// libstdc++ also defines).  Counting itself is still gated off at
+// runtime — see prof::set_alloc_counting — so linking the hook costs
+// one relaxed load per allocation.
+//
+// Compiled out entirely under ASan/TSan: the sanitizer runtimes own the
+// allocator seam and interposing under them is asking for trouble.
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+#include "obs/prof/prof.h"
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define BP_PROF_ALLOC_DISABLED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define BP_PROF_ALLOC_DISABLED 1
+#endif
+#endif
+
+#ifndef BP_PROF_ALLOC_DISABLED
+
+namespace {
+
+const bool bp_prof_alloc_registered = [] {
+  bp::obs::prof::detail::mark_alloc_hook_linked();
+  return true;
+}();
+
+void* counted_alloc(std::size_t size) noexcept {
+  void* p = std::malloc(size != 0 ? size : 1);
+  if (p != nullptr) bp::obs::prof::detail::note_allocation(size);
+  return p;
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t alignment) noexcept {
+  // aligned_alloc demands size be a multiple of alignment; operator new
+  // does not, so round up.
+  const std::size_t rounded =
+      alignment != 0 ? (size + alignment - 1) / alignment * alignment : size;
+  void* p = std::aligned_alloc(alignment, rounded != 0 ? rounded : alignment);
+  if (p != nullptr) bp::obs::prof::detail::note_allocation(size);
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  void* p = counted_alloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  void* p = counted_alloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t alignment) {
+  void* p = counted_aligned_alloc(size, static_cast<std::size_t>(alignment));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t alignment) {
+  void* p = counted_aligned_alloc(size, static_cast<std::size_t>(alignment));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, std::align_val_t alignment,
+                   const std::nothrow_t&) noexcept {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(alignment));
+}
+
+void* operator new[](std::size_t size, std::align_val_t alignment,
+                     const std::nothrow_t&) noexcept {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(alignment));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t,
+                     const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+#endif  // BP_PROF_ALLOC_DISABLED

@@ -18,6 +18,7 @@
 // either a score or an explicit shed response.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -25,6 +26,8 @@
 #include <optional>
 #include <utility>
 #include <vector>
+
+#include "obs/prof/contention.h"
 
 namespace bp::serve {
 
@@ -54,13 +57,23 @@ class BoundedQueue {
     if (closed_) return PushResult::kClosed;
     if (items_.size() >= capacity_) {
       switch (policy_) {
-        case OverflowPolicy::kBlock:
+        case OverflowPolicy::kBlock: {
           ++waiting_producers_;
+          const auto wait_begin = push_block_site_ != nullptr
+                                      ? std::chrono::steady_clock::now()
+                                      : std::chrono::steady_clock::time_point{};
           not_full_.wait(lock,
                          [&] { return closed_ || items_.size() < capacity_; });
           --waiting_producers_;
+          if (push_block_site_ != nullptr) {
+            push_block_site_->record_block(static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - wait_begin)
+                    .count()));
+          }
           if (closed_) return PushResult::kClosed;
           break;
+        }
         case OverflowPolicy::kDropOldest:
           displaced = std::move(items_.front());
           items_.pop_front();
@@ -99,8 +112,17 @@ class BoundedQueue {
       // already queued (the steady state under load).
     } else {
       ++waiting_consumers_;
+      const auto wait_begin = pop_wait_site_ != nullptr
+                                  ? std::chrono::steady_clock::now()
+                                  : std::chrono::steady_clock::time_point{};
       not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
       --waiting_consumers_;
+      if (pop_wait_site_ != nullptr) {
+        pop_wait_site_->record_block(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - wait_begin)
+                .count()));
+      }
     }
     if (items_.empty()) return false;  // closed and drained
     const std::size_t n = std::min(max_batch, items_.size());
@@ -145,6 +167,15 @@ class BoundedQueue {
   std::size_t capacity() const noexcept { return capacity_; }
   OverflowPolicy policy() const noexcept { return policy_; }
 
+  // Attribute blocking waits to named contention sites (/contentionz).
+  // Null (the default) skips the clock reads entirely.  Call before the
+  // queue goes concurrent — typically right after construction.
+  void set_contention_sites(obs::prof::ContentionSite* push_block,
+                            obs::prof::ContentionSite* pop_wait) noexcept {
+    push_block_site_ = push_block;
+    pop_wait_site_ = pop_wait;
+  }
+
  private:
   const std::size_t capacity_;
   const OverflowPolicy policy_;
@@ -157,6 +188,8 @@ class BoundedQueue {
   // condition-variable syscall when nobody is waiting.
   std::size_t waiting_producers_ = 0;
   std::size_t waiting_consumers_ = 0;
+  obs::prof::ContentionSite* push_block_site_ = nullptr;
+  obs::prof::ContentionSite* pop_wait_site_ = nullptr;
 };
 
 }  // namespace bp::serve

@@ -1,11 +1,34 @@
 #include "serve/model_registry.h"
 
+#include <chrono>
 #include <cstdio>
 #include <utility>
 
+#include "obs/prof/contention.h"
 #include "util/fault.h"
 
 namespace bp::serve {
+
+namespace {
+
+// Publishes are rare, so the uncontended path is a plain try_lock; only
+// an actual swap stall pays the clock reads and lands in /contentionz.
+std::unique_lock<std::mutex> lock_publish_mutex(std::mutex& mutex) {
+  std::unique_lock lock(mutex, std::try_to_lock);
+  if (lock.owns_lock()) return lock;
+  static obs::prof::ContentionSite& site =
+      obs::prof::ContentionRegistry::instance().site(
+          "serve.registry.publish_lock");
+  const auto wait_begin = std::chrono::steady_clock::now();
+  lock.lock();
+  site.record_block(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - wait_begin)
+          .count()));
+  return lock;
+}
+
+}  // namespace
 
 std::uint64_t ModelRegistry::publish(
     std::shared_ptr<const core::Polygraph> model) {
@@ -13,7 +36,7 @@ std::uint64_t ModelRegistry::publish(
     publish_failures_.fetch_add(1, std::memory_order_relaxed);
     return 0;
   }
-  std::lock_guard lock(publish_mutex_);
+  const auto lock = lock_publish_mutex(publish_mutex_);
   return publish_locked(std::move(model));
 }
 
@@ -68,7 +91,7 @@ PublishReport ModelRegistry::publish_from_file(const std::string& path,
 }
 
 std::uint64_t ModelRegistry::rollback() {
-  std::lock_guard lock(publish_mutex_);
+  const auto lock = lock_publish_mutex(publish_mutex_);
   if (history_.size() < 2) return 0;
   // The entry before the current head; republished as a new version so
   // detections stay attributable to exactly one publish event.

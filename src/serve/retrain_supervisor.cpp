@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/prof/prof.h"
 #include "util/rng.h"
 
 namespace bp::serve {
@@ -209,10 +210,14 @@ void RetrainSupervisor::start(std::chrono::milliseconds period) {
     loop_stop_ = false;
   }
   loop_ = std::thread([this, period] {
+    obs::prof::ThreadHandle prof_handle("serve.retrain", 0);
     std::unique_lock lock(loop_mutex_);
     while (!loop_stop_) {
       lock.unlock();
-      run_cycle();
+      {
+        PROF_SCOPE("train.retrain_cycle");
+        run_cycle();
+      }
       lock.lock();
       loop_cv_.wait_for(lock, period, [&] { return loop_stop_; });
     }

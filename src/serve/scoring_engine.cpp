@@ -3,6 +3,8 @@
 #include <span>
 #include <utility>
 
+#include "obs/prof/contention.h"
+#include "obs/prof/prof.h"
 #include "serve/degraded.h"
 #include "util/fault.h"
 
@@ -42,6 +44,11 @@ ScoringEngine::ScoringEngine(const ModelRegistry& registry, EngineConfig config,
       queue_(config_.queue_capacity, config_.overflow_policy),
       metrics_(config_.workers, config_.registry, config_.metrics_prefix),
       heartbeats_(config_.workers) {
+  // Contention attribution for the admission queue: producers blocked
+  // on a full queue, workers parked on an empty one (see /contentionz).
+  auto& contention = obs::prof::ContentionRegistry::instance();
+  queue_.set_contention_sites(&contention.site("serve.queue.push_block"),
+                              &contention.site("serve.queue.pop_wait"));
   if (config_.cache_capacity > 0) {
     VerdictCacheConfig cache_config;
     cache_config.capacity = config_.cache_capacity;
@@ -238,6 +245,7 @@ void ScoringEngine::record_audit(const ScoreRequest& request,
 }
 
 void ScoringEngine::worker_loop(std::uint32_t worker_index) {
+  obs::prof::ThreadHandle prof_handle("serve.worker", worker_index);
   std::vector<ScoreRequest> batch;
   core::BatchScratch scratch;
   // Reused per-batch staging (capacity sticks after the first batch, so
@@ -247,7 +255,13 @@ void ScoringEngine::worker_loop(std::uint32_t worker_index) {
   std::vector<ua::UserAgent> claims;
   std::vector<core::Detection> detections;
   Heartbeat& heartbeat = heartbeats_[worker_index];
-  while (queue_.pop_batch(batch, config_.max_batch)) {
+  for (;;) {
+    {
+      // Tagged so wall samples of an idle worker read as queue time,
+      // not as an unattributed mystery.
+      PROF_SCOPE("serve.queue_wait");
+      if (!queue_.pop_batch(batch, config_.max_batch)) break;
+    }
     heartbeat.busy_since_us.store(steady_now_us(), std::memory_order_relaxed);
     if (FAULT_POINT("engine.worker_stall")) {
       // Chaos hook: freeze this worker long enough for the watchdog to
@@ -262,6 +276,7 @@ void ScoringEngine::worker_loop(std::uint32_t worker_index) {
       // Degraded mode: no model, but the engine still answers — the
       // UA-prior fallback judges the claimed UA alone, and the status
       // tells the caller no fingerprint evidence was used.
+      PROF_SCOPE("serve.degraded");
       std::uint64_t answered_in_batch = 0;
       for (ScoreRequest& request : batch) {
         const auto picked_up = std::chrono::steady_clock::now();
@@ -313,6 +328,7 @@ void ScoringEngine::worker_loop(std::uint32_t worker_index) {
     // — a hot swap between submit and pickup must not replay an older
     // model's verdict), the rest staged for the fused kernel.
     pending.clear();
+    PROF_SCOPE("serve.batch");
     for (std::size_t i = 0; i < batch.size(); ++i) {
       ScoreRequest& request = batch[i];
       if (past_deadline(request, picked_up)) {
@@ -342,13 +358,17 @@ void ScoringEngine::worker_loop(std::uint32_t worker_index) {
         claims.push_back(batch[i].claimed);
       }
       detections.resize(pending.size());
-      // The whole drain goes through the SoA kernel in one pass —
-      // bit-identical to per-request score() by the kernel's
-      // equivalence guarantee, so this is purely a layout change.
-      snapshot.model->score_batch(
-          std::span<const std::span<const std::int32_t>>(rows),
-          std::span<const ua::UserAgent>(claims),
-          std::span<core::Detection>(detections), scratch);
+      {
+        // The whole drain goes through the SoA kernel in one pass —
+        // bit-identical to per-request score() by the kernel's
+        // equivalence guarantee, so this is purely a layout change.
+        PROF_SCOPE("serve.kernel");
+        snapshot.model->score_batch(
+            std::span<const std::span<const std::int32_t>>(rows),
+            std::span<const ua::UserAgent>(claims),
+            std::span<core::Detection>(detections), scratch);
+      }
+      PROF_SCOPE("serve.respond");
       const auto done = std::chrono::steady_clock::now();
       for (std::size_t p = 0; p < pending.size(); ++p) {
         ScoreRequest& request = batch[pending[p]];
@@ -381,6 +401,7 @@ void ScoringEngine::worker_loop(std::uint32_t worker_index) {
 }
 
 void ScoringEngine::watchdog_loop() {
+  obs::prof::ThreadHandle prof_handle("serve.watchdog", 0);
   std::unique_lock lock(watchdog_mutex_);
   while (!stopping_.load(std::memory_order_acquire)) {
     watchdog_cv_.wait_for(lock, config_.watchdog_interval, [&] {

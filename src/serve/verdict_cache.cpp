@@ -3,6 +3,8 @@
 #include <bit>
 #include <limits>
 
+#include "obs/prof/contention.h"
+
 namespace bp::serve {
 namespace {
 
@@ -84,6 +86,10 @@ VerdictCache::VerdictCache(VerdictCacheConfig config)
         return static_cast<double>(filled_.load(std::memory_order_relaxed));
       },
       "slots holding an entry (live or stale)");
+  // Resolved once: record_event on the hot insert path must not pay the
+  // registry's name lookup.
+  insert_cas_losses_ =
+      &obs::prof::ContentionRegistry::instance().site("serve.cache.insert_cas");
 }
 
 VerdictCache::~VerdictCache() {
@@ -172,10 +178,14 @@ void VerdictCache::insert(const Key& key, std::uint64_t version,
                           std::size_t stripe_hint) noexcept {
   Slot& slot = slots_[key.primary & mask_];
   std::uint32_t seq = slot.seq.load(std::memory_order_relaxed);
-  if ((seq & 1) != 0) return;  // another writer holds the slot
+  if ((seq & 1) != 0) {
+    insert_cas_losses_->record_event();
+    return;  // another writer holds the slot
+  }
   if (!slot.seq.compare_exchange_strong(seq, seq + 1,
                                         std::memory_order_acquire,
                                         std::memory_order_relaxed)) {
+    insert_cas_losses_->record_event();
     return;  // lost the race; inserts are best-effort
   }
   // Exclusive between the CAS and the release below.

@@ -50,6 +50,7 @@
 
 #include "core/polygraph.h"
 #include "obs/metrics_registry.h"
+#include "obs/prof/contention.h"
 #include "ua/user_agent.h"
 
 namespace bp::serve {
@@ -138,6 +139,9 @@ class VerdictCache {
   obs::Counter* stale_ = nullptr;
   obs::Counter* evictions_ = nullptr;
   obs::Counter* inserts_ = nullptr;
+  // Contention site for lost insert races (writer already in the slot
+  // or CAS lost); see obs/prof/contention.h.
+  obs::prof::ContentionSite* insert_cas_losses_ = nullptr;
 };
 
 }  // namespace bp::serve

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <exception>
 
+#include "obs/prof/prof.h"
+
 namespace bp::util {
 
 // One blocking parallel region (a run_chunks call).  Lives on the
@@ -66,7 +68,7 @@ void ThreadPool::resize(std::size_t threads) {
 void ThreadPool::start_workers() {
   workers_.reserve(threads_ > 0 ? threads_ - 1 : 0);
   for (std::size_t i = 1; i < threads_; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -103,7 +105,11 @@ void ThreadPool::execute_chunk(Region& region, std::size_t chunk) {
   if (++region.done == region.n_chunks) region.done_cv.notify_all();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t lane) {
+  // Register the lane with the profiling plane for its whole lifetime;
+  // the handle's destructor unregisters before the thread joins.
+  obs::prof::ThreadHandle prof_handle("pool.worker",
+                                      static_cast<std::uint32_t>(lane));
   for (;;) {
     Region* region = nullptr;
     std::size_t chunk = 0;

@@ -63,7 +63,7 @@ class ThreadPool {
  private:
   struct Region;
 
-  void worker_loop();
+  void worker_loop(std::size_t lane);
   void start_workers();
   void stop_workers();
   // Executes one chunk of `region`, recording completion/failure.

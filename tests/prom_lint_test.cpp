@@ -1,0 +1,242 @@
+// Prometheus text-exposition conformance lint over our own renderer.
+//
+// Scrapers are unforgiving parsers: a histogram whose cumulative
+// buckets regress, a family whose samples precede its TYPE line, or a
+// metric name with an illegal character silently corrupts dashboards
+// long after the code change that caused it.  This test parses
+// MetricsRegistry::render_prometheus() output line by line and enforces
+// the exposition-format rules that matter:
+//
+//   * metric names match [a-zA-Z_:][a-zA-Z0-9_:]*
+//   * per family: HELP (if present) precedes TYPE precedes samples,
+//     and the block is contiguous
+//   * histograms emit _bucket{le="..."} with ascending le ending in
+//     +Inf, cumulative counts monotone non-decreasing, then _sum and
+//     _count, with _count equal to the +Inf bucket
+//   * every sample value parses as a number
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/metrics_registry.h"
+
+namespace {
+
+bool valid_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  auto head_ok = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+  };
+  auto tail_ok = [&](char c) {
+    return head_ok(c) || std::isdigit(static_cast<unsigned char>(c));
+  };
+  if (!head_ok(name[0])) return false;
+  for (std::size_t i = 1; i < name.size(); ++i) {
+    if (!tail_ok(name[i])) return false;
+  }
+  return true;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    lines.push_back(text.substr(pos, eol - pos));
+    pos = eol + 1;
+  }
+  return lines;
+}
+
+// Family name of a sample line: the metric name with histogram series
+// suffixes stripped.
+std::string family_of(const std::string& metric) {
+  for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+    const std::string s(suffix);
+    if (metric.size() > s.size() &&
+        metric.compare(metric.size() - s.size(), s.size(), s) == 0) {
+      return metric.substr(0, metric.size() - s.size());
+    }
+  }
+  return metric;
+}
+
+struct LintedFamily {
+  bool saw_help = false;
+  bool saw_type = false;
+  bool saw_sample = false;
+  bool closed = false;  // a different family started after this one
+  std::string type;
+  std::vector<std::pair<std::string, std::uint64_t>> buckets;  // le -> count
+  std::optional<std::uint64_t> count_value;
+};
+
+void lint(const std::string& exposition,
+          std::map<std::string, LintedFamily>* families) {
+  std::string open_family;  // the family whose block we are inside
+  for (const std::string& line : split_lines(exposition)) {
+    ASSERT_FALSE(line.empty()) << "blank line in exposition";
+    std::string family;
+    if (line.rfind("# HELP ", 0) == 0 || line.rfind("# TYPE ", 0) == 0) {
+      const bool is_type = line.rfind("# TYPE ", 0) == 0;
+      const std::string rest = line.substr(7);
+      const std::size_t sp = rest.find(' ');
+      ASSERT_NE(sp, std::string::npos) << line;
+      family = rest.substr(0, sp);
+      EXPECT_TRUE(valid_metric_name(family)) << line;
+      LintedFamily& f = (*families)[family];
+      if (is_type) {
+        EXPECT_FALSE(f.saw_type) << "duplicate TYPE for " << family;
+        EXPECT_FALSE(f.saw_sample) << "TYPE after samples for " << family;
+        f.saw_type = true;
+        f.type = rest.substr(sp + 1);
+        EXPECT_TRUE(f.type == "counter" || f.type == "gauge" ||
+                    f.type == "histogram")
+            << line;
+      } else {
+        EXPECT_FALSE(f.saw_help) << "duplicate HELP for " << family;
+        EXPECT_FALSE(f.saw_type) << "HELP after TYPE for " << family;
+        EXPECT_FALSE(f.saw_sample) << "HELP after samples for " << family;
+        f.saw_help = true;
+      }
+    } else {
+      // Sample line: name[{labels}] value
+      std::size_t name_end = line.find_first_of("{ ");
+      ASSERT_NE(name_end, std::string::npos) << line;
+      const std::string metric = line.substr(0, name_end);
+      EXPECT_TRUE(valid_metric_name(metric)) << line;
+      family = family_of(metric);
+      LintedFamily& f = (*families)[family];
+      EXPECT_TRUE(f.saw_type) << "sample before TYPE: " << line;
+      f.saw_sample = true;
+
+      std::string labels;
+      std::size_t value_begin = name_end;
+      if (line[name_end] == '{') {
+        const std::size_t close = line.find('}', name_end);
+        ASSERT_NE(close, std::string::npos) << line;
+        labels = line.substr(name_end + 1, close - name_end - 1);
+        value_begin = close + 1;
+      }
+      ASSERT_LT(value_begin, line.size()) << line;
+      ASSERT_EQ(line[value_begin], ' ') << line;
+      const std::string value_text = line.substr(value_begin + 1);
+      char* end = nullptr;
+      const double value = std::strtod(value_text.c_str(), &end);
+      EXPECT_EQ(*end, '\0') << "unparseable value: " << line;
+
+      if (f.type == "histogram") {
+        if (metric.size() >= 7 &&
+            metric.compare(metric.size() - 7, 7, "_bucket") == 0) {
+          ASSERT_EQ(labels.rfind("le=\"", 0), 0u) << line;
+          ASSERT_EQ(labels.back(), '"') << line;
+          f.buckets.emplace_back(labels.substr(4, labels.size() - 5),
+                                 static_cast<std::uint64_t>(value));
+        } else if (metric.compare(metric.size() - 6, 6, "_count") == 0) {
+          f.count_value = static_cast<std::uint64_t>(value);
+        }
+      } else {
+        EXPECT_TRUE(labels.empty()) << "unexpected labels: " << line;
+      }
+    }
+    // Contiguity: once another family's block begins, the previous one
+    // may never reappear.
+    if (family != open_family) {
+      if (!open_family.empty()) (*families)[open_family].closed = true;
+      EXPECT_FALSE((*families)[family].closed)
+          << "family " << family << " split into non-contiguous blocks";
+      open_family = family;
+    }
+  }
+}
+
+TEST(ObsPromLint, RendererConformsToExpositionFormat) {
+  bp::obs::MetricsRegistry registry;
+  registry.counter("lint_requests_total", "requests").add(7);
+  registry.gauge("lint_temperature", "a gauge").set(-3.25);
+  registry.gauge_callback("lint_live_value", [] { return 42.0; }, "cb");
+  const std::uint64_t bounds[] = {10, 100, 1000};
+  bp::obs::Histogram& h =
+      registry.histogram("lint_latency_micros", bounds, "latency");
+  h.observe(5);
+  h.observe(50);
+  h.observe(50);
+  h.observe(5000);  // lands in +Inf only
+  // A histogram nobody observed still renders a complete series.
+  registry.histogram("lint_empty_histogram", bounds, "empty");
+
+  std::map<std::string, LintedFamily> families;
+  lint(registry.render_prometheus(), &families);
+
+  // Every instrument rendered, with the right type.
+  ASSERT_TRUE(families.count("lint_requests_total"));
+  EXPECT_EQ(families["lint_requests_total"].type, "counter");
+  ASSERT_TRUE(families.count("lint_temperature"));
+  EXPECT_EQ(families["lint_temperature"].type, "gauge");
+  ASSERT_TRUE(families.count("lint_live_value"));
+  EXPECT_EQ(families["lint_live_value"].type, "gauge");
+
+  for (const char* name : {"lint_latency_micros", "lint_empty_histogram"}) {
+    SCOPED_TRACE(name);
+    ASSERT_TRUE(families.count(name));
+    const LintedFamily& f = families[name];
+    EXPECT_EQ(f.type, "histogram");
+    // Complete series: every bound plus +Inf, then _sum and _count.
+    ASSERT_EQ(f.buckets.size(), 4u);
+    EXPECT_EQ(f.buckets.back().first, "+Inf");
+    // le ascending (numeric bounds before +Inf) and counts cumulative.
+    double last_le = -1.0;
+    std::uint64_t last_count = 0;
+    for (std::size_t i = 0; i < f.buckets.size(); ++i) {
+      if (f.buckets[i].first != "+Inf") {
+        const double le = std::strtod(f.buckets[i].first.c_str(), nullptr);
+        EXPECT_GT(le, last_le);
+        last_le = le;
+      } else {
+        EXPECT_EQ(i, f.buckets.size() - 1) << "+Inf must be last";
+      }
+      EXPECT_GE(f.buckets[i].second, last_count)
+          << "cumulative bucket counts regressed";
+      last_count = f.buckets[i].second;
+    }
+    ASSERT_TRUE(f.count_value.has_value());
+    EXPECT_EQ(*f.count_value, f.buckets.back().second)
+        << "_count must equal the +Inf bucket";
+  }
+
+  // The populated histogram distributes as observed.
+  const LintedFamily& lat = families["lint_latency_micros"];
+  EXPECT_EQ(lat.buckets[0].second, 1u);  // le=10: the 5
+  EXPECT_EQ(lat.buckets[1].second, 3u);  // le=100: +two 50s
+  EXPECT_EQ(lat.buckets[2].second, 3u);  // le=1000
+  EXPECT_EQ(lat.buckets[3].second, 4u);  // +Inf: the 5000
+}
+
+// The full production surface: everything the example service exports
+// (serving, cache, training, fault metrics) must pass the same lint.
+// Guards against a future exporter emitting an out-of-order or
+// incomplete family.
+TEST(ObsPromLint, ServingExportSurfaceConforms) {
+  bp::obs::MetricsRegistry registry;
+  registry.counter("bp_sessions_total", "sessions").increment();
+  const std::uint64_t bounds[] = {100, 1000, 10000, 100000};
+  registry.histogram("bp_serve_latency_micros", bounds, "serve latency")
+      .observe(250);
+  registry.gauge_callback("bp_queue_depth", [] { return 0.0; }, "depth");
+
+  std::map<std::string, LintedFamily> families;
+  lint(registry.render_prometheus(), &families);
+  for (const auto& [name, family] : families) {
+    EXPECT_TRUE(family.saw_type) << name;
+    EXPECT_TRUE(family.saw_sample) << name;
+  }
+}
+
+}  // namespace
